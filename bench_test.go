@@ -1,0 +1,241 @@
+// Benchmarks regenerating each experiment of the paper's evaluation
+// (DESIGN.md E0–E8) at benchmark-friendly scale. Each benchmark runs the
+// exact code path of its figure and reports the figure's headline numbers
+// as custom metrics; cmd/rmacfigs produces the full-resolution series.
+//
+// Run them all:
+//
+//	go test -bench=. -benchmem
+package rmac
+
+import (
+	"testing"
+
+	"rmac/internal/frame"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+// benchConfig is the reduced-scale network used by the figure benchmarks:
+// large enough to have a multi-hop tree with contention, small enough to
+// run in tens of milliseconds.
+func benchConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 30
+	cfg.Field = Rect{W: 320, H: 200}
+	cfg.Packets = 60
+	cfg.Rate = 40
+	return cfg
+}
+
+func runPair(b *testing.B, sc Scenario, rate float64) (rmacRes, bmmmRes RunResult) {
+	b.Helper()
+	cfg := benchConfig()
+	cfg.Scenario = sc
+	cfg.Rate = rate
+	cfg.Seed = int64(b.N) // vary work across iterations deterministically
+	r := cfg
+	r.Protocol = RMAC
+	m := cfg
+	m.Protocol = BMMM
+	return Run(r), Run(m)
+}
+
+// BenchmarkControlOverheadAnalysis reproduces E0, the §2 arithmetic: the
+// PLCP overhead (96 µs), the ACK airtime (56 µs + PLCP) and BMMM's 632n µs
+// control cost per data frame, measured from the frame codec + PHY timing.
+func BenchmarkControlOverheadAnalysis(b *testing.B) {
+	cfg := phy.DefaultConfig()
+	var per sim.Time
+	for i := 0; i < b.N; i++ {
+		per = cfg.TxDuration(frame.RTSLen) + cfg.TxDuration(frame.CTSLen) +
+			cfg.TxDuration(frame.RAKLen) + cfg.TxDuration(frame.ACKLen)
+	}
+	if per != 632*sim.Microsecond {
+		b.Fatalf("BMMM per-receiver control airtime = %v, want 632µs", per)
+	}
+	b.ReportMetric(per.Micros(), "µs/receiver")
+	b.ReportMetric(phy.PLCPOverhead.Micros(), "µs/PLCP")
+}
+
+// BenchmarkTreeTopology reproduces E1 (§4.1.1): tree statistics over
+// random connected placements of the paper's network.
+func BenchmarkTreeTopology(b *testing.B) {
+	var hops, children float64
+	n := 0
+	for i := 0; i < b.N; i++ {
+		ts, ok := AnalyzeTopology(75, Rect{W: 500, H: 300}, 75, int64(i))
+		if !ok {
+			b.Fatal("no connected placement")
+		}
+		hops += ts.Hops.Mean
+		children += ts.Children.Mean
+		n++
+	}
+	b.ReportMetric(hops/float64(n), "hops-avg")
+	b.ReportMetric(children/float64(n), "children-avg")
+}
+
+// BenchmarkFig7DeliveryRatio reproduces E2: packet delivery ratio, RMAC
+// vs BMMM, stationary panel.
+func BenchmarkFig7DeliveryRatio(b *testing.B) {
+	var r, m RunResult
+	for i := 0; i < b.N; i++ {
+		r, m = runPair(b, Stationary, 40)
+	}
+	b.ReportMetric(r.Delivery, "rmac-deliv")
+	b.ReportMetric(m.Delivery, "bmmm-deliv")
+}
+
+// BenchmarkFig8DropRatio reproduces E3: average packet drop ratio over
+// non-leaf nodes.
+func BenchmarkFig8DropRatio(b *testing.B) {
+	var r, m RunResult
+	for i := 0; i < b.N; i++ {
+		r, m = runPair(b, Stationary, 80)
+	}
+	b.ReportMetric(r.AvgDropRatio, "rmac-drop")
+	b.ReportMetric(m.AvgDropRatio, "bmmm-drop")
+}
+
+// BenchmarkFig9EndToEndDelay reproduces E4: average end-to-end delay.
+func BenchmarkFig9EndToEndDelay(b *testing.B) {
+	var r, m RunResult
+	for i := 0; i < b.N; i++ {
+		r, m = runPair(b, Stationary, 80)
+	}
+	b.ReportMetric(r.AvgDelay, "rmac-delay-s")
+	b.ReportMetric(m.AvgDelay, "bmmm-delay-s")
+}
+
+// BenchmarkFig10RetxRatio reproduces E5: average packet retransmission
+// ratio.
+func BenchmarkFig10RetxRatio(b *testing.B) {
+	var r, m RunResult
+	for i := 0; i < b.N; i++ {
+		r, m = runPair(b, Stationary, 40)
+	}
+	b.ReportMetric(r.AvgRetxRatio, "rmac-retx")
+	b.ReportMetric(m.AvgRetxRatio, "bmmm-retx")
+}
+
+// BenchmarkFig11OverheadRatio reproduces E6: average transmission
+// overhead ratio (the paper's headline efficiency result: ≈0.2 for RMAC
+// vs ≈1.0–1.1 for BMMM when stationary).
+func BenchmarkFig11OverheadRatio(b *testing.B) {
+	var r, m RunResult
+	for i := 0; i < b.N; i++ {
+		r, m = runPair(b, Stationary, 40)
+	}
+	b.ReportMetric(r.AvgOverheadRatio, "rmac-txoh")
+	b.ReportMetric(m.AvgOverheadRatio, "bmmm-txoh")
+}
+
+// BenchmarkFig12MRTSLength reproduces E7: the MRTS length distribution
+// (average / 99 percentile / max bytes).
+func BenchmarkFig12MRTSLength(b *testing.B) {
+	var s Summary
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Seed = int64(i + 1)
+		res := Run(cfg)
+		s = res.MRTSLens.Summarize()
+	}
+	b.ReportMetric(s.Mean, "mrts-avg-B")
+	b.ReportMetric(s.P99, "mrts-p99-B")
+	b.ReportMetric(s.Max, "mrts-max-B")
+}
+
+// BenchmarkFig13AbortRatio reproduces E8: the MRTS abortion ratio
+// distribution across non-leaf nodes.
+func BenchmarkFig13AbortRatio(b *testing.B) {
+	var s Summary
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Rate = 80
+		cfg.Seed = int64(i + 1)
+		res := Run(cfg)
+		s = res.AbortRatios.Summarize()
+	}
+	b.ReportMetric(s.Mean, "abort-avg")
+	b.ReportMetric(s.Max, "abort-max")
+}
+
+// BenchmarkAblationNoRBT quantifies the DESIGN.md ablation: RMAC with RBT
+// protection disabled (hidden-node exposure) against stock RMAC.
+func BenchmarkAblationNoRBT(b *testing.B) {
+	var on, off RunResult
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Seed = int64(i + 1)
+		on = Run(cfg)
+		cfg.RMACOptions = RMACOptions{DisableRBTProtection: true}
+		off = Run(cfg)
+	}
+	b.ReportMetric(on.AvgRetxRatio, "retx-with-rbt")
+	b.ReportMetric(off.AvgRetxRatio, "retx-no-rbt")
+}
+
+// BenchmarkAblationReceiverLimit exercises the §3.4 receiver limit in a
+// dense single-hop star (every node is the root's child, > 20 receivers):
+// the stock limit of 20 splits each packet into two Reliable Send
+// invocations, an unlimited MRTS sends one long frame. The metrics show
+// the overhead cost of splitting against the longer-MRTS exposure.
+func BenchmarkAblationReceiverLimit(b *testing.B) {
+	var lim, unlim RunResult
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Nodes = 30 // a 29-receiver one-hop star
+		cfg.Field = Rect{W: 70, H: 50}
+		cfg.Rate = 20
+		cfg.Seed = int64(i + 1)
+		lim = Run(cfg)
+		cfg.Limits.MaxReceivers = frame.MaxReceivers
+		unlim = Run(cfg)
+	}
+	b.ReportMetric(lim.AvgOverheadRatio, "txoh-limit20")
+	b.ReportMetric(unlim.AvgOverheadRatio, "txoh-unlimited")
+	b.ReportMetric(lim.MRTSLens.Max(), "mrtsmax-limit20-B")
+	b.ReportMetric(unlim.MRTSLens.Max(), "mrtsmax-unlimited-B")
+}
+
+// BenchmarkFeedbackDisciplines runs §2's protocol-design comparison:
+// delivery ratio under contention for sender-initiated positive feedback
+// (RMAC) against leader feedback (LBP) and receiver-initiated busy-tone
+// NAKs (802.11MX-style).
+func BenchmarkFeedbackDisciplines(b *testing.B) {
+	var r, l, m RunResult
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Rate = 60
+		cfg.Seed = int64(i + 1)
+		c := cfg
+		c.Protocol = RMAC
+		r = Run(c)
+		c = cfg
+		c.Protocol = LBP
+		l = Run(c)
+		c = cfg
+		c.Protocol = MX
+		m = Run(c)
+	}
+	b.ReportMetric(r.Delivery, "rmac-deliv")
+	b.ReportMetric(l.Delivery, "lbp-deliv")
+	b.ReportMetric(m.Delivery, "mx-deliv")
+}
+
+// BenchmarkSimulatorThroughput measures raw event throughput of the
+// kernel+PHY+MAC stack — the engineering metric for the simulator itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var events uint64
+	var simulated sim.Time
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Seed = int64(i + 1)
+		res := Run(cfg)
+		events += res.Events
+		simulated += cfg.Horizon()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(simulated.Seconds()/b.Elapsed().Seconds(), "simsec/s")
+}

@@ -1,0 +1,164 @@
+// Command rmacfigs regenerates every figure of the paper's evaluation
+// section (Figures 7–13): it sweeps source rate × mobility scenario ×
+// protocol with multiple random placements per point, prints each figure
+// as the three panels the paper plots, and optionally writes a CSV.
+//
+// The defaults are scaled down for a quick run; the paper's full scale is
+//
+//	rmacfigs -packets 10000 -seeds 10
+//
+// which takes correspondingly longer (runs execute in parallel).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rmac/internal/cli"
+	"rmac/internal/experiment"
+)
+
+func main() {
+	base := experiment.DefaultConfig()
+	figsFlag := flag.String("figures", "all", "comma-separated figure IDs (fig7..fig13) or 'all'")
+	ratesFlag := flag.String("rates", "", "comma-separated source rates in pkt/s (default: the paper's 5,10,20,40,60,80,100,120)")
+	scenariosFlag := flag.String("scenarios", "all", "comma-separated scenarios (stationary,speed1,speed2) or 'all'")
+	seeds := flag.Int("seeds", 3, "random placements per data point (paper: 10)")
+	packets := flag.Int("packets", 300, "packets per run (paper: 10000)")
+	nodes := flag.Int("nodes", base.Nodes, "number of nodes")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	csvPath := flag.String("csv", "", "write all sweep points to this CSV file")
+	ascii := flag.Bool("ascii", false, "also render each figure panel as a terminal plot")
+	jsonPath := flag.String("json", "", "write all sweep points to this JSON file")
+	protoFlag := flag.String("protocols", "", "comma-separated protocols to sweep (rmac,bmmm,bmw,lbp,mx); default: the paper's figure set")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	base.Packets = *packets
+	base.Nodes = *nodes
+
+	figs, err := selectFigures(*figsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rates := experiment.PaperRates
+	if *ratesFlag != "" {
+		rates, err = cli.ParseRates(*ratesFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	scenarios, err := cli.ParseScenarios(*scenariosFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// One sweep covers every requested figure: figures differ only in
+	// which metric they read from the aggregated points.
+	protocols := []experiment.Protocol{experiment.RMAC}
+	for _, f := range figs {
+		if len(f.Protocols) > 1 {
+			protocols = []experiment.Protocol{experiment.RMAC, experiment.BMMM}
+			break
+		}
+	}
+	if *protoFlag != "" {
+		protocols, err = cli.ParseProtocols(*protoFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	sweep := experiment.Sweep{
+		Base:        base,
+		Protocols:   protocols,
+		Scenarios:   scenarios,
+		Rates:       rates,
+		Seeds:       *seeds,
+		Parallelism: *parallel,
+	}
+	total := sweep.Cells() * *seeds
+	fmt.Printf("rmacfigs: %d simulations (%d nodes, %d packets each), figures %s\n",
+		total, base.Nodes, base.Packets, *figsFlag)
+	if !*quiet {
+		sweep.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+		}
+	}
+	start := time.Now()
+	points := experiment.RunSweep(sweep)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "\rcompleted %d runs in %v\n", total, time.Since(start).Round(time.Second))
+	}
+
+	for _, f := range figs {
+		experiment.WriteFigureTable(os.Stdout, f, points, scenarios)
+		if *ascii {
+			for _, sc := range scenarios {
+				experiment.WriteFigureASCII(os.Stdout, f, points, sc)
+			}
+		}
+	}
+
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, func(w *os.File) error { return experiment.WriteCSV(w, points) }); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, func(w *os.File) error { return experiment.WriteJSON(w, points) }); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+func writeFile(path string, fn func(*os.File) error) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(out); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+func selectFigures(spec string) ([]experiment.Figure, error) {
+	if spec == "all" {
+		return experiment.Figures(), nil
+	}
+	var out []experiment.Figure
+	for _, id := range strings.Split(spec, ",") {
+		f, err := experiment.FigureByID(strings.TrimSpace(id))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseRates(spec string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("rmacfigs: bad rate %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

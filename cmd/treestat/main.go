@@ -1,0 +1,50 @@
+// Command treestat reproduces the §4.1.1 topology statistics: it
+// generates connected random placements of the paper's network (75 nodes,
+// 500 m × 300 m, 75 m range), builds the BLESS-style shortest-hop tree
+// rooted at node 0, and reports hop and fan-out statistics. The paper
+// reports average/99-percentile hops to root of 3.87/10 and average/99-
+// percentile children per non-leaf node of 3.54/9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"rmac/internal/geom"
+	"rmac/internal/stats"
+	"rmac/internal/topo"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 75, "number of nodes")
+	w := flag.Float64("field-w", 500, "field width in metres")
+	h := flag.Float64("field-h", 300, "field height in metres")
+	radio := flag.Float64("range", 75, "radio range in metres")
+	seeds := flag.Int("seeds", 10, "number of random placements")
+	verbose := flag.Bool("v", false, "print per-seed statistics")
+	flag.Parse()
+
+	field := geom.Rect{W: *w, H: *h}
+	var hops, children, hopsP99, childP99 stats.Sample
+	for seed := int64(0); seed < int64(*seeds); seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p, ok := topo.ConnectedRandomPlacement(*nodes, field, *radio, rng, 500)
+		if !ok {
+			fmt.Printf("seed %d: no connected placement found, skipping\n", seed)
+			continue
+		}
+		ts := topo.AnalyzeTree(p.BFSTree(0, *radio), 0)
+		hops.Add(ts.Hops.Mean)
+		children.Add(ts.Children.Mean)
+		hopsP99.Add(ts.Hops.P99)
+		childP99.Add(ts.Children.P99)
+		if *verbose {
+			fmt.Printf("seed %2d: hops avg %.2f p99 %2.0f max %2.0f | children avg %.2f p99 %2.0f | non-leaf %d leaf %d\n",
+				seed, ts.Hops.Mean, ts.Hops.P99, ts.Hops.Max, ts.Children.Mean, ts.Children.P99, ts.NonLeaf, ts.Leaf)
+		}
+	}
+	fmt.Printf("\n%d placements of %d nodes on %.0fx%.0f m, range %.0f m:\n", hops.N(), *nodes, *w, *h, *radio)
+	fmt.Printf("  hops to root:          avg %.2f   99pct %.1f   (paper: 3.87 / 10)\n", hops.Mean(), hopsP99.Mean())
+	fmt.Printf("  children per non-leaf: avg %.2f   99pct %.1f   (paper: 3.54 / 9)\n", children.Mean(), childP99.Mean())
+}

@@ -1,0 +1,31 @@
+// Package rmac is a from-scratch reproduction of "RMAC: A Reliable
+// Multicast MAC Protocol for Wireless Ad Hoc Networks" (Weisheng Si and
+// Chengzhi Li, ICPP 2004) as a reusable Go library.
+//
+// It contains:
+//
+//   - a discrete-event wireless network simulator with a disc-model
+//     radio, per-receiver collision tracking, IEEE 802.11b PLCP timing,
+//     and the paper's two narrow-band busy-tone channels (RBT and ABT);
+//   - the RMAC protocol itself: Reliable and Unreliable Send services
+//     covering unicast, multicast, and broadcast (§3);
+//   - the compared baselines BMMM (Sun et al.) and BMW (Tang & Gerla);
+//   - the evaluation substrate: simplified BLESS tree routing, the
+//     single-source multicast application, random-waypoint mobility; and
+//   - an experiment harness regenerating every figure of §4.
+//
+// This package is the public facade: it re-exports the experiment
+// configuration and runners so downstream users need only
+//
+//	import "rmac"
+//
+//	cfg := rmac.DefaultConfig()
+//	cfg.Rate = 40
+//	res := rmac.Run(cfg)
+//	fmt.Println(res.Delivery)
+//
+// The executables cmd/rmacsim (single run), cmd/rmacfigs (regenerate
+// Figures 7–13) and cmd/treestat (§4.1.1 topology statistics) are thin
+// wrappers over the same API, and examples/ contains runnable scenario
+// walkthroughs.
+package rmac

@@ -1,0 +1,57 @@
+// Battlefield: a stationary ad hoc network — one of the paper's
+// motivating deployments ("battlefield ad hoc networks", §1) — where a
+// command node multicasts orders down a tree to every unit. The example
+// compares RMAC against the IEEE 802.11-based BMMM baseline as the
+// command traffic rate rises, reproducing the stationary panels of
+// Figures 7 and 11 at reduced scale.
+//
+//	go run ./examples/battlefield
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rmac"
+)
+
+func main() {
+	cfg := rmac.DefaultConfig()
+	cfg.Packets = 150
+
+	fmt.Println("Battlefield scenario: 75 stationary units, command node multicasting orders.")
+	fmt.Println("Sweeping source rate, RMAC vs BMMM (3 placements per point)...")
+
+	points := rmac.RunSweep(rmac.Sweep{
+		Base:      cfg,
+		Protocols: []rmac.Protocol{rmac.RMAC, rmac.BMMM},
+		Scenarios: []rmac.Scenario{rmac.Stationary},
+		Rates:     []float64{10, 40, 80},
+		Seeds:     3,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r  %d/%d runs", done, total)
+		},
+	})
+	fmt.Fprintln(os.Stderr)
+
+	fmt.Printf("\n%8s  %22s  %22s\n", "", "delivery ratio", "tx overhead ratio")
+	fmt.Printf("%8s  %10s %10s  %10s %10s\n", "rate", "RMAC", "BMMM", "RMAC", "BMMM")
+	rates := []float64{10, 40, 80}
+	for _, rate := range rates {
+		var r, m rmac.Point
+		for _, p := range points {
+			if p.Rate != rate {
+				continue
+			}
+			if p.Protocol == rmac.RMAC {
+				r = p
+			} else {
+				m = p
+			}
+		}
+		fmt.Printf("%8.0f  %10.4f %10.4f  %10.3f %10.3f\n",
+			rate, r.Delivery, m.Delivery, r.AvgOverheadRatio, m.AvgOverheadRatio)
+	}
+	fmt.Println("\nExpected shape (paper §4): both deliver ≈1 when stationary, but RMAC's")
+	fmt.Println("overhead stays ≈0.2 while BMMM pays ≈1.0–1.1 — the busy-tone dividend.")
+}

@@ -1,0 +1,47 @@
+// Rescue: an emergency-rescue network — another §1 motivating deployment —
+// where responders move continuously (random waypoint) while a coordinator
+// multicasts situation updates. The example measures how mobility erodes
+// reliability across the paper's three scenarios (Figure 7's three
+// panels), and how much of the loss is out-of-range churn rather than MAC
+// failure.
+//
+//	go run ./examples/rescue
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"rmac"
+)
+
+func main() {
+	cfg := rmac.DefaultConfig()
+	cfg.Packets = 150
+	cfg.Rate = 20
+
+	fmt.Println("Rescue scenario: 75 responders, coordinator multicasting updates at 20 pkt/s.")
+	fmt.Println("Comparing mobility scenarios (3 placements each)...")
+
+	points := rmac.RunSweep(rmac.Sweep{
+		Base:      cfg,
+		Protocols: []rmac.Protocol{rmac.RMAC},
+		Scenarios: []rmac.Scenario{rmac.Stationary, rmac.Speed1, rmac.Speed2},
+		Rates:     []float64{cfg.Rate},
+		Seeds:     3,
+		Progress: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r  %d/%d runs", done, total)
+		},
+	})
+	fmt.Fprintln(os.Stderr)
+
+	fmt.Printf("\n%-12s %10s %10s %10s %10s\n", "scenario", "delivery", "drop", "retx", "delay(s)")
+	for _, p := range points {
+		fmt.Printf("%-12v %10.4f %10.4f %10.4f %10.4f\n",
+			p.Scenario, p.Delivery, p.AvgDropRatio, p.AvgRetxRatio, p.AvgDelay)
+	}
+	fmt.Println("\nExpected shape (paper §4.2.1): delivery ≈1 stationary, dropping toward")
+	fmt.Println("≈0.75 under motion — nodes move out of their parents' range, which the")
+	fmt.Println("MAC cannot fix (\"the issue of out-of-range nodes should be dealt with")
+	fmt.Println("by upper layer protocols\"). Retransmissions rise toward ≈1 (Fig 10).")
+}

@@ -1,0 +1,54 @@
+// Sensors: a sparse sensor network — the paper's third motivating
+// deployment (§1) — where a sink floods configuration updates to every
+// sensor. Sparse fields stress the tree: long thin paths, few redundant
+// links. The example also shows the comprehensive-MAC angle of §3.3: the
+// same RMAC instance carries both the Reliable Send data traffic and the
+// Unreliable Send routing beacons, and the topology helper quantifies how
+// sparse the network is.
+//
+//	go run ./examples/sensors
+package main
+
+import (
+	"fmt"
+
+	"rmac"
+)
+
+func main() {
+	// A sparse deployment: 60 sensors over a field ~1.9× the paper's,
+	// same 75 m radio range — roughly 4 neighbours per sensor, near the
+	// connectivity threshold. Seeds are scanned for a connected field.
+	cfg := rmac.DefaultConfig()
+	cfg.Nodes = 60
+	cfg.Field = rmac.Rect{W: 700, H: 400}
+	cfg.Rate = 10
+	cfg.Packets = 150
+
+	var ts rmac.TreeStats
+	ok := false
+	for seed := int64(1); seed < 200 && !ok; seed++ {
+		cfg.Seed = seed
+		ts, ok = rmac.AnalyzeTopology(cfg.Nodes, cfg.Field, cfg.Phy.CommRange, cfg.Seed)
+	}
+	if !ok {
+		fmt.Println("no connected sparse placement found")
+		return
+	}
+	fmt.Printf("Sparse sensor field %dx%d m, %d sensors, 75 m range:\n",
+		int(cfg.Field.W), int(cfg.Field.H), cfg.Nodes)
+	fmt.Printf("  tree depth: avg %.2f hops, max %.0f; forwarders have avg %.2f children\n\n",
+		ts.Hops.Mean, ts.Hops.Max, ts.Children.Mean)
+
+	res := rmac.Run(cfg)
+	fmt.Printf("Sink flooding %d packets at %g pkt/s over RMAC reliable multicast:\n", cfg.Packets, cfg.Rate)
+	fmt.Printf("  delivery ratio           %.4f\n", res.Delivery)
+	fmt.Printf("  avg end-to-end delay     %.3f s (deep tree => more store-and-forward hops)\n", res.AvgDelay)
+	fmt.Printf("  avg retransmission ratio %.3f\n", res.AvgRetxRatio)
+	fmt.Printf("  avg tx overhead ratio    %.3f\n", res.AvgOverheadRatio)
+	mrts := res.MRTSLens.Summarize()
+	fmt.Printf("  MRTS length              avg %.1f B (sparse trees => short receiver lists)\n", mrts.Mean)
+	fmt.Printf("\nThe same MAC instances carried the BLESS routing beacons over the\n")
+	fmt.Printf("Unreliable Send service concurrently — the \"comprehensive MAC\" design\n")
+	fmt.Printf("of §3.3 (reliable + unreliable service from one protocol).\n")
+}

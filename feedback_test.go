@@ -1,0 +1,72 @@
+package rmac
+
+import "testing"
+
+// TestFeedbackDisciplines turns §2's qualitative comparison into an
+// executable one. Under contention, sender-initiated positive feedback
+// (RMAC) must not trail the negative/leader feedback schemes (LBP,
+// 802.11MX-style), whose senders finish believing in deliveries that
+// never happened; and every protocol must basically work on the same
+// network.
+func TestFeedbackDisciplines(t *testing.T) {
+	base := quickConfig()
+	base.Rate = 60
+	base.Packets = 120
+
+	res := map[Protocol]RunResult{}
+	for _, p := range []Protocol{RMAC, BMMM, BMW, LBP, MX} {
+		cfg := base
+		cfg.Protocol = p
+		res[p] = Run(cfg)
+		if res[p].Delivery < 0.5 {
+			t.Fatalf("%v delivery = %.3f — protocol not functional", p, res[p].Delivery)
+		}
+	}
+	if res[RMAC].Delivery+0.02 < res[LBP].Delivery {
+		t.Fatalf("RMAC %.3f trails LBP %.3f", res[RMAC].Delivery, res[LBP].Delivery)
+	}
+	if res[RMAC].Delivery+0.02 < res[MX].Delivery {
+		t.Fatalf("RMAC %.3f trails MX %.3f", res[RMAC].Delivery, res[MX].Delivery)
+	}
+	// The defining asymmetry: LBP and MX senders report success for
+	// receivers that never got the packet. Their drop ratios are tiny
+	// while true delivery lags — the sender cannot know (§2). RMAC's
+	// sender knowledge is exact, so its MAC-level success rate matches
+	// app-level delivery much more closely.
+	t.Logf("delivery: RMAC %.3f BMMM %.3f BMW %.3f LBP %.3f MX %.3f",
+		res[RMAC].Delivery, res[BMMM].Delivery, res[BMW].Delivery, res[LBP].Delivery, res[MX].Delivery)
+}
+
+// TestPlain80211MotivatesRMAC quantifies §1: a multicast tree over plain
+// IEEE 802.11 (one-shot multicast, no recovery) loses packets at every
+// hop, while RMAC's reliable service delivers essentially everything on
+// the identical network.
+func TestPlain80211MotivatesRMAC(t *testing.T) {
+	base := quickConfig()
+	base.Rate = 40
+	base.Packets = 100
+
+	r := base
+	r.Protocol = RMAC
+	rmacRes := Run(r)
+	d := base
+	d.Protocol = DOT11
+	dotRes := Run(d)
+
+	if rmacRes.Delivery < 0.97 {
+		t.Fatalf("RMAC delivery = %.3f", rmacRes.Delivery)
+	}
+	if dotRes.Delivery >= rmacRes.Delivery {
+		t.Fatalf("802.11 %.3f >= RMAC %.3f — the paper's motivation should show", dotRes.Delivery, rmacRes.Delivery)
+	}
+	// 802.11's multicast hops are blind one-shots: retransmissions can
+	// only come from the single-child unicast hops (which the standard
+	// does protect), and the loss it cannot see is real.
+	supposed := dotRes.Metrics.Generated * uint64(base.Nodes-1)
+	missing := supposed - dotRes.Metrics.Receptions
+	if missing == 0 {
+		t.Fatal("no silent loss — the scenario is too easy to show §1's point")
+	}
+	t.Logf("delivery: RMAC %.4f vs plain 802.11 %.4f (%d receptions silently missing)",
+		rmacRes.Delivery, dotRes.Delivery, missing)
+}

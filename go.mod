@@ -1,0 +1,3 @@
+module rmac
+
+go 1.22

@@ -1,0 +1,188 @@
+package analytic
+
+import (
+	"strings"
+	"testing"
+
+	"rmac/internal/frame"
+	"rmac/internal/geom"
+	"rmac/internal/mac"
+	"rmac/internal/mac/bmmm"
+	"rmac/internal/mac/bmw"
+	"rmac/internal/mac/lbp"
+	"rmac/internal/mac/mx"
+	"rmac/internal/mac/rmac"
+	"rmac/internal/mobility"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+// completionUpper records the completion time of the first send.
+type completionUpper struct {
+	eng  *sim.Engine
+	done sim.Time
+	ok   bool
+}
+
+func (u *completionUpper) OnDeliver([]byte, mac.RxInfo) {}
+func (u *completionUpper) OnSendComplete(res mac.TxResult) {
+	u.done = u.eng.Now()
+	u.ok = !res.Dropped
+}
+
+// measure runs one clean exchange (sender + n receivers in a tight disc,
+// no contention) and returns the time from Send to OnSendComplete.
+func measure(t *testing.T, build func(r *phy.Radio, cfg phy.Config, eng *sim.Engine, limits mac.Limits) mac.MAC, n, payload int) sim.Time {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	cfg := phy.DefaultConfig()
+	medium := phy.NewMedium(eng, cfg)
+	limits := mac.DefaultLimits()
+	limits.MaxReceivers = frame.MaxReceivers // no §3.4 splitting in the model
+	var macs []mac.MAC
+	var dests []frame.Addr
+	for i := 0; i <= n; i++ {
+		// Sender at centre, receivers on a 20 m ring.
+		p := geom.Point{X: 0, Y: 0}
+		if i > 0 {
+			p = geom.Point{X: 20, Y: float64(i)} // all well within range
+		}
+		r := medium.AddRadio(i, mobility.Stationary{P: p})
+		m := build(r, cfg, eng, limits)
+		macs = append(macs, m)
+		if i > 0 {
+			dests = append(dests, frame.AddrFromID(i))
+			m.SetUpper(&completionUpper{eng: eng})
+		}
+	}
+	u := &completionUpper{eng: eng}
+	macs[0].SetUpper(u)
+	macs[0].Send(&mac.SendRequest{Service: mac.Reliable, Dests: dests, Payload: make([]byte, payload)})
+	eng.Run(10 * sim.Second)
+	if !u.ok || u.done == 0 {
+		t.Fatalf("exchange did not complete cleanly (done=%v ok=%v)", u.done, u.ok)
+	}
+	return u.done
+}
+
+// difs is the initial contention of a fresh DCF node (empty backoff): a
+// single DIFS before the first frame. The models exclude contention, so
+// DCF-based measurements subtract it.
+const difs = phy.DIFS
+
+func within(t *testing.T, name string, measured, model, tol sim.Time) {
+	t.Helper()
+	diff := measured - model
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > tol {
+		t.Fatalf("%s: measured %v vs model %v (|Δ| %v > tol %v)", name, measured, model, diff, tol)
+	}
+}
+
+func TestRMACModelMatchesSimulation(t *testing.T) {
+	cfg := phy.DefaultConfig()
+	for _, n := range []int{1, 3, 10, 20} {
+		measured := measure(t, func(r *phy.Radio, c phy.Config, e *sim.Engine, l mac.Limits) mac.MAC {
+			return rmac.New(r, c, e, l)
+		}, n, 500)
+		model := RMAC(cfg, n, 500).Total()
+		// RMAC's timers are exact; allow only the guard for the sender's
+		// immediate-start path.
+		within(t, "RMAC", measured, model, 2*sim.Microsecond)
+	}
+}
+
+func TestBMMMModelMatchesSimulation(t *testing.T) {
+	cfg := phy.DefaultConfig()
+	for _, n := range []int{1, 3, 8} {
+		measured := measure(t, func(r *phy.Radio, c phy.Config, e *sim.Engine, l mac.Limits) mac.MAC {
+			return bmmm.New(r, c, e, l)
+		}, n, 500)
+		model := BMMM(cfg, n, 500).Total()
+		// Propagation (≤0.3 µs per hop) accumulates over 4n+2 frame
+		// boundaries.
+		within(t, "BMMM", measured-difs, model, sim.Time(n+2)*sim.Microsecond)
+	}
+}
+
+func TestLBPModelMatchesSimulation(t *testing.T) {
+	cfg := phy.DefaultConfig()
+	for _, n := range []int{1, 5, 15} {
+		measured := measure(t, func(r *phy.Radio, c phy.Config, e *sim.Engine, l mac.Limits) mac.MAC {
+			return lbp.New(r, c, e, l)
+		}, n, 500)
+		model := LBP(cfg, n, 500).Total()
+		within(t, "LBP", measured-difs, model, 8*sim.Microsecond)
+		// And it is constant in n by construction.
+		if model != LBP(cfg, 1, 500).Total() {
+			t.Fatal("LBP model must not depend on n")
+		}
+	}
+}
+
+func TestMXModelMatchesSimulation(t *testing.T) {
+	cfg := phy.DefaultConfig()
+	for _, n := range []int{1, 5, 15} {
+		measured := measure(t, func(r *phy.Radio, c phy.Config, e *sim.Engine, l mac.Limits) mac.MAC {
+			return mx.New(r, c, e, l)
+		}, n, 500)
+		model := MX(cfg, n, 500).Total()
+		within(t, "MX", measured-difs, model, 8*sim.Microsecond)
+	}
+}
+
+func TestBMWModelIsLowerBound(t *testing.T) {
+	// BMW inserts a full contention phase per receiver, which the
+	// best-case model excludes: measured must be >= model.
+	cfg := phy.DefaultConfig()
+	for _, n := range []int{2, 4} {
+		measured := measure(t, func(r *phy.Radio, c phy.Config, e *sim.Engine, l mac.Limits) mac.MAC {
+			return bmw.New(r, c, e, l)
+		}, n, 500)
+		model := BMW(cfg, n, 500).Total()
+		if measured < model {
+			t.Fatalf("BMW measured %v below best-case model %v", measured, model)
+		}
+	}
+}
+
+// TestPaper632nArithmetic pins the §2 numbers through the BMMM model.
+func TestPaper632nArithmetic(t *testing.T) {
+	cfg := phy.DefaultConfig()
+	for n := 1; n <= 20; n++ {
+		e := BMMM(cfg, n, 500)
+		if e.Control != sim.Time(n)*632*sim.Microsecond {
+			t.Fatalf("BMMM control(n=%d) = %v, want %d µs", n, e.Control, 632*n)
+		}
+	}
+}
+
+// TestRMACBeatsBMMMForAllN: the analytic overhead ratio comparison the
+// paper's design argues for — RMAC's per-exchange overhead stays far
+// below BMMM's for every receiver count.
+func TestRMACBeatsBMMMForAllN(t *testing.T) {
+	cfg := phy.DefaultConfig()
+	for n := 1; n <= 20; n++ {
+		r := RMAC(cfg, n, 500).OverheadRatio()
+		b := BMMM(cfg, n, 500).OverheadRatio()
+		if r >= b {
+			t.Fatalf("n=%d: RMAC overhead %.3f >= BMMM %.3f", n, r, b)
+		}
+		if n >= 2 && r > 0.5 {
+			t.Fatalf("n=%d: RMAC analytic overhead %.3f unexpectedly high", n, r)
+		}
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var sb strings.Builder
+	WriteTable(&sb, phy.DefaultConfig(), 500, []int{1, 5, 20})
+	out := sb.String()
+	for _, want := range []string{"RMAC", "BMMM", "LBP", "MX", "500-byte"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

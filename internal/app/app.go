@@ -1,0 +1,207 @@
+// Package app implements the paper's evaluation workload (§4.1.1): a
+// multicast application that forwards packets from a single source (node
+// 0) along the BLESS tree to all nodes, using the MAC's Reliable Send at
+// every hop, and collects the end-to-end metrics behind Figures 7–9
+// (packet delivery ratio, drop ratio context, end-to-end delay).
+package app
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rmac/internal/frame"
+	"rmac/internal/mac"
+	"rmac/internal/routing"
+	"rmac/internal/sim"
+)
+
+// DataMagic is the first payload byte of an application data packet.
+const DataMagic = byte('D')
+
+// HeaderSize is the application header length: magic, source ID,
+// sequence number, generation timestamp.
+const HeaderSize = 1 + 4 + 4 + 8
+
+// MarshalPacket builds an application payload of exactly size bytes
+// (HeaderSize minimum) carrying (src, seq, generated-at).
+func MarshalPacket(src int, seq uint32, gen sim.Time, size int) []byte {
+	if size < HeaderSize {
+		size = HeaderSize
+	}
+	out := make([]byte, size)
+	out[0] = DataMagic
+	binary.BigEndian.PutUint32(out[1:], uint32(src))
+	binary.BigEndian.PutUint32(out[5:], seq)
+	binary.BigEndian.PutUint64(out[9:], uint64(gen))
+	return out
+}
+
+// ParsePacket decodes an application payload header.
+func ParsePacket(payload []byte) (src int, seq uint32, gen sim.Time, ok bool) {
+	if len(payload) < HeaderSize || payload[0] != DataMagic {
+		return 0, 0, 0, false
+	}
+	src = int(binary.BigEndian.Uint32(payload[1:]))
+	seq = binary.BigEndian.Uint32(payload[5:])
+	gen = sim.Time(binary.BigEndian.Uint64(payload[9:]))
+	return src, seq, gen, true
+}
+
+// Metrics aggregates network-wide application-level results for one run.
+type Metrics struct {
+	// Nodes is the network size (delivery denominator uses Nodes-1).
+	Nodes int
+	// Generated counts packets the source produced.
+	Generated uint64
+	// Receptions counts unique (node, src, seq) deliveries.
+	Receptions uint64
+	// Duplicates counts suppressed duplicate deliveries.
+	Duplicates uint64
+	// Delay accounting over all unique receptions.
+	DelaySum   sim.Time
+	DelayMax   sim.Time
+	DelayCount uint64
+}
+
+// DeliveryRatio is R_deliv: packets received by all nodes over packets
+// supposed to be received by all nodes (§4.2.1).
+func (m *Metrics) DeliveryRatio() float64 {
+	supposed := m.Generated * uint64(m.Nodes-1)
+	if supposed == 0 {
+		return 0
+	}
+	return float64(m.Receptions) / float64(supposed)
+}
+
+// AvgDelay is the average end-to-end delay in seconds (§4.2.3).
+func (m *Metrics) AvgDelay() float64 {
+	if m.DelayCount == 0 {
+		return 0
+	}
+	return (sim.Time(uint64(m.DelaySum) / m.DelayCount)).Seconds()
+}
+
+// Node is the per-node application stack: it dispatches MAC deliveries to
+// the routing protocol or the forwarder, deduplicates packets, records
+// receptions and forwards down the tree.
+type Node struct {
+	eng     *sim.Engine
+	mac     mac.MAC
+	rt      *routing.Protocol
+	id      int
+	metrics *Metrics
+
+	seen map[uint64]struct{}
+
+	// Forwarded counts reliable sends this node initiated.
+	Forwarded uint64
+	// SendRejected counts forwards rejected by a full MAC queue.
+	SendRejected uint64
+}
+
+// NewNode wires the application for one node and installs itself as the
+// MAC's upper layer.
+func NewNode(eng *sim.Engine, m mac.MAC, rt *routing.Protocol, id int, metrics *Metrics) *Node {
+	n := &Node{eng: eng, mac: m, rt: rt, id: id, metrics: metrics, seen: make(map[uint64]struct{})}
+	m.SetUpper(n)
+	return n
+}
+
+func key(src int, seq uint32) uint64 { return uint64(uint32(src))<<32 | uint64(seq) }
+
+// OnDeliver implements mac.UpperLayer: beacons go to routing, data to the
+// forwarder.
+func (n *Node) OnDeliver(payload []byte, info mac.RxInfo) {
+	if len(payload) == 0 {
+		return
+	}
+	switch payload[0] {
+	case routing.BeaconMagic:
+		n.rt.HandleBeacon(payload)
+	case DataMagic:
+		n.onData(payload)
+	}
+}
+
+// OnSendComplete implements mac.UpperLayer. Per-hop outcomes are already
+// accounted in the MAC stats; nothing to do at the application.
+func (n *Node) OnSendComplete(mac.TxResult) {}
+
+func (n *Node) onData(payload []byte) {
+	src, seq, gen, ok := ParsePacket(payload)
+	if !ok {
+		return
+	}
+	k := key(src, seq)
+	if _, dup := n.seen[k]; dup {
+		n.metrics.Duplicates++
+		return
+	}
+	n.seen[k] = struct{}{}
+	d := n.eng.Now() - gen
+	n.metrics.Receptions++
+	n.metrics.DelaySum += d
+	n.metrics.DelayCount++
+	if d > n.metrics.DelayMax {
+		n.metrics.DelayMax = d
+	}
+	n.forward(payload)
+}
+
+// forward relays a packet to this node's current children over Reliable
+// Send (§4.1.1: "packets are transmitted from the parent node to the
+// child nodes using the reliable multicast services").
+func (n *Node) forward(payload []byte) {
+	children := n.rt.Children()
+	if len(children) == 0 {
+		return
+	}
+	dests := make([]frame.Addr, len(children))
+	for i, c := range children {
+		dests[i] = frame.AddrFromID(c)
+	}
+	n.Forwarded++
+	if !n.mac.Send(&mac.SendRequest{Service: mac.Reliable, Dests: dests, Payload: payload}) {
+		n.SendRejected++
+	}
+}
+
+// Source drives packet generation at the root node.
+type Source struct {
+	node       *Node
+	rate       float64 // packets per second
+	count      int
+	packetSize int
+	sent       int
+}
+
+// NewSource attaches a generator to the root node's application.
+func NewSource(node *Node, rate float64, count, packetSize int) *Source {
+	if rate <= 0 || count < 0 {
+		panic(fmt.Sprintf("app: invalid source rate %v / count %d", rate, count))
+	}
+	return &Source{node: node, rate: rate, count: count, packetSize: packetSize}
+}
+
+// Start begins generation at startAt; packets are spaced 1/rate apart.
+func (s *Source) Start(startAt sim.Time) {
+	s.node.eng.Schedule(startAt, s.generate)
+}
+
+func (s *Source) generate() {
+	if s.sent >= s.count {
+		return
+	}
+	s.sent++
+	n := s.node
+	seq := uint32(s.sent)
+	payload := MarshalPacket(n.id, seq, n.eng.Now(), s.packetSize)
+	n.metrics.Generated++
+	n.seen[key(n.id, seq)] = struct{}{} // the source never re-forwards its own packet
+	n.forward(payload)
+	interval := sim.Time(float64(sim.Second) / s.rate)
+	n.eng.After(interval, s.generate)
+}
+
+// Sent reports how many packets the source has generated so far.
+func (s *Source) Sent() int { return s.sent }

@@ -1,0 +1,86 @@
+// Package cli holds the flag-value parsers shared by the command-line
+// tools (rmacsim, rmacfigs): protocol, scenario and rate lists.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rmac/internal/experiment"
+)
+
+// ParseProtocol maps a flag value to a Protocol.
+func ParseProtocol(s string) (experiment.Protocol, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "rmac":
+		return experiment.RMAC, nil
+	case "bmmm":
+		return experiment.BMMM, nil
+	case "bmw":
+		return experiment.BMW, nil
+	case "lbp":
+		return experiment.LBP, nil
+	case "mx", "802.11mx":
+		return experiment.MX, nil
+	case "dot11", "802.11", "80211":
+		return experiment.DOT11, nil
+	}
+	return 0, fmt.Errorf("unknown protocol %q (want rmac, bmmm, bmw, lbp, mx, dot11)", s)
+}
+
+// ParseProtocols parses a comma-separated protocol list.
+func ParseProtocols(spec string) ([]experiment.Protocol, error) {
+	var out []experiment.Protocol
+	for _, s := range strings.Split(spec, ",") {
+		p, err := ParseProtocol(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ParseScenario maps a flag value to a Scenario.
+func ParseScenario(s string) (experiment.Scenario, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "stationary", "static":
+		return experiment.Stationary, nil
+	case "speed1":
+		return experiment.Speed1, nil
+	case "speed2":
+		return experiment.Speed2, nil
+	}
+	return 0, fmt.Errorf("unknown scenario %q (want stationary, speed1, speed2)", s)
+}
+
+// ParseScenarios parses a comma-separated scenario list; "all" selects
+// the paper's three.
+func ParseScenarios(spec string) ([]experiment.Scenario, error) {
+	if strings.TrimSpace(spec) == "all" {
+		return append([]experiment.Scenario(nil), experiment.Scenarios...), nil
+	}
+	var out []experiment.Scenario
+	for _, s := range strings.Split(spec, ",") {
+		sc, err := ParseScenario(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// ParseRates parses a comma-separated list of positive packet rates.
+func ParseRates(spec string) ([]float64, error) {
+	var out []float64
+	for _, s := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad rate %q (want a positive number)", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

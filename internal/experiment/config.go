@@ -1,0 +1,184 @@
+// Package experiment assembles full simulations of the paper's evaluation
+// setup (§4.1): 75 nodes on a 500 m × 300 m plain, 75 m radio range,
+// 2 Mb/s, a single-source multicast tree maintained by simplified BLESS,
+// and a source at node 0 transmitting 500-byte packets at 5–120 packets/s
+// in three mobility scenarios — then measures every §4.2/§4.3 metric.
+package experiment
+
+import (
+	"fmt"
+
+	"rmac/internal/geom"
+	"rmac/internal/mac"
+	"rmac/internal/mac/rmac"
+	"rmac/internal/phy"
+	"rmac/internal/routing"
+	"rmac/internal/sim"
+)
+
+// Protocol selects the MAC under test.
+type Protocol int
+
+const (
+	// RMAC is the paper's contribution (busy-tone reliable multicast).
+	RMAC Protocol = iota
+	// BMMM is the compared baseline (§2, Sun et al.).
+	BMMM
+	// BMW is the round-robin reliable broadcast baseline (§2, Tang &
+	// Gerla); not in the paper's figures but implemented for the same
+	// harness.
+	BMW
+	// LBP is the Leader Based Protocol (§2, Kuri & Kasera): one leader
+	// acknowledges for the group, NAKs garble its ACK.
+	LBP
+	// MX is the simplified 802.11MX (§2, Gupta et al.):
+	// receiver-initiated busy-tone NAK feedback.
+	MX
+	// DOT11 is plain IEEE 802.11 DCF (§1): reliable unicast only;
+	// multicast/broadcast transmitted once with no recovery.
+	DOT11
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case RMAC:
+		return "RMAC"
+	case BMMM:
+		return "BMMM"
+	case BMW:
+		return "BMW"
+	case LBP:
+		return "LBP"
+	case MX:
+		return "MX"
+	case DOT11:
+		return "802.11"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// Scenario is one of the §4.1.2 mobility settings.
+type Scenario int
+
+const (
+	// Stationary: no node is moving.
+	Stationary Scenario = iota
+	// Speed1: random waypoint, 0–4 m/s, 10 s pause.
+	Speed1
+	// Speed2: random waypoint, 0–8 m/s, 5 s pause.
+	Speed2
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case Stationary:
+		return "stationary"
+	case Speed1:
+		return "speed1"
+	case Speed2:
+		return "speed2"
+	}
+	return fmt.Sprintf("Scenario(%d)", int(s))
+}
+
+// MaxSpeed returns the scenario's MAX-SPEED in m/s (0 when stationary).
+func (s Scenario) MaxSpeed() float64 {
+	switch s {
+	case Speed1:
+		return 4
+	case Speed2:
+		return 8
+	}
+	return 0
+}
+
+// Pause returns the scenario's INTER-PAUSE.
+func (s Scenario) Pause() sim.Time {
+	switch s {
+	case Speed1:
+		return 10 * sim.Second
+	case Speed2:
+		return 5 * sim.Second
+	}
+	return 0
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Protocol Protocol
+	Scenario Scenario
+
+	// Nodes and Field define the deployment (75 on 500×300 m).
+	Nodes int
+	Field geom.Rect
+	// Phy carries radio parameters (75 m range, 2 Mb/s).
+	Phy phy.Config
+	// Limits carries MAC retry/queue policy.
+	Limits mac.Limits
+	// RMACOptions carries RMAC ablation switches (ignored by the
+	// baselines).
+	RMACOptions rmac.Options
+	// Routing carries BLESS beacon timing.
+	Routing routing.Config
+
+	// Rate is the source rate in packets/second; Packets the total count;
+	// PacketSize the payload length in bytes.
+	Rate       float64
+	Packets    int
+	PacketSize int
+
+	// Warmup lets the tree form before traffic; Drain lets queues empty
+	// after the last generation.
+	Warmup sim.Time
+	Drain  sim.Time
+
+	// Seed selects the node placement, mobility and contention RNG; runs
+	// with equal seeds are bit-identical.
+	Seed int64
+
+	// TraceCap, when positive, records the last TraceCap PHY events
+	// (frames, tones) into RunResult.Trace.
+	TraceCap int
+}
+
+// DefaultConfig returns the paper's §4.1 parameters with a scaled-down
+// packet count (the full 10 000 is a flag away).
+func DefaultConfig() Config {
+	return Config{
+		Protocol:   RMAC,
+		Scenario:   Stationary,
+		Nodes:      75,
+		Field:      geom.Rect{W: 500, H: 300},
+		Phy:        phy.DefaultConfig(),
+		Limits:     mac.DefaultLimits(),
+		Routing:    routing.DefaultConfig(),
+		Rate:       20,
+		Packets:    300,
+		PacketSize: 500,
+		Warmup:     10 * sim.Second,
+		Drain:      10 * sim.Second,
+		Seed:       1,
+	}
+}
+
+// PaperRates are the eight source rates of §4.1.2, in packets/second.
+var PaperRates = []float64{5, 10, 20, 40, 60, 80, 100, 120}
+
+// Scenarios lists all three mobility scenarios.
+var Scenarios = []Scenario{Stationary, Speed1, Speed2}
+
+// validate panics on configurations that cannot be simulated.
+func (c Config) validate() {
+	if c.Nodes < 2 {
+		panic("experiment: need at least 2 nodes")
+	}
+	if c.Rate <= 0 || c.Packets < 0 || c.PacketSize < 0 {
+		panic("experiment: invalid traffic parameters")
+	}
+}
+
+// Horizon returns the simulated end time of the run.
+func (c Config) Horizon() sim.Time {
+	genSpan := sim.Time(float64(c.Packets) / c.Rate * float64(sim.Second))
+	return c.Warmup + genSpan + c.Drain
+}

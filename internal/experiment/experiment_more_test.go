@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rmac/internal/geom"
+	"rmac/internal/sim"
+)
+
+func TestRunLBPAndMXThroughHarness(t *testing.T) {
+	for _, p := range []Protocol{LBP, MX} {
+		cfg := smallConfig()
+		cfg.Protocol = p
+		cfg.Packets = 30
+		res := Run(cfg)
+		if res.Delivery < 0.7 {
+			t.Fatalf("%v delivery = %.3f", p, res.Delivery)
+		}
+		if res.MRTSLens.N() != 0 {
+			t.Fatalf("%v recorded MRTS lengths", p)
+		}
+	}
+}
+
+// TestBERDegradesDelivery injects channel noise: with BER=1e-4 a 522-byte
+// frame fails ~34% of the time, so retransmissions must rise sharply while
+// RMAC still recovers most packets.
+func TestBERDegradesDelivery(t *testing.T) {
+	clean := smallConfig()
+	clean.Packets = 40
+	noisy := clean
+	noisy.Phy.BER = 1e-4
+
+	cr := Run(clean)
+	nr := Run(noisy)
+	if nr.AvgRetxRatio <= cr.AvgRetxRatio {
+		t.Fatalf("BER did not raise retransmissions: %.3f vs %.3f", nr.AvgRetxRatio, cr.AvgRetxRatio)
+	}
+	if nr.Delivery < 0.6 {
+		t.Fatalf("RMAC under BER 1e-4 delivered only %.3f", nr.Delivery)
+	}
+	if nr.Delivery > cr.Delivery {
+		t.Fatal("noise improved delivery?!")
+	}
+}
+
+func TestTraceCapture(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Packets = 5
+	cfg.TraceCap = 256
+	res := Run(cfg)
+	if res.Trace == nil {
+		t.Fatal("no trace recorded")
+	}
+	if res.Trace.Total() == 0 || res.Trace.Len() == 0 {
+		t.Fatal("trace empty")
+	}
+	out := res.Trace.Render()
+	if !strings.Contains(out, "MRTS") && !strings.Contains(out, "UDATA") {
+		t.Fatalf("trace lacks frames:\n%.400s", out)
+	}
+	// Untraced runs stay nil.
+	cfg.TraceCap = 0
+	if Run(cfg).Trace != nil {
+		t.Fatal("trace present without TraceCap")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	pts := []Point{
+		{Protocol: RMAC, Scenario: Stationary, Rate: 20, Delivery: 0.99},
+		{Protocol: BMMM, Scenario: Speed1, Rate: 40, Delivery: 0.5},
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, pts); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("rows = %d", len(decoded))
+	}
+	if decoded[0]["protocol"] != "RMAC" || decoded[0]["delivery"] != 0.99 {
+		t.Fatalf("row 0 = %v", decoded[0])
+	}
+	if decoded[1]["scenario"] != "speed1" {
+		t.Fatalf("row 1 = %v", decoded[1])
+	}
+}
+
+// TestLargeNetworkWithGrid runs a 150-node simulation (grid-indexed PHY)
+// end to end.
+func TestLargeNetworkWithGrid(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 150
+	cfg.Field = geom.Rect{W: 700, H: 420}
+	cfg.Rate = 10
+	cfg.Packets = 20
+	cfg.Warmup = 8 * sim.Second
+	res := Run(cfg)
+	if res.Delivery < 0.9 {
+		t.Fatalf("150-node delivery = %.3f", res.Delivery)
+	}
+	if res.Tree.Reachable != 150 {
+		t.Fatalf("tree reaches %d/150", res.Tree.Reachable)
+	}
+}
+
+// TestPropertyHarnessInvariants: random small configurations always
+// produce sane measurements.
+func TestPropertyHarnessInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		cfg := DefaultConfig()
+		cfg.Nodes = 10 + int(seed)*3
+		cfg.Field = geom.Rect{W: 200 + float64(seed)*30, H: 150}
+		cfg.Protocol = Protocol(seed % 5)
+		cfg.Scenario = Scenario(seed % 3)
+		cfg.Rate = float64(5 + seed*7)
+		cfg.Packets = 25
+		cfg.Seed = seed
+		res := Run(cfg)
+		if res.Delivery < 0 || res.Delivery > 1 {
+			t.Fatalf("seed %d: delivery %v out of range", seed, res.Delivery)
+		}
+		supposed := res.Metrics.Generated * uint64(cfg.Nodes-1)
+		if res.Metrics.Receptions > supposed {
+			t.Fatalf("seed %d: receptions %d exceed supposed %d", seed, res.Metrics.Receptions, supposed)
+		}
+		if res.Metrics.Generated != uint64(cfg.Packets) {
+			t.Fatalf("seed %d: generated %d", seed, res.Metrics.Generated)
+		}
+		if res.AvgDropRatio < 0 || res.AvgDropRatio > 1 {
+			t.Fatalf("seed %d: drop ratio %v", seed, res.AvgDropRatio)
+		}
+		if res.AvgDelay < 0 {
+			t.Fatalf("seed %d: negative delay", seed)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package experiment
+
+import "fmt"
+
+// Figure identifies one reproducible result of the paper's evaluation.
+type Figure struct {
+	// ID is the paper reference ("fig7" … "fig13", "tree", "overhead").
+	ID string
+	// Title matches the paper's caption.
+	Title string
+	// Protocols compared (Figures 12–13 are RMAC-only).
+	Protocols []Protocol
+	// Value extracts the plotted y value from an aggregated point; for
+	// summary figures (12, 13) it returns the mean and Summary supplies
+	// the 99 %ile and max.
+	Value func(Point) float64
+	// Summary is non-nil for avg/99 %ile/max figures.
+	Summary func(Point) (avg, p99, max float64)
+	// Unit labels the y axis.
+	Unit string
+}
+
+// Figures returns the specification of every evaluation figure, in paper
+// order.
+func Figures() []Figure {
+	both := []Protocol{RMAC, BMMM}
+	only := []Protocol{RMAC}
+	return []Figure{
+		{
+			ID: "fig7", Title: "Packet Delivery Ratio in RMAC and BMMM",
+			Protocols: both, Unit: "ratio",
+			Value: func(p Point) float64 { return p.Delivery },
+		},
+		{
+			ID: "fig8", Title: "Average Packet Drop Ratio in RMAC and BMMM",
+			Protocols: both, Unit: "ratio",
+			Value: func(p Point) float64 { return p.AvgDropRatio },
+		},
+		{
+			ID: "fig9", Title: "Average End-to-End Delay (in seconds) in RMAC and BMMM",
+			Protocols: both, Unit: "seconds",
+			Value: func(p Point) float64 { return p.AvgDelay },
+		},
+		{
+			ID: "fig10", Title: "Average Packet Retransmission Ratio in RMAC and BMMM",
+			Protocols: both, Unit: "ratio",
+			Value: func(p Point) float64 { return p.AvgRetxRatio },
+		},
+		{
+			ID: "fig11", Title: "Average Transmission Overhead Ratio in RMAC and BMMM",
+			Protocols: both, Unit: "ratio",
+			Value: func(p Point) float64 { return p.AvgOverheadRatio },
+		},
+		{
+			ID: "fig12", Title: "Average, 99 percentile, and Maximum Lengths (in bytes) of MRTSs in RMAC",
+			Protocols: only, Unit: "bytes",
+			Value: func(p Point) float64 { return p.MRTSLens.Mean },
+			Summary: func(p Point) (float64, float64, float64) {
+				return p.MRTSLens.Mean, p.MRTSLens.P99, p.MRTSLens.Max
+			},
+		},
+		{
+			ID: "fig13", Title: "Average, 99 percentile, and Maximum Value of MRTS Abortion Ratio in RMAC",
+			Protocols: only, Unit: "ratio",
+			Value: func(p Point) float64 { return p.AbortRatios.Mean },
+			Summary: func(p Point) (float64, float64, float64) {
+				return p.AbortRatios.Mean, p.AbortRatios.P99, p.AbortRatios.Max
+			},
+		},
+	}
+}
+
+// FigureByID looks a figure up by its paper reference.
+func FigureByID(id string) (Figure, error) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("experiment: unknown figure %q", id)
+}

@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteFigureASCII renders one figure panel as a terminal line plot —
+// rate on the x axis, the figure's metric on the y axis, one mark per
+// protocol ('r' for the first protocol, 'b' for the second, '#' where
+// they coincide). It is the quick visual check that the regenerated
+// series has the paper's shape without leaving the terminal.
+func WriteFigureASCII(w io.Writer, fig Figure, points []Point, sc Scenario) {
+	const width, height = 64, 16
+	series := make([][]Point, len(fig.Protocols))
+	for i, p := range fig.Protocols {
+		series[i] = pointsFor(points, sc, p)
+	}
+	if len(series[0]) == 0 {
+		fmt.Fprintf(w, "%s (%v): no data\n", fig.ID, sc)
+		return
+	}
+
+	// Bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := math.Inf(-1)
+	for _, s := range series {
+		for _, pt := range s {
+			v := fig.Value(pt)
+			if pt.Rate < minX {
+				minX = pt.Rate
+			}
+			if pt.Rate > maxX {
+				maxX = pt.Rate
+			}
+			if v > maxY {
+				maxY = v
+			}
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'r', 'b', 'w', 'l', 'm'}
+	for si, s := range series {
+		for _, pt := range s {
+			x := int((pt.Rate - minX) / (maxX - minX) * float64(width-1))
+			y := int(fig.Value(pt) / maxY * float64(height-1))
+			row := height - 1 - y
+			if row < 0 {
+				row = 0
+			}
+			cur := grid[row][x]
+			switch {
+			case cur == ' ':
+				grid[row][x] = marks[si%len(marks)]
+			case cur != marks[si%len(marks)]:
+				grid[row][x] = '#'
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "%s — %s (%v)\n", strings.ToUpper(fig.ID), fig.Title, sc)
+	for i, row := range grid {
+		label := "          "
+		if i == 0 {
+			label = fmt.Sprintf("%9.3g ", maxY)
+		}
+		if i == height-1 {
+			label = fmt.Sprintf("%9.3g ", 0.0)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s%-8.3g%s%8.3g  (%s)\n", strings.Repeat(" ", 11), minX,
+		strings.Repeat(" ", width-18), maxX, "pkt/s")
+	legend := make([]string, 0, len(fig.Protocols))
+	for i, p := range fig.Protocols {
+		legend = append(legend, fmt.Sprintf("%c=%v", marks[i%len(marks)], p))
+	}
+	fmt.Fprintf(w, "%s%s, #=overlap, unit=%s\n\n", strings.Repeat(" ", 11), strings.Join(legend, ", "), fig.Unit)
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func plotPoints() []Point {
+	var pts []Point
+	for i, r := range []float64{10, 40, 80, 120} {
+		pts = append(pts, Point{Protocol: RMAC, Scenario: Stationary, Rate: r, Delivery: 1 - float64(i)*0.02})
+		pts = append(pts, Point{Protocol: BMMM, Scenario: Stationary, Rate: r, Delivery: 0.95 - float64(i)*0.08})
+	}
+	return pts
+}
+
+func TestWriteFigureASCII(t *testing.T) {
+	fig, _ := FigureByID("fig7")
+	var sb strings.Builder
+	WriteFigureASCII(&sb, fig, plotPoints(), Stationary)
+	out := sb.String()
+	for _, want := range []string{"FIG7", "r=RMAC", "b=BMMM", "pkt/s", "ratio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// Both series produce marks.
+	if !strings.Contains(out, "r") || !strings.Contains(out, "b") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+	// Every grid row is framed.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "|") && len(line) > 80 {
+			t.Fatalf("overlong plot row: %q", line)
+		}
+	}
+}
+
+func TestWriteFigureASCIINoData(t *testing.T) {
+	fig, _ := FigureByID("fig7")
+	var sb strings.Builder
+	WriteFigureASCII(&sb, fig, nil, Speed2)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatalf("expected no-data notice, got %q", sb.String())
+	}
+}
+
+func TestWriteFigureASCIISummaryFigure(t *testing.T) {
+	fig, _ := FigureByID("fig12")
+	pts := []Point{{Protocol: RMAC, Scenario: Stationary, Rate: 10}, {Protocol: RMAC, Scenario: Stationary, Rate: 40}}
+	var sb strings.Builder
+	WriteFigureASCII(&sb, fig, pts, Stationary)
+	if !strings.Contains(sb.String(), "FIG12") {
+		t.Fatal("summary figure did not render")
+	}
+}

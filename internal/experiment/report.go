@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// pointsFor filters sweep points for one figure panel (scenario +
+// protocol), ordered by rate as produced by RunSweep.
+func pointsFor(points []Point, sc Scenario, p Protocol) []Point {
+	var out []Point
+	for _, pt := range points {
+		if pt.Scenario == sc && pt.Protocol == p {
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// WriteFigureTable renders one figure as the paper's three panels
+// ((a) stationary, (b) speed 1, (c) speed 2), one row per source rate.
+func WriteFigureTable(w io.Writer, fig Figure, points []Point, scenarios []Scenario) {
+	fmt.Fprintf(w, "== %s: %s ==\n", strings.ToUpper(fig.ID), fig.Title)
+	for _, sc := range scenarios {
+		fmt.Fprintf(w, "-- %v --\n", sc)
+		if fig.Summary != nil {
+			fmt.Fprintf(w, "%10s  %12s %12s %12s\n", "rate", "average", "99pct", "max")
+			for _, pt := range pointsFor(points, sc, fig.Protocols[0]) {
+				avg, p99, max := fig.Summary(pt)
+				fmt.Fprintf(w, "%10.0f  %12.4f %12.4f %12.4f\n", pt.Rate, avg, p99, max)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%10s", "rate")
+		for _, p := range fig.Protocols {
+			fmt.Fprintf(w, " %12s", p)
+		}
+		fmt.Fprintln(w)
+		rmacPts := pointsFor(points, sc, fig.Protocols[0])
+		for i, pt := range rmacPts {
+			fmt.Fprintf(w, "%10.0f", pt.Rate)
+			for _, p := range fig.Protocols {
+				pp := pointsFor(points, sc, p)
+				if i < len(pp) {
+					fmt.Fprintf(w, " %12.4f", fig.Value(pp[i]))
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// jsonPoint is the stable machine-readable projection of a Point.
+type jsonPoint struct {
+	Protocol string  `json:"protocol"`
+	Scenario string  `json:"scenario"`
+	Rate     float64 `json:"rate"`
+	Runs     int     `json:"runs"`
+
+	Delivery float64 `json:"delivery"`
+	Drop     float64 `json:"drop"`
+	Retx     float64 `json:"retx"`
+	Overhead float64 `json:"overhead"`
+	DelaySec float64 `json:"delay_s"`
+
+	DeliveryStd float64 `json:"delivery_std"`
+	DelayStd    float64 `json:"delay_std"`
+
+	MRTSAvg  float64 `json:"mrts_avg_bytes"`
+	MRTSP99  float64 `json:"mrts_p99_bytes"`
+	MRTSMax  float64 `json:"mrts_max_bytes"`
+	AbortAvg float64 `json:"abort_avg"`
+	AbortP99 float64 `json:"abort_p99"`
+	AbortMax float64 `json:"abort_max"`
+}
+
+// WriteJSON emits sweep points as a JSON array for external tooling.
+func WriteJSON(w io.Writer, points []Point) error {
+	out := make([]jsonPoint, 0, len(points))
+	for _, p := range points {
+		out = append(out, jsonPoint{
+			Protocol:    p.Protocol.String(),
+			Scenario:    p.Scenario.String(),
+			Rate:        p.Rate,
+			Runs:        len(p.Runs),
+			Delivery:    p.Delivery,
+			Drop:        p.AvgDropRatio,
+			Retx:        p.AvgRetxRatio,
+			Overhead:    p.AvgOverheadRatio,
+			DelaySec:    p.AvgDelay,
+			DeliveryStd: p.DeliveryStd,
+			DelayStd:    p.DelayStd,
+			MRTSAvg:     p.MRTSLens.Mean,
+			MRTSP99:     p.MRTSLens.P99,
+			MRTSMax:     p.MRTSLens.Max,
+			AbortAvg:    p.AbortRatios.Mean,
+			AbortP99:    p.AbortRatios.P99,
+			AbortMax:    p.AbortRatios.Max,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteCSV emits every point of a sweep as one CSV with a header, for
+// external plotting.
+func WriteCSV(w io.Writer, points []Point) error {
+	if _, err := fmt.Fprintln(w, "protocol,scenario,rate,delivery,delivery_std,drop,retx,overhead,delay_s,delay_std,mrts_avg,mrts_p99,mrts_max,abort_avg,abort_p99,abort_max,runs"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%v,%v,%g,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.6f,%.2f,%.2f,%.2f,%.6f,%.6f,%.6f,%d\n",
+			p.Protocol, p.Scenario, p.Rate,
+			p.Delivery, p.DeliveryStd, p.AvgDropRatio, p.AvgRetxRatio, p.AvgOverheadRatio, p.AvgDelay, p.DelayStd,
+			p.MRTSLens.Mean, p.MRTSLens.P99, p.MRTSLens.Max,
+			p.AbortRatios.Mean, p.AbortRatios.P99, p.AbortRatios.Max,
+			len(p.Runs)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"math/rand"
+
+	"rmac/internal/app"
+	"rmac/internal/mac"
+	"rmac/internal/mac/bmmm"
+	"rmac/internal/mac/bmw"
+	"rmac/internal/mac/dot11"
+	"rmac/internal/mac/lbp"
+	"rmac/internal/mac/mx"
+	"rmac/internal/mac/rmac"
+	"rmac/internal/mobility"
+	"rmac/internal/phy"
+	"rmac/internal/routing"
+	"rmac/internal/sim"
+	"rmac/internal/stats"
+	"rmac/internal/topo"
+	"rmac/internal/trace"
+)
+
+// PlacementSeedMix decorrelates the placement RNG stream from the
+// engine's contention stream while keeping both functions of Config.Seed.
+const PlacementSeedMix = 0x5deece66d
+
+// RunResult carries everything a run measured: the network-wide
+// application metrics and the per-node MAC aggregates behind each figure.
+type RunResult struct {
+	Config Config
+
+	// App-level (Figures 7 and 9).
+	Metrics  app.Metrics
+	Delivery float64 // R_deliv
+	AvgDelay float64 // seconds
+
+	// Per-node ratios averaged over non-leaf nodes (Figures 8, 10, 11).
+	AvgDropRatio     float64
+	AvgRetxRatio     float64
+	AvgOverheadRatio float64
+	NonLeafCount     int
+
+	// RMAC-only distributions (Figures 12 and 13). Raw samples are kept
+	// so sweeps can pool across seeds.
+	MRTSLens    *stats.Sample // bytes, every MRTS sent by any node
+	AbortRatios *stats.Sample // per non-leaf-node R_abort
+
+	// Tree shape at the end of the run (§4.1.1 context).
+	Tree topo.TreeStats
+
+	// Simulator instrumentation.
+	Events uint64
+	// Trace holds the PHY event timeline when Config.TraceCap > 0.
+	Trace *trace.Trace
+}
+
+// network is one fully-wired simulation.
+type network struct {
+	cfg     Config
+	eng     *sim.Engine
+	medium  *phy.Medium
+	macs    []mac.MAC
+	routers []*routing.Protocol
+	apps    []*app.Node
+	metrics *app.Metrics
+	source  *app.Source
+}
+
+// build assembles the network for cfg.
+func build(cfg Config) *network {
+	cfg.validate()
+	eng := sim.NewEngine(cfg.Seed)
+	medium := phy.NewMedium(eng, cfg.Phy)
+
+	placeRNG := rand.New(rand.NewSource(cfg.Seed ^ PlacementSeedMix))
+	placement, _ := topo.ConnectedRandomPlacement(cfg.Nodes, cfg.Field, cfg.Phy.CommRange, placeRNG, 500)
+
+	if cfg.TraceCap > 0 {
+		medium.Tracer = trace.New(cfg.TraceCap)
+	}
+	n := &network{cfg: cfg, eng: eng, medium: medium, metrics: &app.Metrics{Nodes: cfg.Nodes}}
+	for i := 0; i < cfg.Nodes; i++ {
+		var mob mobility.Model
+		if cfg.Scenario == Stationary {
+			mob = mobility.Stationary{P: placement.Points[i]}
+		} else {
+			nodeRNG := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
+			mob = mobility.NewRandomWaypoint(cfg.Field, 0, cfg.Scenario.MaxSpeed(), cfg.Scenario.Pause(), placement.Points[i], nodeRNG)
+		}
+		radio := medium.AddRadio(i, mob)
+		var m mac.MAC
+		switch cfg.Protocol {
+		case RMAC:
+			m = rmac.NewWithOptions(radio, cfg.Phy, eng, cfg.Limits, cfg.RMACOptions)
+		case BMMM:
+			m = bmmm.New(radio, cfg.Phy, eng, cfg.Limits)
+		case BMW:
+			m = bmw.New(radio, cfg.Phy, eng, cfg.Limits)
+		case LBP:
+			m = lbp.New(radio, cfg.Phy, eng, cfg.Limits)
+		case MX:
+			m = mx.New(radio, cfg.Phy, eng, cfg.Limits)
+		case DOT11:
+			m = dot11.New(radio, cfg.Phy, eng, cfg.Limits)
+		}
+		rt := routing.New(eng, m, i, i == 0, cfg.Routing)
+		a := app.NewNode(eng, m, rt, i, n.metrics)
+		rt.Start()
+		n.macs = append(n.macs, m)
+		n.routers = append(n.routers, rt)
+		n.apps = append(n.apps, a)
+	}
+	n.source = app.NewSource(n.apps[0], cfg.Rate, cfg.Packets, cfg.PacketSize)
+	n.source.Start(cfg.Warmup)
+	return n
+}
+
+// Run executes one simulation and reduces its measurements.
+func Run(cfg Config) RunResult {
+	n := build(cfg)
+	n.eng.Run(cfg.Horizon())
+	return n.collect()
+}
+
+func (n *network) collect() RunResult {
+	res := RunResult{
+		Config:      n.cfg,
+		Metrics:     *n.metrics,
+		Delivery:    n.metrics.DeliveryRatio(),
+		AvgDelay:    n.metrics.AvgDelay(),
+		MRTSLens:    &stats.Sample{},
+		AbortRatios: &stats.Sample{},
+		Events:      n.eng.Processed,
+		Trace:       n.medium.Tracer,
+	}
+	var drop, retx, ovh stats.Sample
+	for _, m := range n.macs {
+		s := m.Stats()
+		if !s.NonLeaf() {
+			continue
+		}
+		res.NonLeafCount++
+		drop.Add(totalDropRatio(s))
+		retx.Add(s.RetxRatio())
+		ovh.Add(s.OverheadRatio())
+		res.AbortRatios.Add(s.AbortRatio())
+		for _, l := range s.MRTSLens {
+			res.MRTSLens.Add(float64(l))
+		}
+	}
+	res.AvgDropRatio = drop.Mean()
+	res.AvgRetxRatio = retx.Mean()
+	res.AvgOverheadRatio = ovh.Mean()
+
+	parent := make([]int, n.cfg.Nodes)
+	for i, rt := range n.routers {
+		parent[i] = rt.Parent()
+	}
+	res.Tree = topo.AnalyzeTree(parent, 0)
+	return res
+}
+
+// totalDropRatio is the paper's R_drop: packets dropped by a node over
+// packets to be transmitted by it. Queue-overflow rejections count as
+// drops alongside retry-limit drops.
+func totalDropRatio(s *mac.Stats) float64 {
+	den := float64(s.ReliableToTransmit + s.QueueDrops)
+	return stats.Ratio(float64(s.Drops+s.QueueDrops), den)
+}

@@ -1,0 +1,398 @@
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind identifies a MAC frame type on the wire (the Frame Type octet of
+// Fig 3, extended with the 802.11 control frames used by the baselines).
+type Kind uint8
+
+const (
+	// KindMRTS is RMAC's variable-length Multicast Request-To-Send (Fig 3).
+	KindMRTS Kind = iota + 1
+	// KindRData is an RMAC reliable data frame (Reliable Send service).
+	KindRData
+	// KindUData is an RMAC unreliable data frame (Unreliable Send service).
+	KindUData
+	// KindRTS is the IEEE 802.11 Request-To-Send (20 bytes).
+	KindRTS
+	// KindCTS is the IEEE 802.11 Clear-To-Send (14 bytes).
+	KindCTS
+	// KindACK is the IEEE 802.11 Acknowledgment (14 bytes).
+	KindACK
+	// KindRAK is BMMM's Request-for-ACK (14 bytes, CTS-sized).
+	KindRAK
+	// KindData is an IEEE 802.11-style data frame used by the baselines
+	// (24-byte MAC header + payload + 4-byte FCS).
+	KindData
+)
+
+var kindNames = map[Kind]string{
+	KindMRTS: "MRTS", KindRData: "RDATA", KindUData: "UDATA",
+	KindRTS: "RTS", KindCTS: "CTS", KindACK: "ACK", KindRAK: "RAK", KindData: "DATA",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Wire-size constants, in bytes, matching §2 and §3.2 of the paper.
+const (
+	FCSLen = 4 // 32-bit cyclic redundancy code
+
+	// RTSLen .. ACKLen are the IEEE 802.11 control frame sizes the paper
+	// uses for its 632n µs overhead arithmetic.
+	RTSLen = 20
+	CTSLen = 14
+	ACKLen = 14
+	RAKLen = 14
+
+	// MRTSFixedLen is the MRTS length excluding receiver addresses:
+	// Frame Type (1) + Transmitter Address (6) + Number of Receivers (1)
+	// + FCS (4).
+	MRTSFixedLen = 1 + 6 + 1 + FCSLen
+
+	// RMACDataOverhead is the header+FCS overhead of an RMAC data frame:
+	// Type (1) + Flags (1) + Transmitter (6) + Receiver (6) + Seq (4)
+	// + FCS (4) = 22 bytes. Chosen so that the shortest MRTS plus the
+	// shortest data frame costs 352 µs of airtime, the figure §3.4 uses
+	// to derive the 20-receiver limit.
+	RMACDataOverhead = 1 + 1 + 6 + 6 + 4 + FCSLen
+
+	// Data80211Overhead is the 802.11 data frame overhead used by the
+	// baselines: 24-byte MAC header + 4-byte FCS.
+	Data80211Overhead = 24 + FCSLen
+
+	// MaxReceivers is the hard codec limit on MRTS receiver count (one
+	// count octet). RMAC's protocol-level refinement limit (20) is
+	// enforced separately in the MAC.
+	MaxReceivers = 255
+)
+
+// MRTSLen returns the wire size of an MRTS carrying n receiver addresses.
+func MRTSLen(n int) int { return MRTSFixedLen + 6*n }
+
+// Frame is a MAC frame traversing the simulated channel. Frames are passed
+// by pointer through the simulator for speed; Marshal/Unmarshal implement
+// the actual wire format (used by the codec tests and the trace tools) so
+// the declared WireSize provably corresponds to real bytes.
+type Frame interface {
+	Kind() Kind
+	// WireSize is the frame's size in bytes including FCS; airtime is
+	// derived from it by the PHY.
+	WireSize() int
+	// Src is the transmitting node's address.
+	Src() Addr
+	// Marshal appends the canonical wire encoding (including FCS) to dst.
+	Marshal(dst []byte) []byte
+}
+
+// MRTS is the Multicast Request-To-Send control frame of Fig 3. The order
+// of Receivers stipulates the ABT response order (§3.2).
+type MRTS struct {
+	Transmitter Addr
+	Receivers   []Addr
+}
+
+func (f *MRTS) Kind() Kind    { return KindMRTS }
+func (f *MRTS) WireSize() int { return MRTSLen(len(f.Receivers)) }
+func (f *MRTS) Src() Addr     { return f.Transmitter }
+
+// IndexOf returns the position of a in the receiver sequence, or -1.
+// The first receiver has index 0, as in §3.3.2.
+func (f *MRTS) IndexOf(a Addr) int {
+	for i, r := range f.Receivers {
+		if r == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// RData is an RMAC reliable data frame.
+type RData struct {
+	Transmitter Addr
+	Receiver    Addr // multicast/unicast/broadcast label; delivery is governed by the MRTS
+	Seq         uint32
+	Flags       uint8
+	Payload     []byte
+}
+
+func (f *RData) Kind() Kind    { return KindRData }
+func (f *RData) WireSize() int { return RMACDataOverhead + len(f.Payload) }
+func (f *RData) Src() Addr     { return f.Transmitter }
+
+// UData is an RMAC unreliable data frame; Receiver may be a unicast,
+// multicast, or the broadcast address (§3.3.3).
+type UData struct {
+	Transmitter Addr
+	Receiver    Addr
+	Seq         uint32
+	Flags       uint8
+	Payload     []byte
+}
+
+func (f *UData) Kind() Kind    { return KindUData }
+func (f *UData) WireSize() int { return RMACDataOverhead + len(f.Payload) }
+func (f *UData) Src() Addr     { return f.Transmitter }
+
+// RTS is the 802.11 Request-To-Send. Duration carries the NAV reservation
+// in microseconds.
+type RTS struct {
+	Duration    uint16
+	Receiver    Addr
+	Transmitter Addr
+}
+
+func (f *RTS) Kind() Kind    { return KindRTS }
+func (f *RTS) WireSize() int { return RTSLen }
+func (f *RTS) Src() Addr     { return f.Transmitter }
+
+// CTS is the 802.11 Clear-To-Send. Expect is BMW's extension: the
+// responder's next expected data sequence number from the soliciting
+// sender ("it replies a CTS with the sequence number being expected",
+// Tang & Gerla). BMW encodes it where 802.11 reserves bits; the 14-byte
+// wire size is unchanged and plain-802.11/BMMM users leave it zero.
+type CTS struct {
+	Duration    uint16
+	Receiver    Addr // = transmitter of the soliciting RTS
+	Transmitter Addr // not on the 802.11 wire; carried for simulation bookkeeping, not counted in WireSize
+	Expect      uint16
+}
+
+func (f *CTS) Kind() Kind    { return KindCTS }
+func (f *CTS) WireSize() int { return CTSLen }
+func (f *CTS) Src() Addr     { return f.Transmitter }
+
+// ACK is the 802.11 Acknowledgment.
+type ACK struct {
+	Duration    uint16
+	Receiver    Addr
+	Transmitter Addr // bookkeeping only, as with CTS
+}
+
+func (f *ACK) Kind() Kind    { return KindACK }
+func (f *ACK) WireSize() int { return ACKLen }
+func (f *ACK) Src() Addr     { return f.Transmitter }
+
+// RAK is BMMM's Request-for-ACK, soliciting an ACK from one receiver.
+// Seq identifies the data frame being acknowledged; real BMMM receivers
+// bind a RAK to the preceding data frame by exchange timing, which the
+// simulator makes explicit without changing the 14-byte wire size.
+type RAK struct {
+	Duration    uint16
+	Receiver    Addr
+	Transmitter Addr // bookkeeping only
+	Seq         uint16
+}
+
+func (f *RAK) Kind() Kind    { return KindRAK }
+func (f *RAK) WireSize() int { return RAKLen }
+func (f *RAK) Src() Addr     { return f.Transmitter }
+
+// Data is an 802.11-style data frame used by BMMM/BMW. Receiver may be the
+// broadcast address for unreliable broadcast. Seq occupies the 802.11
+// sequence-control field (16 bits on the wire).
+type Data struct {
+	Duration    uint16
+	Receiver    Addr
+	Transmitter Addr
+	Seq         uint16
+	Payload     []byte
+}
+
+func (f *Data) Kind() Kind    { return KindData }
+func (f *Data) WireSize() int { return Data80211Overhead + len(f.Payload) }
+func (f *Data) Src() Addr     { return f.Transmitter }
+
+// --- Binary codec -----------------------------------------------------------
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// ErrBadFCS is returned by Unmarshal when the frame check sequence fails.
+var ErrBadFCS = errors.New("frame: FCS mismatch")
+
+// ErrTruncated is returned by Unmarshal for short inputs.
+var ErrTruncated = errors.New("frame: truncated")
+
+func appendFCS(dst []byte, start int) []byte {
+	fcs := crc32.Checksum(dst[start:], crcTable)
+	return binary.BigEndian.AppendUint32(dst, fcs)
+}
+
+// Marshal implements Frame.
+func (f *MRTS) Marshal(dst []byte) []byte {
+	if len(f.Receivers) > MaxReceivers {
+		panic("frame: MRTS receiver count exceeds codec limit")
+	}
+	start := len(dst)
+	dst = append(dst, byte(KindMRTS))
+	dst = append(dst, f.Transmitter[:]...)
+	dst = append(dst, byte(len(f.Receivers)))
+	for _, r := range f.Receivers {
+		dst = append(dst, r[:]...)
+	}
+	return appendFCS(dst, start)
+}
+
+func marshalRMACData(dst []byte, kind Kind, tx, rx Addr, seq uint32, flags uint8, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, byte(kind), flags)
+	dst = append(dst, tx[:]...)
+	dst = append(dst, rx[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, seq)
+	dst = append(dst, payload...)
+	return appendFCS(dst, start)
+}
+
+// Marshal implements Frame.
+func (f *RData) Marshal(dst []byte) []byte {
+	return marshalRMACData(dst, KindRData, f.Transmitter, f.Receiver, f.Seq, f.Flags, f.Payload)
+}
+
+// Marshal implements Frame.
+func (f *UData) Marshal(dst []byte) []byte {
+	return marshalRMACData(dst, KindUData, f.Transmitter, f.Receiver, f.Seq, f.Flags, f.Payload)
+}
+
+func marshalCtl(dst []byte, kind Kind, dur uint16, addrs ...Addr) []byte {
+	start := len(dst)
+	dst = append(dst, byte(kind), 0) // frame control (2)
+	dst = binary.BigEndian.AppendUint16(dst, dur)
+	for _, a := range addrs {
+		dst = append(dst, a[:]...)
+	}
+	return appendFCS(dst, start)
+}
+
+// Marshal implements Frame.
+func (f *RTS) Marshal(dst []byte) []byte {
+	return marshalCtl(dst, KindRTS, f.Duration, f.Receiver, f.Transmitter)
+}
+
+// Marshal implements Frame.
+func (f *CTS) Marshal(dst []byte) []byte {
+	return marshalCtl(dst, KindCTS, f.Duration, f.Receiver)
+}
+
+// Marshal implements Frame.
+func (f *ACK) Marshal(dst []byte) []byte {
+	return marshalCtl(dst, KindACK, f.Duration, f.Receiver)
+}
+
+// Marshal implements Frame.
+func (f *RAK) Marshal(dst []byte) []byte {
+	return marshalCtl(dst, KindRAK, f.Duration, f.Receiver)
+}
+
+// Marshal implements Frame.
+func (f *Data) Marshal(dst []byte) []byte {
+	start := len(dst)
+	dst = append(dst, byte(KindData), 0)
+	dst = binary.BigEndian.AppendUint16(dst, f.Duration)
+	dst = append(dst, f.Receiver[:]...)
+	dst = append(dst, f.Transmitter[:]...)
+	var third Addr // 802.11 Address 3 (BSSID); unused in ad hoc DCF here
+	dst = append(dst, third[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, f.Seq) // sequence control
+	dst = append(dst, f.Payload...)
+	return appendFCS(dst, start)
+}
+
+func readAddr(b []byte) (Addr, []byte) {
+	var a Addr
+	copy(a[:], b[:6])
+	return a, b[6:]
+}
+
+// Unmarshal decodes one frame from b, verifying the FCS. The input must
+// contain exactly one frame.
+func Unmarshal(b []byte) (Frame, error) {
+	if len(b) < 1+FCSLen {
+		return nil, ErrTruncated
+	}
+	body, fcsBytes := b[:len(b)-FCSLen], b[len(b)-FCSLen:]
+	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(fcsBytes) {
+		return nil, ErrBadFCS
+	}
+	kind := Kind(body[0])
+	switch kind {
+	case KindMRTS:
+		if len(body) < 8 {
+			return nil, ErrTruncated
+		}
+		f := &MRTS{}
+		rest := body[1:]
+		f.Transmitter, rest = readAddr(rest)
+		n := int(rest[0])
+		rest = rest[1:]
+		if len(rest) != 6*n {
+			return nil, fmt.Errorf("frame: MRTS receiver area %d bytes, want %d", len(rest), 6*n)
+		}
+		for i := 0; i < n; i++ {
+			var a Addr
+			a, rest = readAddr(rest)
+			f.Receivers = append(f.Receivers, a)
+		}
+		return f, nil
+	case KindRData, KindUData:
+		if len(body) < RMACDataOverhead-FCSLen {
+			return nil, ErrTruncated
+		}
+		flags := body[1]
+		rest := body[2:]
+		var tx, rx Addr
+		tx, rest = readAddr(rest)
+		rx, rest = readAddr(rest)
+		seq := binary.BigEndian.Uint32(rest)
+		payload := append([]byte(nil), rest[4:]...)
+		if kind == KindRData {
+			return &RData{Transmitter: tx, Receiver: rx, Seq: seq, Flags: flags, Payload: payload}, nil
+		}
+		return &UData{Transmitter: tx, Receiver: rx, Seq: seq, Flags: flags, Payload: payload}, nil
+	case KindRTS:
+		if len(body) != RTSLen-FCSLen {
+			return nil, ErrTruncated
+		}
+		f := &RTS{Duration: binary.BigEndian.Uint16(body[2:])}
+		rest := body[4:]
+		f.Receiver, rest = readAddr(rest)
+		f.Transmitter, _ = readAddr(rest)
+		return f, nil
+	case KindCTS, KindACK, KindRAK:
+		if len(body) != CTSLen-FCSLen {
+			return nil, ErrTruncated
+		}
+		dur := binary.BigEndian.Uint16(body[2:])
+		ra, _ := readAddr(body[4:])
+		switch kind {
+		case KindCTS:
+			return &CTS{Duration: dur, Receiver: ra}, nil
+		case KindACK:
+			return &ACK{Duration: dur, Receiver: ra}, nil
+		default:
+			return &RAK{Duration: dur, Receiver: ra}, nil
+		}
+	case KindData:
+		if len(body) < Data80211Overhead-FCSLen {
+			return nil, ErrTruncated
+		}
+		f := &Data{Duration: binary.BigEndian.Uint16(body[2:])}
+		rest := body[4:]
+		f.Receiver, rest = readAddr(rest)
+		f.Transmitter, rest = readAddr(rest)
+		_, rest = readAddr(rest) // address 3
+		f.Seq = binary.BigEndian.Uint16(rest)
+		f.Payload = append([]byte(nil), rest[2:]...)
+		return f, nil
+	default:
+		return nil, fmt.Errorf("frame: unknown kind %d", body[0])
+	}
+}

@@ -1,0 +1,276 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrFromIDRoundTrip(t *testing.T) {
+	for _, id := range []int{0, 1, 74, 1000, 1 << 20} {
+		a := AddrFromID(id)
+		if got := a.NodeID(); got != id {
+			t.Fatalf("NodeID(AddrFromID(%d)) = %d", id, got)
+		}
+		if a.IsBroadcast() {
+			t.Fatalf("unicast address %v reported broadcast", a)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	if !Broadcast.IsBroadcast() {
+		t.Fatal("Broadcast not broadcast")
+	}
+	if Broadcast.NodeID() != -1 {
+		t.Fatal("Broadcast NodeID != -1")
+	}
+	if Broadcast.String() != "ff:ff:ff:ff:ff:ff" {
+		t.Fatalf("Broadcast string = %q", Broadcast.String())
+	}
+	if AddrFromID(7).String() != "node-7" {
+		t.Fatalf("AddrFromID(7).String() = %q", AddrFromID(7).String())
+	}
+	foreign := Addr{1, 2, 3, 4, 5, 6}
+	if foreign.NodeID() != -1 {
+		t.Fatal("foreign address decoded to a node ID")
+	}
+}
+
+// TestPaperWireSizes pins the §2/§3 numbers: RTS 20 B, CTS/RAK/ACK 14 B,
+// MRTS = 12 + 6n bytes, 20-byte shortest MRTS is 18 B at n=1.
+func TestPaperWireSizes(t *testing.T) {
+	if (&RTS{}).WireSize() != 20 {
+		t.Fatalf("RTS size = %d", (&RTS{}).WireSize())
+	}
+	for _, f := range []Frame{&CTS{}, &ACK{}, &RAK{}} {
+		if f.WireSize() != 14 {
+			t.Fatalf("%v size = %d, want 14", f.Kind(), f.WireSize())
+		}
+	}
+	for n := 0; n <= 20; n++ {
+		m := &MRTS{Receivers: make([]Addr, n)}
+		if m.WireSize() != 12+6*n {
+			t.Fatalf("MRTS(%d receivers) = %d bytes, want %d", n, m.WireSize(), 12+6*n)
+		}
+	}
+	if MRTSLen(1) != 18 {
+		t.Fatalf("shortest multicast MRTS = %d, want 18", MRTSLen(1))
+	}
+	if (&RData{}).WireSize() != 22 {
+		t.Fatalf("empty RDATA = %d bytes, want 22", (&RData{}).WireSize())
+	}
+	if (&Data{Payload: make([]byte, 500)}).WireSize() != 528 {
+		t.Fatalf("802.11 DATA(500) = %d, want 528", (&Data{Payload: make([]byte, 500)}).WireSize())
+	}
+	// The paper's example data frame: 500-byte packet in an RMAC reliable
+	// data frame = 522 bytes.
+	if (&RData{Payload: make([]byte, 500)}).WireSize() != 522 {
+		t.Fatal("RDATA(500) != 522")
+	}
+}
+
+func TestMRTSIndexOf(t *testing.T) {
+	m := &MRTS{Receivers: []Addr{AddrFromID(5), AddrFromID(9), AddrFromID(2)}}
+	if m.IndexOf(AddrFromID(5)) != 0 || m.IndexOf(AddrFromID(9)) != 1 || m.IndexOf(AddrFromID(2)) != 2 {
+		t.Fatal("IndexOf wrong order")
+	}
+	if m.IndexOf(AddrFromID(42)) != -1 {
+		t.Fatal("IndexOf missing != -1")
+	}
+}
+
+func marshaledLen(f Frame) int { return len(f.Marshal(nil)) }
+
+// TestMarshalMatchesWireSize proves WireSize is honest: the codec emits
+// exactly that many bytes for every frame type.
+func TestMarshalMatchesWireSize(t *testing.T) {
+	frames := []Frame{
+		&MRTS{Transmitter: AddrFromID(1), Receivers: []Addr{AddrFromID(2), AddrFromID(3)}},
+		&MRTS{Transmitter: AddrFromID(1)},
+		&RData{Transmitter: AddrFromID(1), Receiver: Broadcast, Seq: 7, Payload: make([]byte, 500)},
+		&UData{Transmitter: AddrFromID(1), Receiver: AddrFromID(2), Seq: 9, Payload: make([]byte, 100)},
+		&RTS{Duration: 999, Receiver: AddrFromID(2), Transmitter: AddrFromID(1)},
+		&CTS{Duration: 500, Receiver: AddrFromID(1)},
+		&ACK{Receiver: AddrFromID(1)},
+		&RAK{Duration: 3, Receiver: AddrFromID(4)},
+		&Data{Duration: 44, Receiver: Broadcast, Transmitter: AddrFromID(0), Seq: 12, Payload: make([]byte, 500)},
+	}
+	for _, f := range frames {
+		if got := marshaledLen(f); got != f.WireSize() {
+			t.Errorf("%v: marshaled %d bytes, WireSize %d", f.Kind(), got, f.WireSize())
+		}
+	}
+}
+
+func roundTrip(t *testing.T, f Frame) Frame {
+	t.Helper()
+	b := f.Marshal(nil)
+	g, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("%v: Unmarshal: %v", f.Kind(), err)
+	}
+	return g
+}
+
+func TestRoundTripMRTS(t *testing.T) {
+	f := &MRTS{Transmitter: AddrFromID(3), Receivers: []Addr{AddrFromID(1), AddrFromID(4), AddrFromID(1), Broadcast}}
+	g := roundTrip(t, f).(*MRTS)
+	if !reflect.DeepEqual(f, g) {
+		t.Fatalf("roundtrip mismatch: %+v vs %+v", f, g)
+	}
+}
+
+func TestRoundTripDataFrames(t *testing.T) {
+	payload := []byte("hello multicast world")
+	rd := &RData{Transmitter: AddrFromID(1), Receiver: AddrFromID(2), Seq: 1234, Flags: 5, Payload: payload}
+	if g := roundTrip(t, rd).(*RData); !reflect.DeepEqual(rd, g) {
+		t.Fatalf("RData mismatch: %+v vs %+v", rd, g)
+	}
+	ud := &UData{Transmitter: AddrFromID(1), Receiver: Broadcast, Seq: 77, Payload: payload}
+	if g := roundTrip(t, ud).(*UData); !reflect.DeepEqual(ud, g) {
+		t.Fatalf("UData mismatch: %+v vs %+v", ud, g)
+	}
+	d := &Data{Duration: 616, Receiver: AddrFromID(9), Transmitter: AddrFromID(8), Seq: 65535, Payload: payload}
+	g := roundTrip(t, d).(*Data)
+	if g.Duration != d.Duration || g.Receiver != d.Receiver || g.Transmitter != d.Transmitter || g.Seq != d.Seq || !bytes.Equal(g.Payload, d.Payload) {
+		t.Fatalf("Data mismatch: %+v vs %+v", d, g)
+	}
+}
+
+func TestRoundTripControl(t *testing.T) {
+	rts := &RTS{Duration: 1000, Receiver: AddrFromID(2), Transmitter: AddrFromID(1)}
+	if g := roundTrip(t, rts).(*RTS); *g != *rts {
+		t.Fatalf("RTS mismatch")
+	}
+	// CTS/ACK/RAK carry only the receiver on the wire.
+	cts := &CTS{Duration: 5, Receiver: AddrFromID(1)}
+	if g := roundTrip(t, cts).(*CTS); g.Duration != 5 || g.Receiver != AddrFromID(1) {
+		t.Fatal("CTS mismatch")
+	}
+	ack := &ACK{Receiver: AddrFromID(3)}
+	if g := roundTrip(t, ack).(*ACK); g.Receiver != AddrFromID(3) {
+		t.Fatal("ACK mismatch")
+	}
+	rak := &RAK{Duration: 9, Receiver: AddrFromID(4)}
+	if g := roundTrip(t, rak).(*RAK); g.Receiver != AddrFromID(4) || g.Duration != 9 {
+		t.Fatal("RAK mismatch")
+	}
+}
+
+func TestUnmarshalDetectsCorruption(t *testing.T) {
+	f := &RData{Transmitter: AddrFromID(1), Receiver: AddrFromID(2), Seq: 1, Payload: make([]byte, 64)}
+	b := f.Marshal(nil)
+	for _, bit := range []int{0, 13, len(b)*8 - 1} {
+		c := append([]byte(nil), b...)
+		c[bit/8] ^= 1 << (bit % 8)
+		if _, err := Unmarshal(c); !errors.Is(err, ErrBadFCS) {
+			t.Fatalf("bit flip %d: err = %v, want ErrBadFCS", bit, err)
+		}
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	if _, err := Unmarshal(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, err := Unmarshal([]byte{1, 2, 3}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("3 bytes: %v", err)
+	}
+}
+
+func TestUnmarshalUnknownKind(t *testing.T) {
+	b := appendFCS([]byte{0xEE, 0, 0, 0, 0, 0, 0, 0}, 0)
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestMRTSCodecLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized MRTS did not panic at marshal")
+		}
+	}()
+	(&MRTS{Receivers: make([]Addr, MaxReceivers+1)}).Marshal(nil)
+}
+
+func TestKindString(t *testing.T) {
+	if KindMRTS.String() != "MRTS" || KindRAK.String() != "RAK" {
+		t.Fatal("kind names")
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Fatal("unknown kind name")
+	}
+}
+
+// Property: MRTS with random receiver lists roundtrips exactly and its
+// wire size follows 12+6n.
+func TestPropertyMRTSRoundTrip(t *testing.T) {
+	f := func(ids []uint16) bool {
+		if len(ids) > 30 {
+			ids = ids[:30]
+		}
+		m := &MRTS{Transmitter: AddrFromID(999)}
+		for _, id := range ids {
+			m.Receivers = append(m.Receivers, AddrFromID(int(id)))
+		}
+		b := m.Marshal(nil)
+		if len(b) != 12+6*len(ids) {
+			return false
+		}
+		g, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single-bit corruption of any frame type is caught by the FCS.
+func TestPropertyFCSCatchesBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seq uint32, n uint8, payloadLen uint8) bool {
+		fr := &RData{
+			Transmitter: AddrFromID(int(n)),
+			Receiver:    AddrFromID(int(n) + 1),
+			Seq:         seq,
+			Payload:     make([]byte, payloadLen),
+		}
+		rng.Read(fr.Payload)
+		b := fr.Marshal(nil)
+		bit := rng.Intn(len(b) * 8)
+		b[bit/8] ^= 1 << (bit % 8)
+		_, err := Unmarshal(b)
+		return errors.Is(err, ErrBadFCS)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshalMRTS(b *testing.B) {
+	m := &MRTS{Transmitter: AddrFromID(1), Receivers: make([]Addr, 10)}
+	buf := make([]byte, 0, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = m.Marshal(buf[:0])
+	}
+}
+
+func BenchmarkUnmarshalRData(b *testing.B) {
+	f := &RData{Transmitter: AddrFromID(1), Receiver: AddrFromID(2), Payload: make([]byte, 500)}
+	buf := f.Marshal(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

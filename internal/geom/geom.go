@@ -1,0 +1,70 @@
+// Package geom provides the minimal 2-D geometry needed by the wireless
+// simulator: points, distances, and rectangular deployment fields.
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a position on the deployment plane, in metres.
+type Point struct {
+	X, Y float64
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y) }
+
+// Add returns p translated by the vector q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p with both coordinates multiplied by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dist returns the Euclidean distance between p and q in metres.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Dist2 returns the squared distance, avoiding the square root for
+// range comparisons on the hot path.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Norm returns the length of p interpreted as a vector.
+func (p Point) Norm() float64 { return math.Sqrt(p.X*p.X + p.Y*p.Y) }
+
+// Lerp linearly interpolates from p to q; t=0 yields p, t=1 yields q.
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// Rect is an axis-aligned deployment field [0,W] × [0,H] anchored at the
+// origin, matching the paper's "500 m × 300 m plain".
+type Rect struct {
+	W, H float64
+}
+
+// Contains reports whether p lies inside the field (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= 0 && p.X <= r.W && p.Y >= 0 && p.Y <= r.H
+}
+
+// Clamp returns p pulled inside the field boundaries.
+func (r Rect) Clamp(p Point) Point {
+	return Point{math.Min(math.Max(p.X, 0), r.W), math.Min(math.Max(p.Y, 0), r.H)}
+}
+
+// RandomPoint returns a uniformly distributed point inside the field.
+func (r Rect) RandomPoint(rng *rand.Rand) Point {
+	return Point{rng.Float64() * r.W, rng.Float64() * r.H}
+}
+
+// Area returns the field area in square metres.
+func (r Rect) Area() float64 { return r.W * r.H }

@@ -1,0 +1,115 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDist(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{3, 4}
+	if !almost(a.Dist(b), 5) {
+		t.Fatalf("Dist = %v, want 5", a.Dist(b))
+	}
+	if !almost(a.Dist2(b), 25) {
+		t.Fatalf("Dist2 = %v, want 25", a.Dist2(b))
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, 5}
+	if got := p.Add(q); got != (Point{4, 7}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != (Point{2, 3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if !almost((Point{3, 4}).Norm(), 5) {
+		t.Fatal("Norm")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{10, 20}
+	if got := p.Lerp(q, 0); got != p {
+		t.Fatalf("Lerp(0) = %v", got)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Fatalf("Lerp(1) = %v", got)
+	}
+	if got := p.Lerp(q, 0.5); got != (Point{5, 10}) {
+		t.Fatalf("Lerp(0.5) = %v", got)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Rect{500, 300}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{500, 300}) {
+		t.Fatal("boundary points must be contained")
+	}
+	if r.Contains(Point{-1, 0}) || r.Contains(Point{0, 301}) {
+		t.Fatal("outside points must not be contained")
+	}
+	if got := r.Clamp(Point{-5, 400}); got != (Point{0, 300}) {
+		t.Fatalf("Clamp = %v", got)
+	}
+	if r.Area() != 150000 {
+		t.Fatalf("Area = %v", r.Area())
+	}
+}
+
+// Property: random points always lie inside the field.
+func TestPropertyRandomPointInField(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(w, h uint16) bool {
+		r := Rect{float64(w%1000) + 1, float64(h%1000) + 1}
+		for i := 0; i < 20; i++ {
+			if !r.Contains(r.RandomPoint(rng)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: distance is symmetric and satisfies the triangle inequality.
+func TestPropertyMetric(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		c := Point{float64(cx), float64(cy)}
+		if !almost(a.Dist(b), b.Dist(a)) {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Lerp stays on the segment (distance sum equals endpoint distance).
+func TestPropertyLerpOnSegment(t *testing.T) {
+	f := func(ax, ay, bx, by int16, tt uint8) bool {
+		a := Point{float64(ax), float64(ay)}
+		b := Point{float64(bx), float64(by)}
+		u := float64(tt) / 255
+		m := a.Lerp(b, u)
+		return math.Abs(a.Dist(m)+m.Dist(b)-a.Dist(b)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

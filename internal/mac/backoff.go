@@ -1,0 +1,122 @@
+package mac
+
+import (
+	"math/rand"
+
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+// Backoff implements the §3.3.1 backoff procedure shared by the Reliable
+// and Unreliable Send services, and reused (with a different idle
+// predicate) by the 802.11-based baselines.
+//
+// The owner drives it with channel-state transitions: call Resume whenever
+// the relevant channels may have become idle, Suspend when they become
+// busy. While counting, BI decreases by one per idle slot; when BI reaches
+// zero the fire callback runs. Per the paper, a suspended slot does not
+// decrement BI.
+type Backoff struct {
+	eng  *sim.Engine
+	rng  *rand.Rand
+	slot sim.Time
+	idle func() bool // all relevant channels idle right now
+	fire func()      // BI hit zero
+
+	bi, cw int
+	active bool // a draw is pending (BI meaningful)
+	timer  *sim.Timer
+	cwMin  int
+	cwMax  int
+}
+
+// NewBackoff creates a backoff entity. idle must report whether the
+// protocol's countdown condition holds (for RMAC: data channel AND RBT
+// channel idle); fire runs when the countdown completes.
+func NewBackoff(eng *sim.Engine, rng *rand.Rand, slot sim.Time, idle func() bool, fire func()) *Backoff {
+	b := &Backoff{
+		eng: eng, rng: rng, slot: slot, idle: idle, fire: fire,
+		cw: phy.CWMin, cwMin: phy.CWMin, cwMax: phy.CWMax,
+	}
+	b.timer = sim.NewTimer(eng, b.tick)
+	return b
+}
+
+// BI returns the remaining backoff interval in slots.
+func (b *Backoff) BI() int { return b.bi }
+
+// CW returns the current contention window.
+func (b *Backoff) CW() int { return b.cw }
+
+// Active reports whether a countdown is pending or in progress.
+func (b *Backoff) Active() bool { return b.active }
+
+// Counting reports whether the slot timer is currently running.
+func (b *Backoff) Counting() bool { return b.timer.Pending() }
+
+// Draw initialises BI to a uniform value in [0, CW] and marks the backoff
+// active. It does not start counting; call Resume.
+func (b *Backoff) Draw() {
+	b.bi = b.rng.Intn(b.cw + 1)
+	b.active = true
+}
+
+// Fail doubles the contention window (exponential backoff on failed
+// transmissions), saturating at CWMax.
+func (b *Backoff) Fail() {
+	b.cw = b.cw*2 + 1
+	if b.cw > b.cwMax {
+		b.cw = b.cwMax
+	}
+}
+
+// Reset restores the contention window to CWMin after a successful
+// transmission or a drop.
+func (b *Backoff) Reset() { b.cw = b.cwMin }
+
+// Resume starts (or restarts) the slot countdown if a draw is active and
+// the channels are idle. If BI is already zero it fires immediately.
+func (b *Backoff) Resume() {
+	if !b.active || b.timer.Pending() {
+		return
+	}
+	if !b.idle() {
+		return
+	}
+	if b.bi == 0 {
+		b.finish()
+		return
+	}
+	b.timer.Start(b.slot)
+}
+
+// Suspend pauses the countdown without consuming the in-progress slot.
+func (b *Backoff) Suspend() {
+	b.timer.Stop()
+}
+
+// Cancel abandons the current draw entirely.
+func (b *Backoff) Cancel() {
+	b.timer.Stop()
+	b.active = false
+	b.bi = 0
+}
+
+func (b *Backoff) tick() {
+	if !b.idle() {
+		// The channel went busy within the slot without the owner
+		// calling Suspend; treat the slot as not idle.
+		return
+	}
+	b.bi--
+	if b.bi <= 0 {
+		b.finish()
+		return
+	}
+	b.timer.Start(b.slot)
+}
+
+func (b *Backoff) finish() {
+	b.active = false
+	b.fire()
+}

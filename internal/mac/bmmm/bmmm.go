@@ -1,0 +1,565 @@
+// Package bmmm implements the Batch Mode Multicast MAC protocol of Sun,
+// Huang, Arora and Lai (ICPP 2002) as described in §2 of the RMAC paper:
+// an IEEE 802.11 extension that reliably multicasts one data frame to n
+// receivers using n RTS/CTS pairs to reserve the channel, a single DATA
+// transmission, and n RAK (Request-for-ACK)/ACK pairs to collect ordered
+// feedback — 2n pairs of control frames per data frame, costing 632 n µs
+// of control airtime at 802.11b rates.
+//
+// It reuses the DCF contention process and NAV virtual carrier sense from
+// package csma. Its Unreliable service is plain 802.11 broadcast.
+//
+// Two simulator liberties, both invisible on the wire: the RAK a sender
+// emits carries the data sequence number in the struct (real BMMM
+// receivers bind RAKs to the exchange by timing), and group membership of
+// the broadcast-addressed DATA frame is checked against the RTS
+// solicitation state rather than a multicast group address.
+package bmmm
+
+import (
+	"fmt"
+
+	"rmac/internal/frame"
+	"rmac/internal/mac"
+	"rmac/internal/mac/csma"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+// respSlack pads control response timeouts beyond SIFS + frame airtime to
+// absorb propagation and turnaround.
+const respSlack = 2*phy.Tau + 2*sim.Microsecond
+
+type state int
+
+const (
+	stIdle state = iota
+	stTxRTS
+	stWfCTS
+	stTxData
+	stTxRAK
+	stWfACK
+	stTxUData
+	stTxResp // transmitting a CTS or ACK as a receiver
+	stGap    // inside a SIFS gap of an ongoing exchange
+)
+
+var stateNames = [...]string{"IDLE", "TX_RTS", "WF_CTS", "TX_DATA", "TX_RAK", "WF_ACK", "TX_UDATA", "TX_RESP", "GAP"}
+
+func (s state) String() string { return stateNames[s] }
+
+// txContext tracks one reliable packet across retransmission rounds.
+type txContext struct {
+	req       *mac.SendRequest
+	remaining []frame.Addr // receivers still unacknowledged
+	delivered []frame.Addr
+	retries   int
+	seq       uint16
+
+	// Per-round state.
+	ctsOK []bool
+	ackOK []bool
+	idx   int // receiver index within the current phase
+}
+
+// peerState is per-sender receiver bookkeeping.
+type peerState struct {
+	solicited bool   // an RTS from this sender addressed us
+	haveSeq   uint16 // last data seq correctly received
+	have      bool
+	delivered uint16 // last seq passed to the upper layer
+	deliverOK bool
+}
+
+// Node is one BMMM instance bound to a radio.
+type Node struct {
+	eng    *sim.Engine
+	radio  *phy.Radio
+	cfg    phy.Config
+	addr   frame.Addr
+	limits mac.Limits
+	upper  mac.UpperLayer
+
+	st    state
+	queue *mac.Queue
+	dcf   *csma.DCF
+	nav   *csma.NAV
+	stats mac.Stats
+
+	cur   *txContext
+	timer *sim.Timer // CTS/ACK response timeout
+	peers map[frame.Addr]*peerState
+	seq   uint16
+}
+
+var _ mac.MAC = (*Node)(nil)
+var _ phy.Handler = (*Node)(nil)
+
+// New creates a BMMM node on the given radio and installs itself as the
+// radio's PHY handler.
+func New(radio *phy.Radio, cfg phy.Config, eng *sim.Engine, limits mac.Limits) *Node {
+	n := &Node{
+		eng:    eng,
+		radio:  radio,
+		cfg:    cfg,
+		addr:   frame.AddrFromID(radio.ID()),
+		limits: limits,
+		queue:  mac.NewQueue(limits.QueueCap),
+		peers:  make(map[frame.Addr]*peerState),
+	}
+	n.nav = csma.NewNAV(eng, func() { n.dcf.ChannelMaybeIdle() })
+	n.dcf = csma.NewDCF(eng, eng.Rand(), n.mediumIdle, n.onWin)
+	n.timer = sim.NewTimer(eng, n.onRespTimeout)
+	radio.SetHandler(n)
+	return n
+}
+
+// Addr implements mac.MAC.
+func (n *Node) Addr() frame.Addr { return n.addr }
+
+// Stats implements mac.MAC.
+func (n *Node) Stats() *mac.Stats { return &n.stats }
+
+// SetUpper implements mac.MAC.
+func (n *Node) SetUpper(u mac.UpperLayer) { n.upper = u }
+
+// Send implements mac.MAC.
+func (n *Node) Send(req *mac.SendRequest) bool {
+	if req.Service == mac.Reliable && len(req.Dests) == 0 {
+		panic("bmmm: Reliable Send needs at least one destination")
+	}
+	req.EnqueuedAt = n.eng.Now()
+	var pushed bool
+	if req.Urgent {
+		pushed = n.queue.PushFront(req)
+	} else {
+		pushed = n.queue.Push(req)
+	}
+	if !pushed {
+		n.stats.QueueDrops++
+		return false
+	}
+	n.stats.Enqueued++
+	n.trySend()
+	return true
+}
+
+func (n *Node) mediumIdle() bool {
+	return !n.radio.DataChannelBusy() && !n.nav.Busy()
+}
+
+func (n *Node) trySend() {
+	if n.st != stIdle || n.dcf.Armed() {
+		return
+	}
+	if n.cur == nil {
+		req := n.queue.Pop()
+		if req == nil {
+			return
+		}
+		n.seq++
+		n.cur = &txContext{req: req, seq: n.seq}
+		if req.Service == mac.Reliable {
+			n.cur.remaining = append([]frame.Addr(nil), req.Dests...)
+			n.stats.ReliableToTransmit++
+		}
+	}
+	n.dcf.Arm()
+}
+
+// onWin: the DCF granted a transmission opportunity.
+func (n *Node) onWin() {
+	if n.cur == nil || n.st != stIdle {
+		return
+	}
+	if n.cur.req.Service == mac.Unreliable {
+		dest := frame.Broadcast
+		if len(n.cur.req.Dests) > 0 {
+			dest = n.cur.req.Dests[0]
+		}
+		n.st = stTxUData
+		n.startTx(&frame.Data{Receiver: dest, Transmitter: n.addr, Seq: n.cur.seq, Payload: n.cur.req.Payload})
+		return
+	}
+	// New round: solicit every remaining receiver.
+	n.cur.ctsOK = make([]bool, len(n.cur.remaining))
+	n.cur.ackOK = make([]bool, len(n.cur.remaining))
+	n.cur.idx = 0
+	n.sendRTS()
+}
+
+// startTx wraps Radio.StartTx with DCF bookkeeping.
+func (n *Node) startTx(f frame.Frame) sim.Time {
+	n.dcf.ChannelBusy()
+	return n.radio.StartTx(f)
+}
+
+// exchangeRemaining computes the Duration (NAV) value covering the rest of
+// the exchange as seen from just after the current frame: control pairs,
+// the data frame and the RAK/ACK tail.
+func (n *Node) exchangeRemaining(phase state) sim.Time {
+	c := n.cfg
+	rts := c.TxDuration(frame.RTSLen)
+	cts := c.TxDuration(frame.CTSLen)
+	rak := c.TxDuration(frame.RAKLen)
+	ack := c.TxDuration(frame.ACKLen)
+	data := c.TxDuration(frame.Data80211Overhead + len(n.cur.req.Payload))
+	var d sim.Time
+	switch phase {
+	case stTxRTS, stWfCTS:
+		pairsLeft := len(n.cur.remaining) - n.cur.idx - 1
+		d = phy.SIFS + cts
+		d += sim.Time(pairsLeft) * (phy.SIFS + rts + phy.SIFS + cts)
+		d += phy.SIFS + data
+		d += sim.Time(len(n.cur.remaining)) * (phy.SIFS + rak + phy.SIFS + ack)
+	case stTxData:
+		d = sim.Time(len(n.cur.remaining)) * (phy.SIFS + rak + phy.SIFS + ack)
+	case stTxRAK, stWfACK:
+		raksLeft := countTrue(n.cur.ctsOK[n.cur.idx+1:])
+		d = phy.SIFS + ack
+		d += sim.Time(raksLeft) * (phy.SIFS + rak + phy.SIFS + ack)
+	}
+	return d
+}
+
+func countTrue(b []bool) int {
+	c := 0
+	for _, v := range b {
+		if v {
+			c++
+		}
+	}
+	return c
+}
+
+func durationMicros(d sim.Time) uint16 {
+	us := int64(d / sim.Microsecond)
+	if us > 65535 {
+		us = 65535
+	}
+	return uint16(us)
+}
+
+func (n *Node) sendRTS() {
+	n.st = stTxRTS
+	f := &frame.RTS{
+		Duration:    durationMicros(n.exchangeRemaining(stTxRTS)),
+		Receiver:    n.cur.remaining[n.cur.idx],
+		Transmitter: n.addr,
+	}
+	dur := n.startTx(f)
+	n.stats.CtrlTxTime += dur
+}
+
+func (n *Node) sendData() {
+	n.st = stTxData
+	f := &frame.Data{
+		Duration:    durationMicros(n.exchangeRemaining(stTxData)),
+		Receiver:    frame.Broadcast,
+		Transmitter: n.addr,
+		Seq:         n.cur.seq,
+		Payload:     n.cur.req.Payload,
+	}
+	dur := n.startTx(f)
+	n.stats.DataTxTime += dur
+}
+
+func (n *Node) sendRAK() {
+	n.st = stTxRAK
+	f := &frame.RAK{
+		Duration:    durationMicros(n.exchangeRemaining(stTxRAK)),
+		Receiver:    n.cur.remaining[n.cur.idx],
+		Transmitter: n.addr,
+		Seq:         n.cur.seq,
+	}
+	dur := n.startTx(f)
+	n.stats.CtrlTxTime += dur
+}
+
+// OnTxDone implements phy.Handler.
+func (n *Node) OnTxDone(f frame.Frame) {
+	n.dcf.ChannelMaybeIdle()
+	switch n.st {
+	case stTxRTS:
+		n.st = stWfCTS
+		n.timer.Start(phy.SIFS + n.cfg.TxDuration(frame.CTSLen) + respSlack)
+	case stTxData:
+		n.cur.idx = -1
+		n.advanceRAK()
+	case stTxRAK:
+		n.st = stWfACK
+		n.timer.Start(phy.SIFS + n.cfg.TxDuration(frame.ACKLen) + respSlack)
+	case stTxUData:
+		n.stats.UnreliableSent++
+		req := n.cur.req
+		n.cur = nil
+		n.st = stIdle
+		n.dcf.Backoff().Reset()
+		n.dcf.Backoff().Draw()
+		if n.upper != nil {
+			n.upper.OnSendComplete(mac.TxResult{Req: req})
+		}
+		n.trySend()
+	case stTxResp:
+		n.st = stIdle
+		n.trySend()
+	default:
+		panic(fmt.Sprintf("bmmm: node %v OnTxDone in state %v", n.addr, n.st))
+	}
+}
+
+// onRespTimeout: the solicited CTS or ACK did not arrive.
+func (n *Node) onRespTimeout() {
+	switch n.st {
+	case stWfCTS:
+		n.advanceCTS(false)
+	case stWfACK:
+		n.advanceACK(false)
+	}
+}
+
+// advanceCTS records the outcome for receiver idx and moves to the next
+// RTS/CTS pair, the DATA frame, or a failed round.
+func (n *Node) advanceCTS(ok bool) {
+	n.timer.Stop()
+	n.cur.ctsOK[n.cur.idx] = ok
+	n.cur.idx++
+	if n.cur.idx < len(n.cur.remaining) {
+		n.afterSIFS(n.sendRTS)
+		return
+	}
+	if countTrue(n.cur.ctsOK) == 0 {
+		n.roundFailed()
+		return
+	}
+	n.afterSIFS(n.sendData)
+}
+
+// advanceRAK advances idx to the next receiver that returned a CTS and
+// sends its RAK; when exhausted the round is scored.
+func (n *Node) advanceRAK() {
+	i := n.cur.idx + 1
+	for i < len(n.cur.remaining) && !n.cur.ctsOK[i] {
+		i++
+	}
+	n.cur.idx = i
+	if i >= len(n.cur.remaining) {
+		n.scoreRound()
+		return
+	}
+	n.afterSIFS(n.sendRAK)
+}
+
+func (n *Node) advanceACK(ok bool) {
+	n.timer.Stop()
+	n.cur.ackOK[n.cur.idx] = ok
+	n.advanceRAK()
+}
+
+// afterSIFS schedules the next exchange step one SIFS later. The node
+// stays in stGap so it neither responds to solicitations nor starts a new
+// contention meanwhile.
+func (n *Node) afterSIFS(step func()) {
+	n.st = stGap
+	n.eng.After(phy.SIFS, func() {
+		if n.cur == nil || n.radio.Transmitting() {
+			return
+		}
+		step()
+	})
+}
+
+// scoreRound splits the remaining receivers by ACK outcome.
+func (n *Node) scoreRound() {
+	var still []frame.Addr
+	for i, a := range n.cur.remaining {
+		if n.cur.ackOK[i] {
+			n.cur.delivered = append(n.cur.delivered, a)
+		} else {
+			still = append(still, a)
+		}
+	}
+	if len(still) == 0 {
+		n.completeReliable(false)
+		return
+	}
+	n.cur.remaining = still
+	n.roundFailed()
+}
+
+func (n *Node) roundFailed() {
+	n.st = stIdle
+	n.cur.retries++
+	if n.cur.retries > n.limits.RetryLimit {
+		n.completeReliable(true)
+		return
+	}
+	n.stats.Retransmissions++
+	n.dcf.Backoff().Fail()
+	n.dcf.Backoff().Draw()
+	n.trySend()
+}
+
+func (n *Node) completeReliable(dropped bool) {
+	n.st = stIdle
+	ctx := n.cur
+	n.cur = nil
+	res := mac.TxResult{Req: ctx.req, Delivered: ctx.delivered, Retries: ctx.retries}
+	if dropped {
+		n.stats.Drops++
+		res.Dropped = true
+		res.Failed = append([]frame.Addr(nil), ctx.remaining...)
+	} else {
+		n.stats.ReliableDelivered++
+	}
+	n.dcf.Backoff().Reset()
+	n.dcf.Backoff().Draw()
+	if n.upper != nil {
+		n.upper.OnSendComplete(res)
+	}
+	n.trySend()
+}
+
+// --- Reception ---------------------------------------------------------------
+
+func (n *Node) peer(a frame.Addr) *peerState {
+	p := n.peers[a]
+	if p == nil {
+		p = &peerState{}
+		n.peers[a] = p
+	}
+	return p
+}
+
+// OnFrameReceived implements phy.Handler.
+func (n *Node) OnFrameReceived(f frame.Frame, ok bool, rxStart sim.Time) {
+	if !ok {
+		return
+	}
+	switch g := f.(type) {
+	case *frame.RTS:
+		if g.Receiver == n.addr {
+			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
+			n.peer(g.Transmitter).solicited = true
+			n.respond(&frame.CTS{
+				Duration:    subDuration(g.Duration, phy.SIFS+n.cfg.TxDuration(frame.CTSLen)),
+				Receiver:    g.Transmitter,
+				Transmitter: n.addr,
+			})
+			return
+		}
+		n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
+		n.dcf.ChannelBusy()
+	case *frame.CTS:
+		if n.st == stWfCTS && g.Receiver == n.addr {
+			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
+			n.advanceCTS(true)
+			return
+		}
+		if g.Receiver != n.addr {
+			n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
+			n.dcf.ChannelBusy()
+		}
+	case *frame.Data:
+		n.onData(g, rxStart)
+	case *frame.RAK:
+		if g.Receiver == n.addr {
+			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
+			p := n.peer(g.Transmitter)
+			if p.have && p.haveSeq == g.Seq {
+				n.respond(&frame.ACK{
+					Duration:    subDuration(g.Duration, phy.SIFS+n.cfg.TxDuration(frame.ACKLen)),
+					Receiver:    g.Transmitter,
+					Transmitter: n.addr,
+				})
+			}
+			return
+		}
+		n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
+		n.dcf.ChannelBusy()
+	case *frame.ACK:
+		if n.st == stWfACK && g.Receiver == n.addr {
+			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
+			n.advanceACK(true)
+			return
+		}
+		if g.Receiver != n.addr {
+			n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
+			n.dcf.ChannelBusy()
+		}
+	}
+}
+
+func subDuration(d uint16, sub sim.Time) uint16 {
+	s := int64(sub / sim.Microsecond)
+	if int64(d) <= s {
+		return 0
+	}
+	return d - uint16(s)
+}
+
+// onData handles a data frame. A reliable multicast data frame always
+// carries a Duration reserving its RAK/ACK tail; an unreliable frame has
+// Duration zero. Solicited receivers accept reliable data; addressees
+// accept unreliable data.
+func (n *Node) onData(d *frame.Data, rxStart sim.Time) {
+	if d.Duration > 0 { // reliable multicast data
+		p := n.peer(d.Transmitter)
+		if p.solicited && (d.Receiver == n.addr || d.Receiver.IsBroadcast()) {
+			p.have = true
+			p.haveSeq = d.Seq
+			n.deliver(d, true, rxStart)
+			return
+		}
+		n.nav.Set(sim.Time(d.Duration) * sim.Microsecond)
+		n.dcf.ChannelBusy()
+		return
+	}
+	if d.Receiver == n.addr || d.Receiver.IsBroadcast() {
+		n.deliver(d, false, rxStart)
+	}
+}
+
+func (n *Node) deliver(d *frame.Data, reliable bool, rxStart sim.Time) {
+	p := n.peer(d.Transmitter)
+	if reliable {
+		if p.deliverOK && p.delivered == d.Seq {
+			return // duplicate retransmission round
+		}
+		p.deliverOK = true
+		p.delivered = d.Seq
+	}
+	if n.upper != nil {
+		n.upper.OnDeliver(d.Payload, mac.RxInfo{
+			From:     d.Transmitter,
+			Reliable: reliable,
+			Seq:      uint32(d.Seq),
+			RxStart:  rxStart,
+			RxEnd:    n.eng.Now(),
+		})
+	}
+}
+
+// respond transmits a CTS or ACK one SIFS after the soliciting frame.
+func (n *Node) respond(f frame.Frame) {
+	n.eng.After(phy.SIFS, func() {
+		if n.st != stIdle || n.radio.Transmitting() {
+			return // busy with our own exchange; solicitation lost
+		}
+		n.st = stTxResp
+		dur := n.startTx(f)
+		n.stats.CtrlTxTime += dur
+	})
+}
+
+// OnCarrierChange implements phy.Handler.
+func (n *Node) OnCarrierChange(busy bool) {
+	if busy {
+		n.dcf.ChannelBusy()
+	} else {
+		n.dcf.ChannelMaybeIdle()
+	}
+}
+
+// OnToneChange implements phy.Handler; BMMM has no busy-tone hardware.
+func (n *Node) OnToneChange(phy.Tone, bool) {}

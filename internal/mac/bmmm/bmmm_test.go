@@ -1,0 +1,291 @@
+package bmmm
+
+import (
+	"testing"
+
+	"rmac/internal/frame"
+	"rmac/internal/geom"
+	"rmac/internal/mac"
+	"rmac/internal/mobility"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+type upper struct {
+	delivered []delivery
+	completes []mac.TxResult
+}
+
+type delivery struct {
+	payload []byte
+	info    mac.RxInfo
+}
+
+func (u *upper) OnDeliver(payload []byte, info mac.RxInfo) {
+	u.delivered = append(u.delivered, delivery{payload, info})
+}
+func (u *upper) OnSendComplete(res mac.TxResult) { u.completes = append(u.completes, res) }
+
+type world struct {
+	eng    *sim.Engine
+	medium *phy.Medium
+	nodes  []*Node
+	uppers []*upper
+}
+
+func newWorld(seed int64, pos []geom.Point) *world {
+	eng := sim.NewEngine(seed)
+	cfg := phy.DefaultConfig()
+	m := phy.NewMedium(eng, cfg)
+	w := &world{eng: eng, medium: m}
+	for i, p := range pos {
+		r := m.AddRadio(i, mobility.Stationary{P: p})
+		n := New(r, cfg, eng, mac.DefaultLimits())
+		u := &upper{}
+		n.SetUpper(u)
+		w.nodes = append(w.nodes, n)
+		w.uppers = append(w.uppers, u)
+	}
+	return w
+}
+
+func addrs(ids ...int) []frame.Addr {
+	out := make([]frame.Addr, len(ids))
+	for i, id := range ids {
+		out[i] = frame.AddrFromID(id)
+	}
+	return out
+}
+
+func reliableReq(payload string, dests ...int) *mac.SendRequest {
+	return &mac.SendRequest{Service: mac.Reliable, Dests: addrs(dests...), Payload: []byte(payload)}
+}
+
+func hasAddr(list []frame.Addr, id int) bool {
+	a := frame.AddrFromID(id)
+	for _, x := range list {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func TestReliableMulticastBasic(t *testing.T) {
+	w := newWorld(1, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 0, Y: 50}})
+	if !w.nodes[0].Send(reliableReq("bmmm-payload", 1, 2)) {
+		t.Fatal("Send rejected")
+	}
+	w.eng.Run(sim.Second)
+	for _, id := range []int{1, 2} {
+		got := w.uppers[id].delivered
+		if len(got) != 1 {
+			t.Fatalf("node %d deliveries = %d, want 1", id, len(got))
+		}
+		if string(got[0].payload) != "bmmm-payload" || !got[0].info.Reliable {
+			t.Fatalf("node %d delivery = %+v", id, got[0])
+		}
+	}
+	comp := w.uppers[0].completes
+	if len(comp) != 1 || comp[0].Dropped || comp[0].Retries != 0 {
+		t.Fatalf("completion = %+v", comp)
+	}
+	if len(comp[0].Delivered) != 2 {
+		t.Fatalf("delivered = %v", comp[0].Delivered)
+	}
+	st := w.nodes[0].Stats()
+	if st.ReliableDelivered != 1 || st.Retransmissions != 0 || st.Drops != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Control accounting: 2 RTS + 2 RAK at the sender.
+	wantCtl := 2*phy.DefaultConfig().TxDuration(frame.RTSLen) + 2*phy.DefaultConfig().TxDuration(frame.RAKLen)
+	if st.CtrlTxTime != wantCtl {
+		t.Fatalf("CtrlTxTime = %v, want %v", st.CtrlTxTime, wantCtl)
+	}
+	// CTS + ACK received.
+	wantRx := phy.DefaultConfig().TxDuration(frame.CTSLen) + phy.DefaultConfig().TxDuration(frame.ACKLen)
+	if st.CtrlRxTime != 2*wantRx {
+		t.Fatalf("CtrlRxTime = %v, want %v", st.CtrlRxTime, 2*wantRx)
+	}
+	if st.ABTCheckTime != 0 {
+		t.Fatal("BMMM must not log ABT time")
+	}
+}
+
+// TestOverheadExceedsRMAC pins the paper's core §2 claim: per receiver,
+// BMMM spends 632 µs of control airtime per data frame, so its overhead
+// ratio for a 500-byte payload and 2 receivers is roughly
+// (2·632)/2112 ≈ 0.6, far above RMAC's.
+func TestOverheadRatioMatchesAnalysis(t *testing.T) {
+	w := newWorld(2, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 0, Y: 50}})
+	payload := make([]byte, 500)
+	w.nodes[0].Send(&mac.SendRequest{Service: mac.Reliable, Dests: addrs(1, 2), Payload: payload})
+	w.eng.Run(sim.Second)
+	st := w.nodes[0].Stats()
+	cfg := phy.DefaultConfig()
+	wantCtl := 2 * 632 * sim.Microsecond // §2: 632n µs
+	if got := st.CtrlTxTime + st.CtrlRxTime; got != wantCtl {
+		t.Fatalf("control airtime = %v, want %v", got, wantCtl)
+	}
+	wantData := cfg.TxDuration(frame.Data80211Overhead + 500)
+	if st.DataTxTime != wantData {
+		t.Fatalf("data airtime = %v, want %v", st.DataTxTime, wantData)
+	}
+	ratio := st.OverheadRatio()
+	if ratio < 0.55 || ratio > 0.65 {
+		t.Fatalf("overhead ratio = %v, want ≈0.6", ratio)
+	}
+}
+
+func TestUnreachableReceiverDrops(t *testing.T) {
+	w := newWorld(3, []geom.Point{{X: 0, Y: 0}, {X: 500, Y: 0}})
+	w.nodes[0].Send(reliableReq("lost", 1))
+	w.eng.Run(30 * sim.Second)
+	st := w.nodes[0].Stats()
+	if st.Drops != 1 {
+		t.Fatalf("drops = %d", st.Drops)
+	}
+	limits := mac.DefaultLimits()
+	if st.Retransmissions != uint64(limits.RetryLimit) {
+		t.Fatalf("retransmissions = %d, want %d", st.Retransmissions, limits.RetryLimit)
+	}
+	comp := w.uppers[0].completes
+	if len(comp) != 1 || !comp[0].Dropped || !hasAddr(comp[0].Failed, 1) {
+		t.Fatalf("completion = %+v", comp)
+	}
+	if st.DataTxTime != 0 {
+		t.Fatal("data sent with zero CTS responses")
+	}
+}
+
+func TestPartialDelivery(t *testing.T) {
+	w := newWorld(4, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 400, Y: 0}})
+	w.nodes[0].Send(reliableReq("partial", 1, 2))
+	w.eng.Run(30 * sim.Second)
+	comp := w.uppers[0].completes
+	if len(comp) != 1 {
+		t.Fatalf("completes = %d", len(comp))
+	}
+	res := comp[0]
+	if !res.Dropped || !hasAddr(res.Delivered, 1) || !hasAddr(res.Failed, 2) {
+		t.Fatalf("result = %+v", res)
+	}
+	// Receiver 1 got the payload exactly once despite the retry rounds.
+	if len(w.uppers[1].delivered) != 1 {
+		t.Fatalf("B deliveries = %d, want 1 (dedup)", len(w.uppers[1].delivered))
+	}
+}
+
+func TestUnreliableBroadcast(t *testing.T) {
+	w := newWorld(5, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 0, Y: 50}, {X: 400, Y: 400}})
+	w.nodes[0].Send(&mac.SendRequest{Service: mac.Unreliable, Payload: []byte("beacon")})
+	w.eng.Run(sim.Second)
+	if len(w.uppers[1].delivered) != 1 || len(w.uppers[2].delivered) != 1 {
+		t.Fatal("broadcast not delivered in range")
+	}
+	if len(w.uppers[3].delivered) != 0 {
+		t.Fatal("broadcast delivered out of range")
+	}
+	if w.uppers[1].delivered[0].info.Reliable {
+		t.Fatal("broadcast flagged reliable")
+	}
+	if w.nodes[0].Stats().UnreliableSent != 1 {
+		t.Fatal("UnreliableSent")
+	}
+}
+
+func TestNAVDefersThirdParty(t *testing.T) {
+	// A(0) multicasts to B(1); third party C(2) hears A. C enqueues while
+	// A's exchange is running: its transmission must wait, and both
+	// packets must come through cleanly.
+	w := newWorld(6, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 30, Y: 30}})
+	payload := make([]byte, 500)
+	w.nodes[0].Send(&mac.SendRequest{Service: mac.Reliable, Dests: addrs(1), Payload: payload})
+	w.eng.Schedule(400*sim.Microsecond, func() {
+		w.nodes[2].Send(reliableReq("later", 1))
+	})
+	w.eng.Run(5 * sim.Second)
+	if got := len(w.uppers[1].delivered); got != 2 {
+		t.Fatalf("B deliveries = %d, want 2", got)
+	}
+	if w.uppers[0].completes[0].Dropped || w.uppers[2].completes[0].Dropped {
+		t.Fatal("a sender dropped")
+	}
+	// No retransmissions needed: NAV plus carrier sense kept them apart.
+	if w.nodes[0].Stats().Retransmissions+w.nodes[2].Stats().Retransmissions != 0 {
+		t.Fatalf("unexpected retransmissions: %d + %d",
+			w.nodes[0].Stats().Retransmissions, w.nodes[2].Stats().Retransmissions)
+	}
+}
+
+func TestHiddenTerminalRecovery(t *testing.T) {
+	// A(0)-B(70)-C(140): C hidden from A. Both send to B; collisions are
+	// resolved by retries.
+	w := newWorld(7, []geom.Point{{X: 0, Y: 0}, {X: 70, Y: 0}, {X: 140, Y: 0}})
+	w.nodes[0].Send(reliableReq("from-a", 1))
+	w.eng.Schedule(50*sim.Microsecond, func() {
+		w.nodes[2].Send(reliableReq("from-c", 1))
+	})
+	w.eng.Run(30 * sim.Second)
+	if got := len(w.uppers[1].delivered); got != 2 {
+		t.Fatalf("B deliveries = %d, want 2", got)
+	}
+	if w.uppers[0].completes[0].Dropped || w.uppers[2].completes[0].Dropped {
+		t.Fatal("hidden-terminal exchange dropped")
+	}
+}
+
+func TestSequentialPackets(t *testing.T) {
+	w := newWorld(8, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}})
+	for i := 0; i < 5; i++ {
+		w.nodes[0].Send(reliableReq("pkt", 1))
+	}
+	w.eng.Run(5 * sim.Second)
+	if got := len(w.uppers[1].delivered); got != 5 {
+		t.Fatalf("deliveries = %d, want 5", got)
+	}
+	if got := len(w.uppers[0].completes); got != 5 {
+		t.Fatalf("completes = %d, want 5", got)
+	}
+}
+
+func TestManyReceivers(t *testing.T) {
+	pos := []geom.Point{{X: 0, Y: 0}}
+	ids := []int{}
+	for i := 0; i < 10; i++ {
+		pos = append(pos, geom.Point{X: 5 + float64(i), Y: 10})
+		ids = append(ids, i+1)
+	}
+	w := newWorld(9, pos)
+	w.nodes[0].Send(reliableReq("fanout", ids...))
+	w.eng.Run(5 * sim.Second)
+	comp := w.uppers[0].completes
+	if len(comp) != 1 || comp[0].Dropped {
+		t.Fatalf("completion = %+v", comp)
+	}
+	if len(comp[0].Delivered) != 10 {
+		t.Fatalf("delivered = %d", len(comp[0].Delivered))
+	}
+	for i := 1; i <= 10; i++ {
+		if len(w.uppers[i].delivered) != 1 {
+			t.Fatalf("receiver %d deliveries = %d", i, len(w.uppers[i].delivered))
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int, uint64) {
+		w := newWorld(77, []geom.Point{{X: 0, Y: 0}, {X: 60, Y: 0}, {X: 120, Y: 0}})
+		for i := 0; i < 8; i++ {
+			w.nodes[0].Send(reliableReq("a", 1))
+			w.nodes[2].Send(reliableReq("c", 1))
+		}
+		w.eng.Run(30 * sim.Second)
+		return len(w.uppers[1].delivered), w.nodes[0].Stats().Retransmissions + w.nodes[2].Stats().Retransmissions
+	}
+	d1, r1 := run()
+	d2, r2 := run()
+	if d1 != d2 || r1 != r2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", d1, r1, d2, r2)
+	}
+}

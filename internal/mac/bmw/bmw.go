@@ -1,0 +1,450 @@
+// Package bmw implements the Broadcast Medium Window protocol of Tang and
+// Gerla (MILCOM 2001) as described in §2 of the RMAC paper: reliable
+// broadcast realised as a round-robin of RTS/CTS/DATA/ACK unicasts to
+// each intended receiver, where every other receiver tries to overhear
+// the DATA frame. A receiver that already overheard the current frame
+// replies a CTS whose expected sequence number is past the sender's
+// current frame, letting the sender skip the redundant DATA transmission.
+//
+// Each receiver visit involves its own contention phase — the cost that
+// makes BMMM (and RMAC) cheaper per §2 — and a receiver that keeps
+// missing frames stalls the round-robin, reproducing BMW's
+// arbitrarily-long delays.
+package bmw
+
+import (
+	"fmt"
+
+	"rmac/internal/frame"
+	"rmac/internal/mac"
+	"rmac/internal/mac/csma"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+const respSlack = 2*phy.Tau + 2*sim.Microsecond
+
+type state int
+
+const (
+	stIdle state = iota
+	stTxRTS
+	stWfCTS
+	stTxData
+	stWfACK
+	stTxUData
+	stTxResp
+	stGap
+)
+
+var stateNames = [...]string{"IDLE", "TX_RTS", "WF_CTS", "TX_DATA", "WF_ACK", "TX_UDATA", "TX_RESP", "GAP"}
+
+func (s state) String() string { return stateNames[s] }
+
+type txContext struct {
+	req       *mac.SendRequest
+	remaining []frame.Addr
+	delivered []frame.Addr
+	retries   int
+	seq       uint16
+}
+
+type peerState struct {
+	lastSeq   uint16 // highest data seq seen from this sender
+	haveAny   bool
+	delivered uint16 // dedup for upper-layer delivery
+	deliverOK bool
+}
+
+// Node is one BMW instance bound to a radio.
+type Node struct {
+	eng    *sim.Engine
+	radio  *phy.Radio
+	cfg    phy.Config
+	addr   frame.Addr
+	limits mac.Limits
+	upper  mac.UpperLayer
+
+	st    state
+	queue *mac.Queue
+	dcf   *csma.DCF
+	nav   *csma.NAV
+	stats mac.Stats
+
+	cur   *txContext
+	timer *sim.Timer
+	peers map[frame.Addr]*peerState
+	seq   uint16
+}
+
+var _ mac.MAC = (*Node)(nil)
+var _ phy.Handler = (*Node)(nil)
+
+// New creates a BMW node on the given radio and installs itself as the
+// radio's PHY handler.
+func New(radio *phy.Radio, cfg phy.Config, eng *sim.Engine, limits mac.Limits) *Node {
+	n := &Node{
+		eng:    eng,
+		radio:  radio,
+		cfg:    cfg,
+		addr:   frame.AddrFromID(radio.ID()),
+		limits: limits,
+		queue:  mac.NewQueue(limits.QueueCap),
+		peers:  make(map[frame.Addr]*peerState),
+	}
+	n.nav = csma.NewNAV(eng, func() { n.dcf.ChannelMaybeIdle() })
+	n.dcf = csma.NewDCF(eng, eng.Rand(), n.mediumIdle, n.onWin)
+	n.timer = sim.NewTimer(eng, n.onRespTimeout)
+	radio.SetHandler(n)
+	return n
+}
+
+// Addr implements mac.MAC.
+func (n *Node) Addr() frame.Addr { return n.addr }
+
+// Stats implements mac.MAC.
+func (n *Node) Stats() *mac.Stats { return &n.stats }
+
+// SetUpper implements mac.MAC.
+func (n *Node) SetUpper(u mac.UpperLayer) { n.upper = u }
+
+// Send implements mac.MAC.
+func (n *Node) Send(req *mac.SendRequest) bool {
+	if req.Service == mac.Reliable && len(req.Dests) == 0 {
+		panic("bmw: Reliable Send needs at least one destination")
+	}
+	req.EnqueuedAt = n.eng.Now()
+	var pushed bool
+	if req.Urgent {
+		pushed = n.queue.PushFront(req)
+	} else {
+		pushed = n.queue.Push(req)
+	}
+	if !pushed {
+		n.stats.QueueDrops++
+		return false
+	}
+	n.stats.Enqueued++
+	n.trySend()
+	return true
+}
+
+func (n *Node) mediumIdle() bool {
+	return !n.radio.DataChannelBusy() && !n.nav.Busy()
+}
+
+func (n *Node) trySend() {
+	if n.st != stIdle || n.dcf.Armed() {
+		return
+	}
+	if n.cur == nil {
+		req := n.queue.Pop()
+		if req == nil {
+			return
+		}
+		n.seq++
+		n.cur = &txContext{req: req, seq: n.seq}
+		if req.Service == mac.Reliable {
+			n.cur.remaining = append([]frame.Addr(nil), req.Dests...)
+			n.stats.ReliableToTransmit++
+		}
+	}
+	n.dcf.Arm()
+}
+
+func (n *Node) startTx(f frame.Frame) sim.Time {
+	n.dcf.ChannelBusy()
+	return n.radio.StartTx(f)
+}
+
+// onWin: one contention phase won — visit the head receiver.
+func (n *Node) onWin() {
+	if n.cur == nil || n.st != stIdle {
+		return
+	}
+	if n.cur.req.Service == mac.Unreliable {
+		dest := frame.Broadcast
+		if len(n.cur.req.Dests) > 0 {
+			dest = n.cur.req.Dests[0]
+		}
+		n.st = stTxUData
+		n.startTx(&frame.Data{Receiver: dest, Transmitter: n.addr, Seq: n.cur.seq, Payload: n.cur.req.Payload})
+		return
+	}
+	n.st = stTxRTS
+	// NAV covers the worst case: CTS + DATA + ACK.
+	tail := phy.SIFS + n.cfg.TxDuration(frame.CTSLen) +
+		phy.SIFS + n.cfg.TxDuration(frame.Data80211Overhead+len(n.cur.req.Payload)) +
+		phy.SIFS + n.cfg.TxDuration(frame.ACKLen)
+	f := &frame.RTS{
+		Duration:    durationMicros(tail),
+		Receiver:    n.cur.remaining[0],
+		Transmitter: n.addr,
+	}
+	dur := n.startTx(f)
+	n.stats.CtrlTxTime += dur
+}
+
+func durationMicros(d sim.Time) uint16 {
+	us := int64(d / sim.Microsecond)
+	if us > 65535 {
+		us = 65535
+	}
+	return uint16(us)
+}
+
+// OnTxDone implements phy.Handler.
+func (n *Node) OnTxDone(f frame.Frame) {
+	n.dcf.ChannelMaybeIdle()
+	switch n.st {
+	case stTxRTS:
+		n.st = stWfCTS
+		n.timer.Start(phy.SIFS + n.cfg.TxDuration(frame.CTSLen) + respSlack)
+	case stTxData:
+		n.st = stWfACK
+		n.timer.Start(phy.SIFS + n.cfg.TxDuration(frame.ACKLen) + respSlack)
+	case stTxUData:
+		n.stats.UnreliableSent++
+		req := n.cur.req
+		n.cur = nil
+		n.st = stIdle
+		n.dcf.Backoff().Reset()
+		n.dcf.Backoff().Draw()
+		if n.upper != nil {
+			n.upper.OnSendComplete(mac.TxResult{Req: req})
+		}
+		n.trySend()
+	case stTxResp:
+		n.st = stIdle
+		n.trySend()
+	default:
+		panic(fmt.Sprintf("bmw: node %v OnTxDone in state %v", n.addr, n.st))
+	}
+}
+
+func (n *Node) onRespTimeout() {
+	switch n.st {
+	case stWfCTS, stWfACK:
+		n.visitFailed()
+	}
+}
+
+// visitFailed: the current receiver did not respond; back off and retry
+// it (round-robin stalls on the failing receiver, as BMW does).
+func (n *Node) visitFailed() {
+	n.st = stIdle
+	n.cur.retries++
+	if n.cur.retries > n.limits.RetryLimit {
+		n.completeReliable(true)
+		return
+	}
+	n.stats.Retransmissions++
+	n.dcf.Backoff().Fail()
+	n.dcf.Backoff().Draw()
+	n.trySend()
+}
+
+// visitDelivered: head receiver confirmed (by ACK or by an
+// already-past-this-seq CTS); move to the next receiver with a fresh
+// contention phase.
+func (n *Node) visitDelivered() {
+	n.cur.delivered = append(n.cur.delivered, n.cur.remaining[0])
+	n.cur.remaining = n.cur.remaining[1:]
+	n.st = stIdle
+	if len(n.cur.remaining) == 0 {
+		n.completeReliable(false)
+		return
+	}
+	n.dcf.Backoff().Reset()
+	n.dcf.Backoff().Draw()
+	n.trySend()
+}
+
+func (n *Node) completeReliable(dropped bool) {
+	n.st = stIdle
+	ctx := n.cur
+	n.cur = nil
+	res := mac.TxResult{Req: ctx.req, Delivered: ctx.delivered, Retries: ctx.retries}
+	if dropped {
+		n.stats.Drops++
+		res.Dropped = true
+		res.Failed = append([]frame.Addr(nil), ctx.remaining...)
+	} else {
+		n.stats.ReliableDelivered++
+	}
+	n.dcf.Backoff().Reset()
+	n.dcf.Backoff().Draw()
+	if n.upper != nil {
+		n.upper.OnSendComplete(res)
+	}
+	n.trySend()
+}
+
+// --- Reception ---------------------------------------------------------------
+
+func (n *Node) peer(a frame.Addr) *peerState {
+	p := n.peers[a]
+	if p == nil {
+		p = &peerState{}
+		n.peers[a] = p
+	}
+	return p
+}
+
+// OnFrameReceived implements phy.Handler.
+func (n *Node) OnFrameReceived(f frame.Frame, ok bool, rxStart sim.Time) {
+	if !ok {
+		return
+	}
+	switch g := f.(type) {
+	case *frame.RTS:
+		if g.Receiver == n.addr {
+			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
+			p := n.peer(g.Transmitter)
+			expect := uint16(0)
+			if p.haveAny {
+				expect = p.lastSeq + 1
+			}
+			n.respond(&frame.CTS{
+				Duration:    subDuration(g.Duration, phy.SIFS+n.cfg.TxDuration(frame.CTSLen)),
+				Receiver:    g.Transmitter,
+				Transmitter: n.addr,
+				Expect:      expect,
+			})
+			return
+		}
+		n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
+		n.dcf.ChannelBusy()
+	case *frame.CTS:
+		if n.st == stWfCTS && g.Receiver == n.addr {
+			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
+			n.timer.Stop()
+			if g.Expect > n.cur.seq {
+				// Receiver already overheard this frame: skip DATA.
+				n.visitDelivered()
+				return
+			}
+			n.afterSIFS(n.sendData)
+			return
+		}
+		if g.Receiver != n.addr {
+			n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
+			n.dcf.ChannelBusy()
+		}
+	case *frame.Data:
+		n.onData(g, rxStart)
+	case *frame.ACK:
+		if n.st == stWfACK && g.Receiver == n.addr {
+			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
+			n.timer.Stop()
+			n.visitDelivered()
+			return
+		}
+		if g.Receiver != n.addr {
+			n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
+			n.dcf.ChannelBusy()
+		}
+	}
+}
+
+func (n *Node) sendData() {
+	n.st = stTxData
+	tail := phy.SIFS + n.cfg.TxDuration(frame.ACKLen)
+	f := &frame.Data{
+		Duration:    durationMicros(tail),
+		Receiver:    n.cur.remaining[0],
+		Transmitter: n.addr,
+		Seq:         n.cur.seq,
+		Payload:     n.cur.req.Payload,
+	}
+	dur := n.startTx(f)
+	n.stats.DataTxTime += dur
+}
+
+func (n *Node) afterSIFS(step func()) {
+	n.st = stGap
+	n.eng.After(phy.SIFS, func() {
+		if n.cur == nil || n.radio.Transmitting() {
+			return
+		}
+		step()
+	})
+}
+
+// onData: reliable (Duration > 0) data frames are cached and delivered by
+// the addressee and by overhearers (BMW's gain); unreliable frames go to
+// their addressees.
+func (n *Node) onData(d *frame.Data, rxStart sim.Time) {
+	if d.Duration > 0 {
+		p := n.peer(d.Transmitter)
+		if !p.haveAny || seqNewer(d.Seq, p.lastSeq) {
+			p.haveAny = true
+			p.lastSeq = d.Seq
+		}
+		n.deliver(d, true, rxStart)
+		if d.Receiver == n.addr {
+			n.respond(&frame.ACK{Receiver: d.Transmitter, Transmitter: n.addr})
+			return
+		}
+		n.nav.Set(sim.Time(d.Duration) * sim.Microsecond)
+		n.dcf.ChannelBusy()
+		return
+	}
+	if d.Receiver == n.addr || d.Receiver.IsBroadcast() {
+		n.deliver(d, false, rxStart)
+	}
+}
+
+// seqNewer compares 16-bit sequence numbers with wraparound.
+func seqNewer(a, b uint16) bool { return int16(a-b) > 0 }
+
+func (n *Node) deliver(d *frame.Data, reliable bool, rxStart sim.Time) {
+	p := n.peer(d.Transmitter)
+	if reliable {
+		if p.deliverOK && p.delivered == d.Seq {
+			return
+		}
+		p.deliverOK = true
+		p.delivered = d.Seq
+	}
+	if n.upper != nil {
+		n.upper.OnDeliver(d.Payload, mac.RxInfo{
+			From:     d.Transmitter,
+			Reliable: reliable,
+			Seq:      uint32(d.Seq),
+			RxStart:  rxStart,
+			RxEnd:    n.eng.Now(),
+		})
+	}
+}
+
+func subDuration(d uint16, sub sim.Time) uint16 {
+	s := int64(sub / sim.Microsecond)
+	if int64(d) <= s {
+		return 0
+	}
+	return d - uint16(s)
+}
+
+func (n *Node) respond(f frame.Frame) {
+	n.eng.After(phy.SIFS, func() {
+		if n.st != stIdle || n.radio.Transmitting() {
+			return
+		}
+		n.st = stTxResp
+		dur := n.startTx(f)
+		n.stats.CtrlTxTime += dur
+	})
+}
+
+// OnCarrierChange implements phy.Handler.
+func (n *Node) OnCarrierChange(busy bool) {
+	if busy {
+		n.dcf.ChannelBusy()
+	} else {
+		n.dcf.ChannelMaybeIdle()
+	}
+}
+
+// OnToneChange implements phy.Handler; BMW has no busy-tone hardware.
+func (n *Node) OnToneChange(phy.Tone, bool) {}

@@ -1,0 +1,159 @@
+package csma
+
+import (
+	"testing"
+
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+func TestNAVExtendsNeverShrinks(t *testing.T) {
+	eng := sim.NewEngine(1)
+	expired := 0
+	n := NewNAV(eng, func() { expired++ })
+	if n.Busy() {
+		t.Fatal("fresh NAV busy")
+	}
+	n.Set(100 * sim.Microsecond)
+	if !n.Busy() || n.Until() != 100*sim.Microsecond {
+		t.Fatal("NAV not set")
+	}
+	n.Set(50 * sim.Microsecond) // shorter: ignored
+	if n.Until() != 100*sim.Microsecond {
+		t.Fatal("NAV shrank")
+	}
+	n.Set(200 * sim.Microsecond)
+	eng.RunAll()
+	if n.Busy() {
+		t.Fatal("NAV busy after expiry")
+	}
+	if expired != 1 {
+		t.Fatalf("expiry callbacks = %d, want exactly 1 (restart must cancel)", expired)
+	}
+	if eng.Now() != 200*sim.Microsecond {
+		t.Fatalf("expiry at %v", eng.Now())
+	}
+}
+
+type dcfHarness struct {
+	eng   *sim.Engine
+	d     *DCF
+	idle  bool
+	fired int
+}
+
+func newDCFHarness(seed int64) *dcfHarness {
+	h := &dcfHarness{eng: sim.NewEngine(seed), idle: true}
+	h.d = NewDCF(h.eng, h.eng.Rand(), func() bool { return h.idle }, func() { h.fired++ })
+	return h
+}
+
+func TestDCFFiresAfterDIFSWhenNoBackoff(t *testing.T) {
+	h := newDCFHarness(1)
+	h.d.Arm()
+	h.eng.RunAll()
+	if h.fired != 1 {
+		t.Fatal("did not fire")
+	}
+	if h.eng.Now() != phy.DIFS {
+		t.Fatalf("fired at %v, want DIFS", h.eng.Now())
+	}
+	if h.d.Armed() {
+		t.Fatal("still armed after fire")
+	}
+}
+
+func TestDCFWaitsForBackoff(t *testing.T) {
+	h := newDCFHarness(2)
+	h.d.Backoff().Draw()
+	bi := h.d.Backoff().BI()
+	h.d.Arm()
+	h.eng.RunAll()
+	if h.fired != 1 {
+		t.Fatal("did not fire")
+	}
+	want := phy.DIFS + sim.Time(bi)*phy.SlotTime
+	if h.eng.Now() != want {
+		t.Fatalf("fired at %v, want %v", h.eng.Now(), want)
+	}
+}
+
+func TestDCFBusyRestartsDIFS(t *testing.T) {
+	h := newDCFHarness(3)
+	h.d.Arm()
+	// Busy burst in the middle of DIFS.
+	h.eng.Schedule(20*sim.Microsecond, func() {
+		h.idle = false
+		h.d.ChannelBusy()
+	})
+	resume := 300 * sim.Microsecond
+	h.eng.Schedule(resume, func() {
+		h.idle = true
+		h.d.ChannelMaybeIdle()
+	})
+	h.eng.RunAll()
+	if h.fired != 1 {
+		t.Fatal("did not fire")
+	}
+	if h.eng.Now() != resume+phy.DIFS {
+		t.Fatalf("fired at %v, want %v (full DIFS after idle)", h.eng.Now(), resume+phy.DIFS)
+	}
+}
+
+func TestDCFArmWhileBusyDefers(t *testing.T) {
+	h := newDCFHarness(4)
+	h.idle = false
+	h.d.Arm()
+	h.eng.RunAll()
+	if h.fired != 0 {
+		t.Fatal("fired while busy")
+	}
+	h.idle = true
+	h.d.ChannelMaybeIdle()
+	h.eng.RunAll()
+	if h.fired != 1 {
+		t.Fatal("did not fire after idle")
+	}
+}
+
+func TestDCFDisarm(t *testing.T) {
+	h := newDCFHarness(5)
+	h.d.Arm()
+	h.d.Disarm()
+	h.eng.RunAll()
+	if h.fired != 0 {
+		t.Fatal("fired after disarm")
+	}
+}
+
+func TestDCFArmIdempotent(t *testing.T) {
+	h := newDCFHarness(6)
+	h.d.Arm()
+	h.d.Arm()
+	h.eng.RunAll()
+	if h.fired != 1 {
+		t.Fatalf("fired %d times", h.fired)
+	}
+}
+
+func TestDCFWithNAV(t *testing.T) {
+	// Combined physical+virtual idle predicate: NAV blocks the countdown
+	// until it expires.
+	eng := sim.NewEngine(7)
+	fired := 0
+	var nav *NAV
+	var d *DCF
+	physIdle := true
+	idle := func() bool { return physIdle && !nav.Busy() }
+	d = NewDCF(eng, eng.Rand(), idle, func() { fired++ })
+	nav = NewNAV(eng, func() { d.ChannelMaybeIdle() })
+	nav.Set(500 * sim.Microsecond)
+	d.Arm()
+	eng.RunAll()
+	if fired != 1 {
+		t.Fatal("did not fire")
+	}
+	if got, want := eng.Now(), 500*sim.Microsecond+phy.DIFS; got != want {
+		t.Fatalf("fired at %v, want %v", got, want)
+	}
+}

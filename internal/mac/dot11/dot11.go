@@ -1,0 +1,412 @@
+// Package dot11 implements plain IEEE 802.11 DCF as the paper's §1
+// characterises it: "IEEE 802.11 ... only supports reliability for
+// unicast with the RTS/CTS/DATA/ACK scheme; and for multicast or
+// broadcast, it simply transmits the data frames once without any
+// recovery mechanism."
+//
+// Reliable Send with one destination runs the full RTS/CTS/DATA/ACK
+// exchange with retransmissions; Reliable Send with several destinations
+// degrades — exactly as the standard does — to a single unacknowledged
+// broadcast data frame (TxResult reports Delivered for what the protocol
+// *attempted*; the application-level delivery ratio shows the loss the
+// paper's introduction motivates RMAC with). The Unreliable service is
+// the same single broadcast.
+package dot11
+
+import (
+	"fmt"
+
+	"rmac/internal/frame"
+	"rmac/internal/mac"
+	"rmac/internal/mac/csma"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+const respSlack = 2*phy.Tau + 2*sim.Microsecond
+
+type state int
+
+const (
+	stIdle state = iota
+	stTxRTS
+	stWfCTS
+	stTxData
+	stWfACK
+	stTxBcast
+	stTxResp
+	stGap
+)
+
+var stateNames = [...]string{"IDLE", "TX_RTS", "WF_CTS", "TX_DATA", "WF_ACK", "TX_BCAST", "TX_RESP", "GAP"}
+
+func (s state) String() string { return stateNames[s] }
+
+type txContext struct {
+	req     *mac.SendRequest
+	retries int
+	seq     uint16
+	unicast bool
+}
+
+type peerDedup struct {
+	delivered uint16
+	deliverOK bool
+}
+
+// Node is one 802.11 DCF instance bound to a radio.
+type Node struct {
+	eng    *sim.Engine
+	radio  *phy.Radio
+	cfg    phy.Config
+	addr   frame.Addr
+	limits mac.Limits
+	upper  mac.UpperLayer
+
+	st    state
+	queue *mac.Queue
+	dcf   *csma.DCF
+	nav   *csma.NAV
+	stats mac.Stats
+
+	cur   *txContext
+	timer *sim.Timer
+	peers map[frame.Addr]*peerDedup
+	seq   uint16
+}
+
+var _ mac.MAC = (*Node)(nil)
+var _ phy.Handler = (*Node)(nil)
+
+// New creates an 802.11 node on the given radio and installs itself as
+// the radio's PHY handler.
+func New(radio *phy.Radio, cfg phy.Config, eng *sim.Engine, limits mac.Limits) *Node {
+	n := &Node{
+		eng:    eng,
+		radio:  radio,
+		cfg:    cfg,
+		addr:   frame.AddrFromID(radio.ID()),
+		limits: limits,
+		queue:  mac.NewQueue(limits.QueueCap),
+		peers:  make(map[frame.Addr]*peerDedup),
+	}
+	n.nav = csma.NewNAV(eng, func() { n.dcf.ChannelMaybeIdle() })
+	n.dcf = csma.NewDCF(eng, eng.Rand(), n.mediumIdle, n.onWin)
+	n.timer = sim.NewTimer(eng, n.onTimeout)
+	radio.SetHandler(n)
+	return n
+}
+
+// Addr implements mac.MAC.
+func (n *Node) Addr() frame.Addr { return n.addr }
+
+// Stats implements mac.MAC.
+func (n *Node) Stats() *mac.Stats { return &n.stats }
+
+// SetUpper implements mac.MAC.
+func (n *Node) SetUpper(u mac.UpperLayer) { n.upper = u }
+
+// Send implements mac.MAC.
+func (n *Node) Send(req *mac.SendRequest) bool {
+	if req.Service == mac.Reliable && len(req.Dests) == 0 {
+		panic("dot11: Reliable Send needs at least one destination")
+	}
+	req.EnqueuedAt = n.eng.Now()
+	var pushed bool
+	if req.Urgent {
+		pushed = n.queue.PushFront(req)
+	} else {
+		pushed = n.queue.Push(req)
+	}
+	if !pushed {
+		n.stats.QueueDrops++
+		return false
+	}
+	n.stats.Enqueued++
+	n.trySend()
+	return true
+}
+
+func (n *Node) mediumIdle() bool {
+	return !n.radio.DataChannelBusy() && !n.nav.Busy()
+}
+
+func (n *Node) trySend() {
+	if n.st != stIdle || n.dcf.Armed() {
+		return
+	}
+	if n.cur == nil {
+		req := n.queue.Pop()
+		if req == nil {
+			return
+		}
+		n.seq++
+		n.cur = &txContext{req: req, seq: n.seq}
+		if req.Service == mac.Reliable {
+			n.cur.unicast = len(req.Dests) == 1 && !req.Dests[0].IsBroadcast()
+			n.stats.ReliableToTransmit++
+		}
+	}
+	n.dcf.Arm()
+}
+
+func (n *Node) startTx(f frame.Frame) sim.Time {
+	n.dcf.ChannelBusy()
+	return n.radio.StartTx(f)
+}
+
+func (n *Node) onWin() {
+	if n.cur == nil || n.st != stIdle {
+		return
+	}
+	if n.cur.req.Service == mac.Reliable && n.cur.unicast {
+		n.st = stTxRTS
+		tail := phy.SIFS + n.cfg.TxDuration(frame.CTSLen) +
+			phy.SIFS + n.cfg.TxDuration(frame.Data80211Overhead+len(n.cur.req.Payload)) +
+			phy.SIFS + n.cfg.TxDuration(frame.ACKLen)
+		f := &frame.RTS{
+			Duration:    durationMicros(tail),
+			Receiver:    n.cur.req.Dests[0],
+			Transmitter: n.addr,
+		}
+		dur := n.startTx(f)
+		n.stats.CtrlTxTime += dur
+		return
+	}
+	// Multicast/broadcast (reliable requested or not): one transmission,
+	// no recovery — the 802.11 behaviour §1 describes.
+	dest := frame.Broadcast
+	if n.cur.req.Service == mac.Unreliable && len(n.cur.req.Dests) > 0 {
+		dest = n.cur.req.Dests[0]
+	}
+	n.st = stTxBcast
+	dur := n.startTx(&frame.Data{Receiver: dest, Transmitter: n.addr, Seq: n.cur.seq, Payload: n.cur.req.Payload})
+	if n.cur.req.Service == mac.Reliable {
+		n.stats.DataTxTime += dur
+	}
+}
+
+func durationMicros(d sim.Time) uint16 {
+	us := int64(d / sim.Microsecond)
+	if us > 65535 {
+		us = 65535
+	}
+	return uint16(us)
+}
+
+// OnTxDone implements phy.Handler.
+func (n *Node) OnTxDone(f frame.Frame) {
+	n.dcf.ChannelMaybeIdle()
+	switch n.st {
+	case stTxRTS:
+		n.st = stWfCTS
+		n.timer.Start(phy.SIFS + n.cfg.TxDuration(frame.CTSLen) + respSlack)
+	case stTxData:
+		n.st = stWfACK
+		n.timer.Start(phy.SIFS + n.cfg.TxDuration(frame.ACKLen) + respSlack)
+	case stTxBcast:
+		ctx := n.cur
+		n.cur = nil
+		n.st = stIdle
+		res := mac.TxResult{Req: ctx.req}
+		if ctx.req.Service == mac.Reliable {
+			// Best effort: the sender has no way to learn the outcome;
+			// report the attempt.
+			n.stats.ReliableDelivered++
+			res.Delivered = append([]frame.Addr(nil), ctx.req.Dests...)
+		} else {
+			n.stats.UnreliableSent++
+		}
+		n.dcf.Backoff().Reset()
+		n.dcf.Backoff().Draw()
+		if n.upper != nil {
+			n.upper.OnSendComplete(res)
+		}
+		n.trySend()
+	case stTxResp:
+		n.st = stIdle
+		n.trySend()
+	default:
+		panic(fmt.Sprintf("dot11: node %v OnTxDone in state %v", n.addr, n.st))
+	}
+}
+
+func (n *Node) onTimeout() {
+	switch n.st {
+	case stWfCTS, stWfACK:
+		n.st = stIdle
+		n.cur.retries++
+		if n.cur.retries > n.limits.RetryLimit {
+			n.completeUnicast(true)
+			return
+		}
+		n.stats.Retransmissions++
+		n.dcf.Backoff().Fail()
+		n.dcf.Backoff().Draw()
+		n.trySend()
+	}
+}
+
+func (n *Node) sendData() {
+	n.st = stTxData
+	tail := phy.SIFS + n.cfg.TxDuration(frame.ACKLen)
+	f := &frame.Data{
+		Duration:    durationMicros(tail),
+		Receiver:    n.cur.req.Dests[0],
+		Transmitter: n.addr,
+		Seq:         n.cur.seq,
+		Payload:     n.cur.req.Payload,
+	}
+	dur := n.startTx(f)
+	n.stats.DataTxTime += dur
+}
+
+func (n *Node) afterSIFS(step func()) {
+	n.st = stGap
+	n.eng.After(phy.SIFS, func() {
+		if n.cur == nil || n.radio.Transmitting() {
+			return
+		}
+		step()
+	})
+}
+
+func (n *Node) completeUnicast(dropped bool) {
+	n.st = stIdle
+	ctx := n.cur
+	n.cur = nil
+	res := mac.TxResult{Req: ctx.req, Retries: ctx.retries}
+	if dropped {
+		n.stats.Drops++
+		res.Dropped = true
+		res.Failed = append([]frame.Addr(nil), ctx.req.Dests...)
+	} else {
+		n.stats.ReliableDelivered++
+		res.Delivered = append([]frame.Addr(nil), ctx.req.Dests...)
+	}
+	n.dcf.Backoff().Reset()
+	n.dcf.Backoff().Draw()
+	if n.upper != nil {
+		n.upper.OnSendComplete(res)
+	}
+	n.trySend()
+}
+
+// --- Reception ---------------------------------------------------------------
+
+// OnFrameReceived implements phy.Handler.
+func (n *Node) OnFrameReceived(f frame.Frame, ok bool, rxStart sim.Time) {
+	if !ok {
+		return
+	}
+	switch g := f.(type) {
+	case *frame.RTS:
+		if g.Receiver == n.addr {
+			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
+			n.respond(&frame.CTS{
+				Duration:    subDuration(g.Duration, phy.SIFS+n.cfg.TxDuration(frame.CTSLen)),
+				Receiver:    g.Transmitter,
+				Transmitter: n.addr,
+			})
+			return
+		}
+		n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
+		n.dcf.ChannelBusy()
+	case *frame.CTS:
+		if n.st == stWfCTS && g.Receiver == n.addr {
+			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
+			n.timer.Stop()
+			n.afterSIFS(n.sendData)
+			return
+		}
+		if g.Receiver != n.addr {
+			n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
+			n.dcf.ChannelBusy()
+		}
+	case *frame.Data:
+		n.onData(g, rxStart)
+	case *frame.ACK:
+		if n.st == stWfACK && g.Receiver == n.addr {
+			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
+			n.timer.Stop()
+			n.completeUnicast(false)
+			return
+		}
+		if g.Receiver != n.addr {
+			n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
+			n.dcf.ChannelBusy()
+		}
+	}
+}
+
+func (n *Node) onData(d *frame.Data, rxStart sim.Time) {
+	if d.Receiver == n.addr && d.Duration > 0 {
+		// Unicast data under reservation: deliver and ACK.
+		n.deliver(d, true, rxStart)
+		n.respond(&frame.ACK{Receiver: d.Transmitter, Transmitter: n.addr})
+		return
+	}
+	if d.Receiver == n.addr || d.Receiver.IsBroadcast() {
+		// One-shot multicast/broadcast data (no reservation tail): the
+		// upper layer treats it as best-effort.
+		n.deliver(d, false, rxStart)
+		return
+	}
+	if d.Duration > 0 {
+		n.nav.Set(sim.Time(d.Duration) * sim.Microsecond)
+		n.dcf.ChannelBusy()
+	}
+}
+
+func (n *Node) deliver(d *frame.Data, reliable bool, rxStart sim.Time) {
+	p := n.peers[d.Transmitter]
+	if p == nil {
+		p = &peerDedup{}
+		n.peers[d.Transmitter] = p
+	}
+	if p.deliverOK && p.delivered == d.Seq {
+		return
+	}
+	p.deliverOK = true
+	p.delivered = d.Seq
+	if n.upper != nil {
+		n.upper.OnDeliver(d.Payload, mac.RxInfo{
+			From:     d.Transmitter,
+			Reliable: reliable,
+			Seq:      uint32(d.Seq),
+			RxStart:  rxStart,
+			RxEnd:    n.eng.Now(),
+		})
+	}
+}
+
+func subDuration(d uint16, sub sim.Time) uint16 {
+	s := int64(sub / sim.Microsecond)
+	if int64(d) <= s {
+		return 0
+	}
+	return d - uint16(s)
+}
+
+func (n *Node) respond(f frame.Frame) {
+	n.eng.After(phy.SIFS, func() {
+		if n.st != stIdle || n.radio.Transmitting() {
+			return
+		}
+		n.st = stTxResp
+		dur := n.startTx(f)
+		n.stats.CtrlTxTime += dur
+	})
+}
+
+// OnCarrierChange implements phy.Handler.
+func (n *Node) OnCarrierChange(busy bool) {
+	if busy {
+		n.dcf.ChannelBusy()
+	} else {
+		n.dcf.ChannelMaybeIdle()
+	}
+}
+
+// OnToneChange implements phy.Handler; 802.11 has no busy-tone hardware.
+func (n *Node) OnToneChange(phy.Tone, bool) {}

@@ -1,0 +1,161 @@
+package dot11
+
+import (
+	"testing"
+
+	"rmac/internal/frame"
+	"rmac/internal/geom"
+	"rmac/internal/mac"
+	"rmac/internal/mobility"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+type upper struct {
+	delivered []delivery
+	completes []mac.TxResult
+}
+
+type delivery struct {
+	payload []byte
+	info    mac.RxInfo
+}
+
+func (u *upper) OnDeliver(payload []byte, info mac.RxInfo) {
+	u.delivered = append(u.delivered, delivery{payload, info})
+}
+func (u *upper) OnSendComplete(res mac.TxResult) { u.completes = append(u.completes, res) }
+
+type world struct {
+	eng    *sim.Engine
+	nodes  []*Node
+	uppers []*upper
+}
+
+func newWorld(seed int64, pos []geom.Point) *world {
+	eng := sim.NewEngine(seed)
+	cfg := phy.DefaultConfig()
+	m := phy.NewMedium(eng, cfg)
+	w := &world{eng: eng}
+	for i, p := range pos {
+		r := m.AddRadio(i, mobility.Stationary{P: p})
+		n := New(r, cfg, eng, mac.DefaultLimits())
+		u := &upper{}
+		n.SetUpper(u)
+		w.nodes = append(w.nodes, n)
+		w.uppers = append(w.uppers, u)
+	}
+	return w
+}
+
+func addrs(ids ...int) []frame.Addr {
+	out := make([]frame.Addr, len(ids))
+	for i, id := range ids {
+		out[i] = frame.AddrFromID(id)
+	}
+	return out
+}
+
+func TestReliableUnicast(t *testing.T) {
+	w := newWorld(1, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}})
+	w.nodes[0].Send(&mac.SendRequest{Service: mac.Reliable, Dests: addrs(1), Payload: []byte("unicast")})
+	w.eng.Run(sim.Second)
+	if len(w.uppers[1].delivered) != 1 || !w.uppers[1].delivered[0].info.Reliable {
+		t.Fatalf("deliveries = %+v", w.uppers[1].delivered)
+	}
+	comp := w.uppers[0].completes
+	if len(comp) != 1 || comp[0].Dropped || len(comp[0].Delivered) != 1 {
+		t.Fatalf("completion = %+v", comp)
+	}
+	// Full RTS/CTS/DATA/ACK: sender sent RTS, received CTS+ACK.
+	st := w.nodes[0].Stats()
+	cfg := phy.DefaultConfig()
+	if st.CtrlTxTime != cfg.TxDuration(frame.RTSLen) {
+		t.Fatalf("CtrlTxTime = %v", st.CtrlTxTime)
+	}
+	if st.CtrlRxTime != cfg.TxDuration(frame.CTSLen)+cfg.TxDuration(frame.ACKLen) {
+		t.Fatalf("CtrlRxTime = %v", st.CtrlRxTime)
+	}
+}
+
+func TestUnicastRetryAndDrop(t *testing.T) {
+	w := newWorld(2, []geom.Point{{X: 0, Y: 0}, {X: 500, Y: 0}})
+	w.nodes[0].Send(&mac.SendRequest{Service: mac.Reliable, Dests: addrs(1), Payload: []byte("x")})
+	w.eng.Run(30 * sim.Second)
+	st := w.nodes[0].Stats()
+	if st.Drops != 1 || st.Retransmissions != uint64(mac.DefaultLimits().RetryLimit) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !w.uppers[0].completes[0].Dropped {
+		t.Fatal("not reported dropped")
+	}
+}
+
+// TestMulticastIsOneShot pins §1's motivation: multicast under plain
+// 802.11 is transmitted once, unacknowledged, and the sender reports
+// optimistic success even for unreachable receivers.
+func TestMulticastIsOneShot(t *testing.T) {
+	w := newWorld(3, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 400, Y: 0}})
+	w.nodes[0].Send(&mac.SendRequest{Service: mac.Reliable, Dests: addrs(1, 2), Payload: []byte("mcast")})
+	w.eng.Run(5 * sim.Second)
+	st := w.nodes[0].Stats()
+	if st.Retransmissions != 0 {
+		t.Fatal("802.11 multicast must never retransmit")
+	}
+	if st.CtrlTxTime != 0 {
+		t.Fatal("802.11 multicast must not use RTS/CTS")
+	}
+	comp := w.uppers[0].completes
+	if len(comp) != 1 || comp[0].Dropped || len(comp[0].Delivered) != 2 {
+		t.Fatalf("completion = %+v (sender must believe it succeeded)", comp)
+	}
+	if len(w.uppers[1].delivered) != 1 {
+		t.Fatal("in-range receiver missed the single transmission")
+	}
+	if len(w.uppers[2].delivered) != 0 {
+		t.Fatal("unreachable receiver cannot have received")
+	}
+}
+
+func TestUnreliableBroadcast(t *testing.T) {
+	w := newWorld(4, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}})
+	w.nodes[0].Send(&mac.SendRequest{Service: mac.Unreliable, Payload: []byte("beacon")})
+	w.eng.Run(sim.Second)
+	if len(w.uppers[1].delivered) != 1 || w.uppers[1].delivered[0].info.Reliable {
+		t.Fatalf("broadcast = %+v", w.uppers[1].delivered)
+	}
+	if w.nodes[0].Stats().UnreliableSent != 1 {
+		t.Fatal("UnreliableSent")
+	}
+}
+
+func TestNAVProtectsUnicast(t *testing.T) {
+	// A->B unicast; C hears both and enqueues mid-exchange: serialised,
+	// no retransmissions.
+	w := newWorld(5, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 30, Y: 30}})
+	payload := make([]byte, 500)
+	w.nodes[0].Send(&mac.SendRequest{Service: mac.Reliable, Dests: addrs(1), Payload: payload})
+	w.eng.Schedule(300*sim.Microsecond, func() {
+		w.nodes[2].Send(&mac.SendRequest{Service: mac.Reliable, Dests: addrs(1), Payload: []byte("later")})
+	})
+	w.eng.Run(5 * sim.Second)
+	if got := len(w.uppers[1].delivered); got != 2 {
+		t.Fatalf("B deliveries = %d", got)
+	}
+	if w.nodes[0].Stats().Retransmissions+w.nodes[2].Stats().Retransmissions != 0 {
+		t.Fatal("NAV failed to serialise")
+	}
+}
+
+func TestHarnessGap(t *testing.T) {
+	// Through the experiment harness semantics: consecutive packets each
+	// transmitted once; dedupe by seq still passes distinct packets.
+	w := newWorld(6, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 0, Y: 50}})
+	for i := 0; i < 4; i++ {
+		w.nodes[0].Send(&mac.SendRequest{Service: mac.Reliable, Dests: addrs(1, 2), Payload: []byte{byte(i)}})
+	}
+	w.eng.Run(5 * sim.Second)
+	if len(w.uppers[1].delivered) != 4 || len(w.uppers[2].delivered) != 4 {
+		t.Fatalf("deliveries = %d/%d", len(w.uppers[1].delivered), len(w.uppers[2].delivered))
+	}
+}

@@ -1,0 +1,483 @@
+// Package lbp implements the Leader Based Protocol of Kuri and Kasera
+// (Wireless Networks 2001) as described in §2 of the RMAC paper: one
+// receiver — the leader — answers CTS and ACK on behalf of the multicast
+// group, so the sender never suffers feedback collision; non-leader
+// receivers that detect a corrupted data frame transmit a NAK timed to
+// collide with (garble) the leader's ACK, forcing a retransmission.
+//
+// Simplifications, documented per DESIGN.md:
+//
+//   - The leader is the first address of the destination list (the paper
+//     itself notes that "selecting and maintaining a leader ... are not
+//     easy tasks"; we sidestep election).
+//   - Group membership for one exchange is learned by overhearing the
+//     sender's RTS (real LBP uses a multicast group address). A receiver
+//     that misses the RTS neither receives nor complains — precisely the
+//     receiver-initiated reliability gap §2 attributes to negative
+//     feedback schemes, which this implementation makes measurable.
+//   - NCTS (leader busy) is modelled as a missing CTS.
+//
+// A successful exchange therefore only proves the leader received the
+// data; TxResult.Delivered reports the sender's *belief* (all receivers)
+// and the application-level delivery ratio exposes the true gap.
+package lbp
+
+import (
+	"fmt"
+
+	"rmac/internal/frame"
+	"rmac/internal/mac"
+	"rmac/internal/mac/csma"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+const respSlack = 2*phy.Tau + 2*sim.Microsecond
+
+type state int
+
+const (
+	stIdle state = iota
+	stTxRTS
+	stWfCTS
+	stTxData
+	stWfACK
+	stTxUData
+	stTxResp
+	stGap
+)
+
+var stateNames = [...]string{"IDLE", "TX_RTS", "WF_CTS", "TX_DATA", "WF_ACK", "TX_UDATA", "TX_RESP", "GAP"}
+
+func (s state) String() string { return stateNames[s] }
+
+type txContext struct {
+	req     *mac.SendRequest
+	retries int
+	seq     uint16
+}
+
+// peerState tracks this node's receiver-side relationship with a sender.
+type peerState struct {
+	// expecting is set when we overhear an RTS from the sender whose
+	// exchange includes us (leader or not); it arms NAK generation until
+	// armedUntil (one exchange worth of time).
+	expecting  bool
+	armedUntil sim.Time
+	leader     bool
+	delivered  uint16
+	deliverOK  bool
+	haveSeq    uint16
+	have       bool
+}
+
+// Node is one LBP instance bound to a radio.
+type Node struct {
+	eng    *sim.Engine
+	radio  *phy.Radio
+	cfg    phy.Config
+	addr   frame.Addr
+	limits mac.Limits
+	upper  mac.UpperLayer
+
+	st    state
+	queue *mac.Queue
+	dcf   *csma.DCF
+	nav   *csma.NAV
+	stats mac.Stats
+
+	cur   *txContext
+	timer *sim.Timer
+	peers map[frame.Addr]*peerState
+	seq   uint16
+}
+
+var _ mac.MAC = (*Node)(nil)
+var _ phy.Handler = (*Node)(nil)
+
+// New creates an LBP node on the given radio and installs itself as the
+// radio's PHY handler.
+func New(radio *phy.Radio, cfg phy.Config, eng *sim.Engine, limits mac.Limits) *Node {
+	n := &Node{
+		eng:    eng,
+		radio:  radio,
+		cfg:    cfg,
+		addr:   frame.AddrFromID(radio.ID()),
+		limits: limits,
+		queue:  mac.NewQueue(limits.QueueCap),
+		peers:  make(map[frame.Addr]*peerState),
+	}
+	n.nav = csma.NewNAV(eng, func() { n.dcf.ChannelMaybeIdle() })
+	n.dcf = csma.NewDCF(eng, eng.Rand(), n.mediumIdle, n.onWin)
+	n.timer = sim.NewTimer(eng, n.onTimeout)
+	radio.SetHandler(n)
+	return n
+}
+
+// Addr implements mac.MAC.
+func (n *Node) Addr() frame.Addr { return n.addr }
+
+// Stats implements mac.MAC.
+func (n *Node) Stats() *mac.Stats { return &n.stats }
+
+// SetUpper implements mac.MAC.
+func (n *Node) SetUpper(u mac.UpperLayer) { n.upper = u }
+
+// Send implements mac.MAC.
+func (n *Node) Send(req *mac.SendRequest) bool {
+	if req.Service == mac.Reliable && len(req.Dests) == 0 {
+		panic("lbp: Reliable Send needs at least one destination")
+	}
+	req.EnqueuedAt = n.eng.Now()
+	var pushed bool
+	if req.Urgent {
+		pushed = n.queue.PushFront(req)
+	} else {
+		pushed = n.queue.Push(req)
+	}
+	if !pushed {
+		n.stats.QueueDrops++
+		return false
+	}
+	n.stats.Enqueued++
+	n.trySend()
+	return true
+}
+
+func (n *Node) mediumIdle() bool {
+	return !n.radio.DataChannelBusy() && !n.nav.Busy()
+}
+
+func (n *Node) trySend() {
+	if n.st != stIdle || n.dcf.Armed() {
+		return
+	}
+	if n.cur == nil {
+		req := n.queue.Pop()
+		if req == nil {
+			return
+		}
+		n.seq++
+		n.cur = &txContext{req: req, seq: n.seq}
+		if req.Service == mac.Reliable {
+			n.stats.ReliableToTransmit++
+		}
+	}
+	n.dcf.Arm()
+}
+
+func (n *Node) startTx(f frame.Frame) sim.Time {
+	n.dcf.ChannelBusy()
+	return n.radio.StartTx(f)
+}
+
+func (n *Node) leader() frame.Addr { return n.cur.req.Dests[0] }
+
+func (n *Node) onWin() {
+	if n.cur == nil || n.st != stIdle {
+		return
+	}
+	if n.cur.req.Service == mac.Unreliable {
+		dest := frame.Broadcast
+		if len(n.cur.req.Dests) > 0 {
+			dest = n.cur.req.Dests[0]
+		}
+		n.st = stTxUData
+		n.startTx(&frame.Data{Receiver: dest, Transmitter: n.addr, Seq: n.cur.seq, Payload: n.cur.req.Payload})
+		return
+	}
+	n.st = stTxRTS
+	c := n.cfg
+	tail := phy.SIFS + c.TxDuration(frame.CTSLen) +
+		phy.SIFS + c.TxDuration(frame.Data80211Overhead+len(n.cur.req.Payload)) +
+		phy.SIFS + c.TxDuration(frame.ACKLen)
+	f := &frame.RTS{
+		Duration:    durationMicros(tail),
+		Receiver:    n.leader(),
+		Transmitter: n.addr,
+	}
+	dur := n.startTx(f)
+	n.stats.CtrlTxTime += dur
+}
+
+func durationMicros(d sim.Time) uint16 {
+	us := int64(d / sim.Microsecond)
+	if us > 65535 {
+		us = 65535
+	}
+	return uint16(us)
+}
+
+// OnTxDone implements phy.Handler.
+func (n *Node) OnTxDone(f frame.Frame) {
+	n.dcf.ChannelMaybeIdle()
+	switch n.st {
+	case stTxRTS:
+		n.st = stWfCTS
+		n.timer.Start(phy.SIFS + n.cfg.TxDuration(frame.CTSLen) + respSlack)
+	case stTxData:
+		n.st = stWfACK
+		n.timer.Start(phy.SIFS + n.cfg.TxDuration(frame.ACKLen) + respSlack)
+	case stTxUData:
+		n.stats.UnreliableSent++
+		req := n.cur.req
+		n.cur = nil
+		n.st = stIdle
+		n.dcf.Backoff().Reset()
+		n.dcf.Backoff().Draw()
+		if n.upper != nil {
+			n.upper.OnSendComplete(mac.TxResult{Req: req})
+		}
+		n.trySend()
+	case stTxResp:
+		n.st = stIdle
+		n.trySend()
+	default:
+		panic(fmt.Sprintf("lbp: node %v OnTxDone in state %v", n.addr, n.st))
+	}
+}
+
+func (n *Node) onTimeout() {
+	switch n.st {
+	case stWfCTS, stWfACK:
+		// Missing CTS (or NCTS in real LBP), or ACK garbled by NAKs /
+		// lost: retransmission round.
+		n.roundFailed()
+	}
+}
+
+func (n *Node) sendData() {
+	n.st = stTxData
+	tail := phy.SIFS + n.cfg.TxDuration(frame.ACKLen)
+	f := &frame.Data{
+		Duration:    durationMicros(tail),
+		Receiver:    frame.Broadcast,
+		Transmitter: n.addr,
+		Seq:         n.cur.seq,
+		Payload:     n.cur.req.Payload,
+	}
+	dur := n.startTx(f)
+	n.stats.DataTxTime += dur
+}
+
+func (n *Node) afterSIFS(step func()) {
+	n.st = stGap
+	n.eng.After(phy.SIFS, func() {
+		if n.cur == nil || n.radio.Transmitting() {
+			return
+		}
+		step()
+	})
+}
+
+func (n *Node) roundFailed() {
+	n.st = stIdle
+	n.cur.retries++
+	if n.cur.retries > n.limits.RetryLimit {
+		n.completeReliable(true)
+		return
+	}
+	n.stats.Retransmissions++
+	n.dcf.Backoff().Fail()
+	n.dcf.Backoff().Draw()
+	n.trySend()
+}
+
+func (n *Node) completeReliable(dropped bool) {
+	n.st = stIdle
+	ctx := n.cur
+	n.cur = nil
+	res := mac.TxResult{Req: ctx.req, Retries: ctx.retries}
+	if dropped {
+		n.stats.Drops++
+		res.Dropped = true
+		res.Failed = append([]frame.Addr(nil), ctx.req.Dests...)
+	} else {
+		n.stats.ReliableDelivered++
+		// The sender's belief: a clean leader ACK means everyone got it.
+		// Receivers that missed the RTS never complained — the
+		// reliability gap of leader/negative-feedback schemes.
+		res.Delivered = append([]frame.Addr(nil), ctx.req.Dests...)
+	}
+	n.dcf.Backoff().Reset()
+	n.dcf.Backoff().Draw()
+	if n.upper != nil {
+		n.upper.OnSendComplete(res)
+	}
+	n.trySend()
+}
+
+// --- Reception ---------------------------------------------------------------
+
+func (n *Node) peer(a frame.Addr) *peerState {
+	p := n.peers[a]
+	if p == nil {
+		p = &peerState{}
+		n.peers[a] = p
+	}
+	return p
+}
+
+// OnFrameReceived implements phy.Handler.
+func (n *Node) OnFrameReceived(f frame.Frame, ok bool, rxStart sim.Time) {
+	if !ok {
+		// LBP receivers NAK on corrupted *data* frames (Kuri & Kasera).
+		// A corrupted reception shorter than any data frame is a control
+		// frame or fragment from someone else's exchange; NAKing those
+		// would garble unrelated ACKs across the neighbourhood.
+		if n.eng.Now()-rxStart >= n.cfg.TxDuration(frame.Data80211Overhead) {
+			n.onCorrupt(rxStart)
+		}
+		return
+	}
+	switch g := f.(type) {
+	case *frame.RTS:
+		n.onRTS(g)
+	case *frame.CTS:
+		if n.st == stWfCTS && g.Receiver == n.addr {
+			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
+			n.timer.Stop()
+			n.afterSIFS(n.sendData)
+			return
+		}
+		if g.Receiver != n.addr {
+			n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
+			n.dcf.ChannelBusy()
+		}
+	case *frame.Data:
+		n.onData(g, rxStart)
+	case *frame.ACK:
+		if n.st == stWfACK && g.Receiver == n.addr {
+			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
+			n.timer.Stop()
+			n.completeReliable(false)
+			return
+		}
+		if g.Receiver != n.addr {
+			n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
+			n.dcf.ChannelBusy()
+		}
+	}
+}
+
+// onRTS arms the receiver side. The RTS names the leader; every other
+// group member learns of the exchange by overhearing it (see the package
+// comment for the membership simplification: any node overhearing the
+// RTS from its current senders arms expectation — harmless for
+// non-members, who simply never receive matching data).
+func (n *Node) onRTS(g *frame.RTS) {
+	p := n.peer(g.Transmitter)
+	p.expecting = true
+	p.armedUntil = n.eng.Now() + sim.Time(g.Duration)*sim.Microsecond + sim.Millisecond
+	p.leader = g.Receiver == n.addr
+	if p.leader {
+		n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
+		n.respond(&frame.CTS{
+			Duration:    subDuration(g.Duration, phy.SIFS+n.cfg.TxDuration(frame.CTSLen)),
+			Receiver:    g.Transmitter,
+			Transmitter: n.addr,
+		})
+		return
+	}
+	if g.Receiver != n.addr {
+		// Third parties still honour the NAV; group members do too while
+		// the exchange lasts.
+		n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
+		n.dcf.ChannelBusy()
+	}
+}
+
+// onData delivers reliable data to expecting receivers; the leader ACKs.
+func (n *Node) onData(d *frame.Data, rxStart sim.Time) {
+	if d.Duration > 0 {
+		p := n.peer(d.Transmitter)
+		if p.expecting && n.eng.Now() < p.armedUntil && (d.Receiver == n.addr || d.Receiver.IsBroadcast()) {
+			p.have = true
+			p.haveSeq = d.Seq
+			n.deliver(d, true, rxStart)
+			if p.leader {
+				n.respond(&frame.ACK{Receiver: d.Transmitter, Transmitter: n.addr})
+			}
+			return
+		}
+		n.nav.Set(sim.Time(d.Duration) * sim.Microsecond)
+		n.dcf.ChannelBusy()
+		return
+	}
+	if d.Receiver == n.addr || d.Receiver.IsBroadcast() {
+		n.deliver(d, false, rxStart)
+	}
+}
+
+// onCorrupt implements LBP's negative acknowledgment: an expecting
+// non-leader that sees a corrupted frame during an armed exchange
+// transmits a NAK in the ACK slot, garbling the leader's ACK at the
+// sender and forcing a retransmission. (We cannot know the corrupted
+// frame's sender; LBP receivers can't either — they NAK on any CRC
+// failure while armed.)
+func (n *Node) onCorrupt(sim.Time) {
+	armed := false
+	now := n.eng.Now()
+	for _, p := range n.peers {
+		if p.expecting && !p.leader && now < p.armedUntil {
+			armed = true
+			break
+		}
+	}
+	if !armed || n.st != stIdle {
+		return
+	}
+	// NAK is an ACK-sized control frame (the paper sizes NAK like ACK).
+	n.respond(&frame.ACK{Receiver: frame.Broadcast, Transmitter: n.addr})
+}
+
+func (n *Node) deliver(d *frame.Data, reliable bool, rxStart sim.Time) {
+	p := n.peer(d.Transmitter)
+	if reliable {
+		if p.deliverOK && p.delivered == d.Seq {
+			return
+		}
+		p.deliverOK = true
+		p.delivered = d.Seq
+	}
+	if n.upper != nil {
+		n.upper.OnDeliver(d.Payload, mac.RxInfo{
+			From:     d.Transmitter,
+			Reliable: reliable,
+			Seq:      uint32(d.Seq),
+			RxStart:  rxStart,
+			RxEnd:    n.eng.Now(),
+		})
+	}
+}
+
+func subDuration(d uint16, sub sim.Time) uint16 {
+	s := int64(sub / sim.Microsecond)
+	if int64(d) <= s {
+		return 0
+	}
+	return d - uint16(s)
+}
+
+func (n *Node) respond(f frame.Frame) {
+	n.eng.After(phy.SIFS, func() {
+		if n.st != stIdle || n.radio.Transmitting() {
+			return
+		}
+		n.st = stTxResp
+		dur := n.startTx(f)
+		n.stats.CtrlTxTime += dur
+	})
+}
+
+// OnCarrierChange implements phy.Handler.
+func (n *Node) OnCarrierChange(busy bool) {
+	if busy {
+		n.dcf.ChannelBusy()
+	} else {
+		n.dcf.ChannelMaybeIdle()
+	}
+}
+
+// OnToneChange implements phy.Handler; LBP has no busy-tone hardware.
+func (n *Node) OnToneChange(phy.Tone, bool) {}

@@ -1,0 +1,172 @@
+package lbp
+
+import (
+	"testing"
+
+	"rmac/internal/frame"
+	"rmac/internal/geom"
+	"rmac/internal/mac"
+	"rmac/internal/mobility"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+type upper struct {
+	delivered []delivery
+	completes []mac.TxResult
+}
+
+type delivery struct {
+	payload []byte
+	info    mac.RxInfo
+}
+
+func (u *upper) OnDeliver(payload []byte, info mac.RxInfo) {
+	u.delivered = append(u.delivered, delivery{payload, info})
+}
+func (u *upper) OnSendComplete(res mac.TxResult) { u.completes = append(u.completes, res) }
+
+type world struct {
+	eng    *sim.Engine
+	nodes  []*Node
+	uppers []*upper
+}
+
+func newWorld(seed int64, pos []geom.Point) *world {
+	eng := sim.NewEngine(seed)
+	cfg := phy.DefaultConfig()
+	m := phy.NewMedium(eng, cfg)
+	w := &world{eng: eng}
+	for i, p := range pos {
+		r := m.AddRadio(i, mobility.Stationary{P: p})
+		n := New(r, cfg, eng, mac.DefaultLimits())
+		u := &upper{}
+		n.SetUpper(u)
+		w.nodes = append(w.nodes, n)
+		w.uppers = append(w.uppers, u)
+	}
+	return w
+}
+
+func addrs(ids ...int) []frame.Addr {
+	out := make([]frame.Addr, len(ids))
+	for i, id := range ids {
+		out[i] = frame.AddrFromID(id)
+	}
+	return out
+}
+
+func reliableReq(payload string, dests ...int) *mac.SendRequest {
+	return &mac.SendRequest{Service: mac.Reliable, Dests: addrs(dests...), Payload: []byte(payload)}
+}
+
+func TestLeaderMulticastBasic(t *testing.T) {
+	w := newWorld(1, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 0, Y: 50}})
+	w.nodes[0].Send(reliableReq("lbp-data", 1, 2)) // leader = node 1
+	w.eng.Run(sim.Second)
+	for _, id := range []int{1, 2} {
+		if len(w.uppers[id].delivered) != 1 || string(w.uppers[id].delivered[0].payload) != "lbp-data" {
+			t.Fatalf("node %d deliveries = %+v", id, w.uppers[id].delivered)
+		}
+	}
+	comp := w.uppers[0].completes
+	if len(comp) != 1 || comp[0].Dropped || len(comp[0].Delivered) != 2 {
+		t.Fatalf("completion = %+v", comp)
+	}
+	// Exactly one CTS and one ACK were exchanged (leader only).
+	st := w.nodes[0].Stats()
+	cfg := phy.DefaultConfig()
+	wantRx := cfg.TxDuration(frame.CTSLen) + cfg.TxDuration(frame.ACKLen)
+	if st.CtrlRxTime != wantRx {
+		t.Fatalf("sender CtrlRxTime = %v, want %v (one CTS + one ACK)", st.CtrlRxTime, wantRx)
+	}
+	// Much cheaper than BMMM's 2n pairs: one RTS sent.
+	if st.CtrlTxTime != cfg.TxDuration(frame.RTSLen) {
+		t.Fatalf("sender CtrlTxTime = %v", st.CtrlTxTime)
+	}
+}
+
+// TestSilentReceiverGap pins LBP's reliability gap: a receiver out of the
+// sender's range never gets the data, yet the sender (leader ACKed)
+// believes the multicast succeeded.
+func TestSilentReceiverGap(t *testing.T) {
+	w := newWorld(2, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 400, Y: 0}})
+	w.nodes[0].Send(reliableReq("gap", 1, 2)) // node 2 unreachable, node 1 leader
+	w.eng.Run(5 * sim.Second)
+	comp := w.uppers[0].completes
+	if len(comp) != 1 {
+		t.Fatalf("completes = %d", len(comp))
+	}
+	if comp[0].Dropped {
+		t.Fatal("sender dropped despite clean leader ACK")
+	}
+	// The sender *believes* both receivers got it...
+	if len(comp[0].Delivered) != 2 {
+		t.Fatalf("claimed delivered = %v", comp[0].Delivered)
+	}
+	// ...but node 2 received nothing: negative feedback cannot signal
+	// what was never solicited.
+	if len(w.uppers[2].delivered) != 0 {
+		t.Fatal("unreachable node received data?!")
+	}
+}
+
+func TestLeaderLossRetries(t *testing.T) {
+	// Leader out of range: no CTS, retries then drop.
+	w := newWorld(3, []geom.Point{{X: 0, Y: 0}, {X: 400, Y: 0}, {X: 50, Y: 0}})
+	w.nodes[0].Send(reliableReq("x", 1, 2)) // leader (node 1) unreachable
+	w.eng.Run(30 * sim.Second)
+	comp := w.uppers[0].completes
+	if len(comp) != 1 || !comp[0].Dropped {
+		t.Fatalf("completion = %+v", comp)
+	}
+	st := w.nodes[0].Stats()
+	if st.Retransmissions != uint64(mac.DefaultLimits().RetryLimit) {
+		t.Fatalf("retransmissions = %d", st.Retransmissions)
+	}
+	if st.DataTxTime != 0 {
+		t.Fatal("data sent without CTS")
+	}
+}
+
+func TestUnreliableBroadcast(t *testing.T) {
+	w := newWorld(4, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}})
+	w.nodes[0].Send(&mac.SendRequest{Service: mac.Unreliable, Payload: []byte("beacon")})
+	w.eng.Run(sim.Second)
+	if len(w.uppers[1].delivered) != 1 || w.uppers[1].delivered[0].info.Reliable {
+		t.Fatalf("broadcast = %+v", w.uppers[1].delivered)
+	}
+}
+
+func TestSequentialPacketsDedup(t *testing.T) {
+	w := newWorld(5, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 0, Y: 50}})
+	for i := 0; i < 4; i++ {
+		w.nodes[0].Send(reliableReq("pkt", 1, 2))
+	}
+	w.eng.Run(5 * sim.Second)
+	if len(w.uppers[0].completes) != 4 {
+		t.Fatalf("completes = %d", len(w.uppers[0].completes))
+	}
+	for _, id := range []int{1, 2} {
+		if len(w.uppers[id].delivered) != 4 {
+			t.Fatalf("node %d deliveries = %d", id, len(w.uppers[id].delivered))
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int, uint64) {
+		w := newWorld(6, []geom.Point{{X: 0, Y: 0}, {X: 60, Y: 0}, {X: 120, Y: 0}})
+		for i := 0; i < 5; i++ {
+			w.nodes[0].Send(reliableReq("a", 1))
+			w.nodes[2].Send(reliableReq("c", 1))
+		}
+		w.eng.Run(20 * sim.Second)
+		return len(w.uppers[1].delivered), w.nodes[0].Stats().Retransmissions
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("nondeterministic")
+	}
+}

@@ -1,0 +1,315 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(3)
+	a, b, c, d := &SendRequest{}, &SendRequest{}, &SendRequest{}, &SendRequest{}
+	if !q.Push(a) || !q.Push(b) || !q.Push(c) {
+		t.Fatal("pushes failed below capacity")
+	}
+	if q.Push(d) {
+		t.Fatal("push succeeded on full queue")
+	}
+	if q.Peek() != a {
+		t.Fatal("peek != first")
+	}
+	if q.Pop() != a || q.Pop() != b {
+		t.Fatal("pop order wrong")
+	}
+	if !q.Push(d) {
+		t.Fatal("push after pop failed")
+	}
+	if q.Pop() != c || q.Pop() != d {
+		t.Fatal("pop order wrong after wrap")
+	}
+	if q.Pop() != nil || q.Peek() != nil {
+		t.Fatal("empty queue must return nil")
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	q := NewQueue(1000)
+	reqs := make([]*SendRequest, 500)
+	for i := range reqs {
+		reqs[i] = &SendRequest{}
+		q.Push(reqs[i])
+	}
+	for i := 0; i < 400; i++ {
+		if q.Pop() != reqs[i] {
+			t.Fatalf("pop %d wrong", i)
+		}
+	}
+	if q.Len() != 100 {
+		t.Fatalf("len = %d, want 100", q.Len())
+	}
+	// Internal storage must have been compacted at some point.
+	if len(q.items) > 200 {
+		t.Fatalf("storage not compacted: %d", len(q.items))
+	}
+}
+
+func TestQueueZeroCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity must panic")
+		}
+	}()
+	NewQueue(0)
+}
+
+// Property: any interleaving of pushes and pops preserves FIFO order and
+// never exceeds capacity.
+func TestPropertyQueueFIFO(t *testing.T) {
+	f := func(ops []bool, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		q := NewQueue(capacity)
+		next := 0
+		var expect []int
+		for _, push := range ops {
+			if push {
+				r := &SendRequest{Meta: next}
+				if q.Push(r) {
+					expect = append(expect, next)
+				} else if q.Len() != capacity {
+					return false // rejected while not full
+				}
+				next++
+			} else {
+				r := q.Pop()
+				if len(expect) == 0 {
+					if r != nil {
+						return false
+					}
+				} else {
+					if r == nil || r.Meta.(int) != expect[0] {
+						return false
+					}
+					expect = expect[1:]
+				}
+			}
+			if q.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type backoffHarness struct {
+	eng   *sim.Engine
+	b     *Backoff
+	idle  bool
+	fired int
+}
+
+func newBackoffHarness(seed int64) *backoffHarness {
+	h := &backoffHarness{eng: sim.NewEngine(seed), idle: true}
+	h.b = NewBackoff(h.eng, h.eng.Rand(), phy.SlotTime, func() bool { return h.idle }, func() { h.fired++ })
+	return h
+}
+
+func TestBackoffCountsDown(t *testing.T) {
+	h := newBackoffHarness(1)
+	h.b.Draw()
+	bi := h.b.BI()
+	if bi < 0 || bi > phy.CWMin {
+		t.Fatalf("BI = %d outside [0, %d]", bi, phy.CWMin)
+	}
+	h.b.Resume()
+	h.eng.RunAll()
+	if h.fired != 1 {
+		t.Fatalf("fired = %d, want 1", h.fired)
+	}
+	want := sim.Time(bi) * phy.SlotTime
+	if h.eng.Now() != want {
+		t.Fatalf("fire time = %v, want %v", h.eng.Now(), want)
+	}
+	if h.b.Active() {
+		t.Fatal("still active after fire")
+	}
+}
+
+func TestBackoffZeroBIFiresImmediately(t *testing.T) {
+	h := newBackoffHarness(1)
+	h.b.Draw()
+	h.b.bi = 0
+	h.b.Resume()
+	if h.fired != 1 {
+		t.Fatal("BI=0 did not fire on Resume")
+	}
+	if h.eng.Now() != 0 {
+		t.Fatal("BI=0 fire should be immediate")
+	}
+}
+
+func TestBackoffSuspendHoldsBI(t *testing.T) {
+	h := newBackoffHarness(2)
+	h.b.Draw()
+	h.b.bi = 10
+	h.b.Resume()
+	// After 3 full slots, suspend mid-slot; BI must be 7.
+	h.eng.Schedule(3*phy.SlotTime+phy.SlotTime/2, func() {
+		h.idle = false
+		h.b.Suspend()
+	})
+	h.eng.RunAll()
+	if h.fired != 0 {
+		t.Fatal("fired while suspended")
+	}
+	if h.b.BI() != 7 {
+		t.Fatalf("BI after suspend = %d, want 7", h.b.BI())
+	}
+	// Resume; remaining 7 slots must elapse.
+	resumeAt := h.eng.Now() + 100*sim.Microsecond
+	h.eng.Schedule(resumeAt, func() {
+		h.idle = true
+		h.b.Resume()
+	})
+	h.eng.RunAll()
+	if h.fired != 1 {
+		t.Fatal("did not fire after resume")
+	}
+	if got, want := h.eng.Now(), resumeAt+7*phy.SlotTime; got != want {
+		t.Fatalf("fire at %v, want %v", got, want)
+	}
+}
+
+func TestBackoffBusyTickDoesNotDecrement(t *testing.T) {
+	h := newBackoffHarness(3)
+	h.b.Draw()
+	h.b.bi = 2
+	h.b.Resume()
+	// Channel goes busy just before the first tick without Suspend being
+	// called; the tick must not decrement.
+	h.eng.Schedule(phy.SlotTime-1, func() { h.idle = false })
+	h.eng.RunAll()
+	if h.b.BI() != 2 {
+		t.Fatalf("BI = %d, want 2 (busy slot must not count)", h.b.BI())
+	}
+	if h.b.Counting() {
+		t.Fatal("timer still pending after busy tick")
+	}
+}
+
+func TestBackoffCWGrowthAndReset(t *testing.T) {
+	h := newBackoffHarness(4)
+	if h.b.CW() != phy.CWMin {
+		t.Fatalf("initial CW = %d", h.b.CW())
+	}
+	want := []int{63, 127, 255, 511, 1023, 1023}
+	for i, w := range want {
+		h.b.Fail()
+		if h.b.CW() != w {
+			t.Fatalf("CW after %d fails = %d, want %d", i+1, h.b.CW(), w)
+		}
+	}
+	h.b.Reset()
+	if h.b.CW() != phy.CWMin {
+		t.Fatal("CW not reset")
+	}
+}
+
+func TestBackoffCancel(t *testing.T) {
+	h := newBackoffHarness(5)
+	h.b.Draw()
+	h.b.Resume()
+	h.b.Cancel()
+	h.eng.RunAll()
+	if h.fired != 0 || h.b.Active() {
+		t.Fatal("cancelled backoff fired or stayed active")
+	}
+}
+
+func TestBackoffResumeIdempotent(t *testing.T) {
+	h := newBackoffHarness(6)
+	h.b.Draw()
+	h.b.bi = 3
+	h.b.Resume()
+	h.b.Resume() // must not double-schedule
+	h.eng.RunAll()
+	if h.fired != 1 {
+		t.Fatalf("fired = %d, want 1", h.fired)
+	}
+	if got, want := h.eng.Now(), 3*phy.SlotTime; got != want {
+		t.Fatalf("fire at %v, want %v (double Resume shortened countdown?)", got, want)
+	}
+}
+
+// Property: BI draws always fall in [0, CW] and firing consumes exactly BI
+// idle slots.
+func TestPropertyBackoffDrawAndFire(t *testing.T) {
+	f := func(seed int64, fails uint8) bool {
+		h := newBackoffHarness(seed)
+		for i := 0; i < int(fails%6); i++ {
+			h.b.Fail()
+		}
+		h.b.Draw()
+		if h.b.BI() < 0 || h.b.BI() > h.b.CW() {
+			return false
+		}
+		bi := h.b.BI()
+		h.b.Resume()
+		h.eng.RunAll()
+		return h.fired == 1 && h.eng.Now() == sim.Time(bi)*phy.SlotTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsRatios(t *testing.T) {
+	s := &Stats{}
+	if s.DropRatio() != 0 || s.RetxRatio() != 0 || s.OverheadRatio() != 0 || s.AbortRatio() != 0 {
+		t.Fatal("zero stats must give zero ratios")
+	}
+	if s.NonLeaf() {
+		t.Fatal("zero stats is a leaf")
+	}
+	s.ReliableToTransmit = 100
+	s.Drops = 2
+	s.Retransmissions = 30
+	s.CtrlTxTime = 10 * sim.Millisecond
+	s.CtrlRxTime = 5 * sim.Millisecond
+	s.ABTCheckTime = 5 * sim.Millisecond
+	s.DataTxTime = 100 * sim.Millisecond
+	s.MRTSSent = 50
+	s.MRTSAborted = 1
+	if s.DropRatio() != 0.02 {
+		t.Fatalf("DropRatio = %v", s.DropRatio())
+	}
+	if s.RetxRatio() != 0.3 {
+		t.Fatalf("RetxRatio = %v", s.RetxRatio())
+	}
+	if s.OverheadRatio() != 0.2 {
+		t.Fatalf("OverheadRatio = %v", s.OverheadRatio())
+	}
+	if s.AbortRatio() != 0.02 {
+		t.Fatalf("AbortRatio = %v", s.AbortRatio())
+	}
+	if !s.NonLeaf() {
+		t.Fatal("forwarder not detected as non-leaf")
+	}
+}
+
+func TestServiceString(t *testing.T) {
+	if Reliable.String() != "reliable" || Unreliable.String() != "unreliable" {
+		t.Fatal("Service strings")
+	}
+}
+
+func TestDefaultLimits(t *testing.T) {
+	l := DefaultLimits()
+	if l.RetryLimit != 7 || l.MaxReceivers != 20 || l.QueueCap <= 0 {
+		t.Fatalf("DefaultLimits = %+v", l)
+	}
+}

@@ -1,0 +1,194 @@
+package mx
+
+import (
+	"testing"
+
+	"rmac/internal/frame"
+	"rmac/internal/geom"
+	"rmac/internal/mac"
+	"rmac/internal/mobility"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+type upper struct {
+	delivered []delivery
+	completes []mac.TxResult
+}
+
+type delivery struct {
+	payload []byte
+	info    mac.RxInfo
+}
+
+func (u *upper) OnDeliver(payload []byte, info mac.RxInfo) {
+	u.delivered = append(u.delivered, delivery{payload, info})
+}
+func (u *upper) OnSendComplete(res mac.TxResult) { u.completes = append(u.completes, res) }
+
+type world struct {
+	eng    *sim.Engine
+	medium *phy.Medium
+	nodes  []*Node
+	uppers []*upper
+}
+
+func newWorld(seed int64, pos []geom.Point) *world {
+	eng := sim.NewEngine(seed)
+	cfg := phy.DefaultConfig()
+	m := phy.NewMedium(eng, cfg)
+	w := &world{eng: eng, medium: m}
+	for i, p := range pos {
+		r := m.AddRadio(i, mobility.Stationary{P: p})
+		n := New(r, cfg, eng, mac.DefaultLimits())
+		u := &upper{}
+		n.SetUpper(u)
+		w.nodes = append(w.nodes, n)
+		w.uppers = append(w.uppers, u)
+	}
+	return w
+}
+
+func addrs(ids ...int) []frame.Addr {
+	out := make([]frame.Addr, len(ids))
+	for i, id := range ids {
+		out[i] = frame.AddrFromID(id)
+	}
+	return out
+}
+
+func reliableReq(payload string, dests ...int) *mac.SendRequest {
+	return &mac.SendRequest{Service: mac.Reliable, Dests: addrs(dests...), Payload: []byte(payload)}
+}
+
+func TestCleanMulticast(t *testing.T) {
+	w := newWorld(1, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 0, Y: 50}})
+	w.nodes[0].Send(reliableReq("mx-data", 1, 2))
+	w.eng.Run(sim.Second)
+	for _, id := range []int{1, 2} {
+		if len(w.uppers[id].delivered) != 1 || string(w.uppers[id].delivered[0].payload) != "mx-data" {
+			t.Fatalf("node %d deliveries = %+v", id, w.uppers[id].delivered)
+		}
+	}
+	comp := w.uppers[0].completes
+	if len(comp) != 1 || comp[0].Dropped || comp[0].Retries != 0 {
+		t.Fatalf("completion = %+v", comp)
+	}
+	st := w.nodes[0].Stats()
+	if st.Retransmissions != 0 {
+		t.Fatal("clean exchange retransmitted")
+	}
+	// No NAK tones were raised.
+	if w.nodes[1].Stats().ABTSent+w.nodes[2].Stats().ABTSent != 0 {
+		t.Fatal("NAK raised on clean exchange")
+	}
+}
+
+// TestNAKForcesRetransmission: a receiver whose data reception is
+// corrupted raises the NAK tone and the sender retransmits until clean.
+func TestNAKForcesRetransmission(t *testing.T) {
+	// Hidden interferer: I(2) is in range of receiver B(1) but not of
+	// sender A(0). I fires an unreliable frame into B's data reception.
+	w := newWorld(2, []geom.Point{{X: 0, Y: 0}, {X: 70, Y: 0}, {X: 140, Y: 0}})
+	payload := make([]byte, 500)
+	w.nodes[0].Send(&mac.SendRequest{Service: mac.Reliable, Dests: addrs(1), Payload: payload})
+	// A's ANN ≈ [0,176 µs], data ≈ [186, 2298 µs]. I transmits at 300 µs;
+	// I heard nothing (out of range of A) and B's NAV does not bind I.
+	w.eng.Schedule(300*sim.Microsecond, func() {
+		w.nodes[2].Send(&mac.SendRequest{Service: mac.Unreliable, Payload: make([]byte, 50)})
+	})
+	w.eng.Run(10 * sim.Second)
+
+	st := w.nodes[0].Stats()
+	if st.Retransmissions == 0 {
+		t.Fatal("corrupted data did not force a retransmission")
+	}
+	if w.nodes[1].Stats().ABTSent == 0 {
+		t.Fatal("receiver never raised the NAK tone")
+	}
+	if len(w.uppers[1].delivered) != 1 {
+		t.Fatalf("B deliveries = %d, want 1 after recovery", len(w.uppers[1].delivered))
+	}
+	if w.uppers[0].completes[0].Dropped {
+		t.Fatal("sender dropped despite recovery headroom")
+	}
+}
+
+// TestSilentReceiverGap pins the §2 critique of receiver-initiated
+// feedback: a receiver that never heard the announce cannot complain, so
+// the sender finishes believing in full delivery.
+func TestSilentReceiverGap(t *testing.T) {
+	w := newWorld(3, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 400, Y: 0}})
+	w.nodes[0].Send(reliableReq("gap", 1, 2)) // node 2 unreachable
+	w.eng.Run(5 * sim.Second)
+	comp := w.uppers[0].completes
+	if len(comp) != 1 || comp[0].Dropped {
+		t.Fatalf("completion = %+v", comp)
+	}
+	if len(comp[0].Delivered) != 2 {
+		t.Fatalf("sender's belief = %v, want both receivers", comp[0].Delivered)
+	}
+	if len(w.uppers[2].delivered) != 0 {
+		t.Fatal("unreachable node received data")
+	}
+	if w.nodes[0].Stats().Retransmissions != 0 {
+		t.Fatal("silent loss triggered retransmissions (it must not — that is the flaw)")
+	}
+}
+
+func TestUnreliableBroadcast(t *testing.T) {
+	w := newWorld(4, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}})
+	w.nodes[0].Send(&mac.SendRequest{Service: mac.Unreliable, Payload: []byte("beacon")})
+	w.eng.Run(sim.Second)
+	if len(w.uppers[1].delivered) != 1 || w.uppers[1].delivered[0].info.Reliable {
+		t.Fatalf("broadcast = %+v", w.uppers[1].delivered)
+	}
+}
+
+func TestSequentialPacketsDedup(t *testing.T) {
+	w := newWorld(5, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 0, Y: 50}})
+	for i := 0; i < 4; i++ {
+		w.nodes[0].Send(reliableReq("pkt", 1, 2))
+	}
+	w.eng.Run(5 * sim.Second)
+	if len(w.uppers[0].completes) != 4 {
+		t.Fatalf("completes = %d", len(w.uppers[0].completes))
+	}
+	for _, id := range []int{1, 2} {
+		if len(w.uppers[id].delivered) != 4 {
+			t.Fatalf("node %d deliveries = %d (dedup per packet)", id, len(w.uppers[id].delivered))
+		}
+	}
+}
+
+func TestTonesQuiesce(t *testing.T) {
+	w := newWorld(6, []geom.Point{{X: 0, Y: 0}, {X: 60, Y: 0}, {X: 120, Y: 0}})
+	for i := 0; i < 10; i++ {
+		w.nodes[0].Send(reliableReq("a", 1))
+		w.nodes[2].Send(reliableReq("c", 1))
+	}
+	w.eng.Run(30 * sim.Second)
+	for i := range w.nodes {
+		r := w.medium.Radios()[i]
+		if r.OwnTone(phy.ToneABT) {
+			t.Fatalf("node %d left NAK tone on", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int, uint64) {
+		w := newWorld(7, []geom.Point{{X: 0, Y: 0}, {X: 60, Y: 0}, {X: 120, Y: 0}})
+		for i := 0; i < 5; i++ {
+			w.nodes[0].Send(reliableReq("a", 1))
+			w.nodes[2].Send(reliableReq("c", 1))
+		}
+		w.eng.Run(20 * sim.Second)
+		return len(w.uppers[1].delivered), w.nodes[0].Stats().Retransmissions
+	}
+	a1, b1 := run()
+	a2, b2 := run()
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("nondeterministic")
+	}
+}

@@ -1,0 +1,226 @@
+package rmac
+
+import (
+	"testing"
+
+	"rmac/internal/frame"
+	"rmac/internal/geom"
+	"rmac/internal/mac"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+// TestMixedUpABT reconstructs Fig 5: sender S is collecting a long ABT
+// schedule while a nearby exchange (U -> V) completes entirely inside it,
+// and V's ABT lands in one of S's silent windows — S wrongly credits a
+// phantom receiver. This is only possible when the receiver list exceeds
+// the §3.4 limit of 20: the limit caps the ABT collection window at
+// 20·17 = 340 µs, below the 352 µs of the shortest nearby exchange, which
+// is exactly why the refinement prevents the failure. We therefore raise
+// the limit to 64 and use 40 receivers (one real, 39 phantoms).
+//
+// Geometry: S(0,0); real receiver R(40,0); V(70,20) — inside S's 75 m
+// tone range; U(130,20) — out of S's range, 60 m from V.
+//
+// Timing (1-byte payloads): S's MRTS is 252 B = 1104 µs, data ends at
+// 1309 µs, the 40 ABT windows span [1309, 1989] µs. U starts at 1310 µs
+// (V's channel just cleared): its 168 µs MRTS decodes at V, V's data
+// reception ends ≈ t+373 µs and V's index-0 ABT reaches S at ≈ 1683.4 µs —
+// 16.6 µs inside S's window 22.
+func TestMixedUpABT(t *testing.T) {
+	eng := sim.NewEngine(30)
+	cfg := phy.DefaultConfig()
+	medium := phy.NewMedium(eng, cfg)
+	limits := mac.DefaultLimits()
+	limits.MaxReceivers = 64
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 40, Y: 0}, {X: 70, Y: 20}, {X: 130, Y: 20}}
+	var nodes []*Node
+	var uppers []*upper
+	for i, p := range pos {
+		r := medium.AddRadio(i, stationaryAt(p.X, p.Y))
+		n := New(r, cfg, eng, limits)
+		u := &upper{}
+		n.SetUpper(u)
+		nodes = append(nodes, n)
+		uppers = append(uppers, u)
+	}
+
+	dests := []frame.Addr{frame.AddrFromID(1)}
+	for i := 0; i < 39; i++ {
+		dests = append(dests, frame.AddrFromID(100+i))
+	}
+	nodes[0].Send(&mac.SendRequest{Service: mac.Reliable, Dests: dests, Payload: []byte("x")})
+	eng.Schedule(1310*sim.Microsecond, func() {
+		nodes[3].Send(&mac.SendRequest{Service: mac.Reliable, Dests: addrs(2), Payload: []byte("y")})
+	})
+	eng.Run(5 * sim.Second)
+
+	res := uppers[0].completes
+	if len(res) == 0 {
+		t.Fatal("S never completed")
+	}
+	phantomCredited := 0
+	for _, c := range res {
+		for _, a := range c.Delivered {
+			if a.NodeID() >= 100 {
+				phantomCredited++
+			}
+		}
+	}
+	if phantomCredited == 0 {
+		t.Fatal("expected at least one phantom receiver credited by a mixed-up ABT (Fig 5)")
+	}
+	// The real receiver and V's exchange still worked.
+	if len(uppers[1].delivered) != 1 || len(uppers[2].delivered) != 1 {
+		t.Fatal("legitimate deliveries missing")
+	}
+}
+
+// TestReceiverRoleSurvivesForeignFragment: while B waits for A's data
+// (RBT up), a foreign MRTS fragment (aborted by our RBT) ends at B before
+// the data arrives. B must keep the RBT up and still receive the data
+// (the §3.3.2 note that abortion guarantees no collision at the node
+// holding the RBT).
+func TestReceiverRoleSurvivesForeignFragment(t *testing.T) {
+	// A(0)-B(1) 70 m apart; C(2) at 60 m from B, 130 m from A (hidden
+	// from A, hears B's tone). D(3) is C's target, away from B.
+	w := newWorld(31, []geom.Point{{X: 0, Y: 0}, {X: 70, Y: 0}, {X: 130, Y: 0}, {X: 200, Y: 0}})
+	w.nodes[0].Send(reliableReq("protected", 1))
+	// A's MRTS ends at 168 µs; B's RBT rises ≈168.3 µs; C sensing it at
+	// ≈168.5 µs. Start C's MRTS just before, so it aborts into a fragment
+	// that reaches B during B's T_wf_rdata window.
+	w.eng.Schedule(168*sim.Microsecond, func() {
+		w.nodes[2].Send(reliableReq("c-d", 3))
+	})
+	w.eng.Run(5 * sim.Second)
+
+	if len(w.uppers[1].delivered) != 1 || string(w.uppers[1].delivered[0].payload) != "protected" {
+		t.Fatalf("B deliveries = %+v", w.uppers[1].delivered)
+	}
+	// A must have completed without retransmitting (the fragment must not
+	// have broken the protected exchange) — or at worst with a retry if
+	// timing shifted; the strong property is B's intact delivery above.
+	if w.uppers[0].completes[0].Dropped {
+		t.Fatal("A dropped")
+	}
+	// C must eventually deliver to D too.
+	if len(w.uppers[3].delivered) != 1 {
+		t.Fatal("D never received C's packet")
+	}
+}
+
+// TestWfRDataExpiryWithoutData: a receiver that raised its RBT but whose
+// sender never transmits the data frame must drop the RBT at T_wf_rdata
+// and return to IDLE (step 5's "otherwise" branch). A bare PHY radio
+// plays the sender so no data ever follows the MRTS.
+func TestWfRDataExpiryWithoutData(t *testing.T) {
+	eng := sim.NewEngine(99)
+	cfg := phy.DefaultConfig()
+	m := phy.NewMedium(eng, cfg)
+	rSender := m.AddRadio(0, stationaryAt(0, 0))
+	rSender.SetHandler(nopHandler{})
+	rB := m.AddRadio(1, stationaryAt(50, 0))
+	nB := New(rB, cfg, eng, mac.DefaultLimits())
+	nB.SetUpper(&upper{})
+
+	mrts := &frame.MRTS{Transmitter: frame.AddrFromID(0), Receivers: addrs(1)}
+	rSender.StartTx(mrts)
+	eng.Run(sim.Second)
+
+	if nB.State() != StateIdle {
+		t.Fatalf("B state = %v, want IDLE after T_wf_rdata expiry", nB.State())
+	}
+	if rB.OwnTone(phy.ToneRBT) {
+		t.Fatal("B's RBT still on after expiry")
+	}
+	if nB.Stats().ABTSent != 0 {
+		t.Fatal("B acked nonexistent data")
+	}
+}
+
+// TestTonesQuiesce: after arbitrary traffic completes, no node is left
+// emitting a tone and no node is left in a transient state.
+func TestTonesQuiesce(t *testing.T) {
+	w := newWorld(33, []geom.Point{
+		{X: 0, Y: 0}, {X: 60, Y: 0}, {X: 120, Y: 0}, {X: 60, Y: 60}, {X: 0, Y: 60},
+	})
+	rng := w.eng.Rand()
+	for i := 0; i < 30; i++ {
+		src := rng.Intn(5)
+		dst := (src + 1 + rng.Intn(4)) % 5
+		at := sim.Time(rng.Intn(2000)) * sim.Millisecond
+		w.eng.Schedule(at, func() {
+			w.nodes[src].Send(reliableReq("q", dst))
+		})
+	}
+	w.eng.Run(60 * sim.Second)
+	for i, n := range w.nodes {
+		r := w.medium.Radios()[i]
+		if r.OwnTone(phy.ToneRBT) || r.OwnTone(phy.ToneABT) {
+			t.Fatalf("node %d left a tone on", i)
+		}
+		if r.Transmitting() {
+			t.Fatalf("node %d still transmitting", i)
+		}
+		if n.State() != StateIdle {
+			t.Fatalf("node %d in state %v at quiescence", i, n.State())
+		}
+	}
+}
+
+// TestReliableThenUnreliableInterleaved: one node's queue mixes services;
+// both must complete in FIFO order.
+func TestReliableThenUnreliableInterleaved(t *testing.T) {
+	w := newWorld(34, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}})
+	w.nodes[0].Send(reliableReq("r1", 1))
+	w.nodes[0].Send(&mac.SendRequest{Service: mac.Unreliable, Payload: []byte("u1")})
+	w.nodes[0].Send(reliableReq("r2", 1))
+	w.eng.Run(sim.Second)
+	got := w.uppers[1].delivered
+	if len(got) != 3 {
+		t.Fatalf("deliveries = %d, want 3", len(got))
+	}
+	order := []string{"r1", "u1", "r2"}
+	for i, want := range order {
+		if string(got[i].payload) != want {
+			t.Fatalf("delivery %d = %q, want %q", i, got[i].payload, want)
+		}
+	}
+	if got[0].info.Reliable == false || got[1].info.Reliable == true {
+		t.Fatal("service flags wrong")
+	}
+}
+
+// TestRetryLimitConfigurable: a retry limit of 0 drops after the first
+// failed attempt.
+func TestRetryLimitConfigurable(t *testing.T) {
+	eng := sim.NewEngine(77)
+	cfg := phy.DefaultConfig()
+	m := phy.NewMedium(eng, cfg)
+	r := m.AddRadio(0, stationaryAt(0, 0))
+	limits := mac.DefaultLimits()
+	limits.RetryLimit = 0
+	n := New(r, cfg, eng, limits)
+	u := &upper{}
+	n.SetUpper(u)
+	n.Send(reliableReq("never", 1)) // nobody out there
+	eng.Run(5 * sim.Second)
+	if n.Stats().MRTSSent != 1 || n.Stats().Drops != 1 || n.Stats().Retransmissions != 0 {
+		t.Fatalf("stats = %+v", n.Stats())
+	}
+}
+
+// --- helpers ---
+
+type nopHandler struct{}
+
+func (nopHandler) OnFrameReceived(frame.Frame, bool, sim.Time) {}
+func (nopHandler) OnCarrierChange(bool)                        {}
+func (nopHandler) OnToneChange(phy.Tone, bool)                 {}
+func (nopHandler) OnTxDone(frame.Frame)                        {}
+
+func stationaryAt(x, y float64) mobilityPoint { return mobilityPoint{geom.Point{X: x, Y: y}} }
+
+type mobilityPoint struct{ p geom.Point }
+
+func (m mobilityPoint) PositionAt(sim.Time) geom.Point { return m.p }

@@ -1,0 +1,90 @@
+package rmac
+
+import (
+	"testing"
+
+	"rmac/internal/frame"
+	"rmac/internal/geom"
+	"rmac/internal/mac"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+	"rmac/internal/trace"
+)
+
+// TestExchangeTimelineSpec walks one clean Reliable Send to two receivers
+// through the PHY trace and asserts the §3.3.2 specification event by
+// event: MRTS → RBTs up → T_wf_rbt → data → RBTs down → ordered ABTs.
+func TestExchangeTimelineSpec(t *testing.T) {
+	w := newWorld(50, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 0, Y: 50}})
+	tr := trace.New(256)
+	w.medium.Tracer = tr
+	payload := make([]byte, 500)
+	w.nodes[0].Send(&mac.SendRequest{Service: mac.Reliable, Dests: addrs(1, 2), Payload: payload})
+	w.eng.Run(sim.Second)
+
+	cfg := phy.DefaultConfig()
+	mrtsDur := cfg.TxDuration(frame.MRTSLen(2)) // 240 µs
+	dataDur := cfg.TxDuration(522)              // 2184 µs
+	dataStart := mrtsDur + phy.ToneWaitTimeout  // sender waits T_wf_rbt
+	dataEnd := dataStart + dataDur
+
+	type expect struct {
+		kind   trace.Kind
+		node   int
+		what   string
+		at     sim.Time // -1: don't check
+		within sim.Time // timing tolerance
+	}
+	tol := 2 * sim.Microsecond // propagation
+	wants := []expect{
+		{trace.TxStart, 0, "MRTS", 0, 0},
+		{trace.RxOK, 1, "MRTS", mrtsDur, tol},                    // step 2: receivers decode
+		{trace.ToneOn, 1, "RBT", mrtsDur, tol},                   // ... and raise RBT
+		{trace.TxStart, 0, "RDATA", dataStart, 0},                // step 4: RBT detected at T_wf_rbt
+		{trace.ToneOff, 1, "RBT", dataEnd, tol},                  // step 5: RBT until end of data
+		{trace.ToneOn, 1, "ABT", dataEnd, tol},                   // index 0: ABT immediately
+		{trace.ToneOn, 2, "ABT", dataEnd + phy.ABTDuration, tol}, // index 1: one l_abt later
+		{trace.ToneOff, 1, "ABT", dataEnd + phy.ABTDuration, tol},
+		{trace.ToneOff, 2, "ABT", dataEnd + 2*phy.ABTDuration, tol},
+	}
+
+	events := tr.Events()
+	i := 0
+	for _, want := range wants {
+		found := false
+		for ; i < len(events); i++ {
+			e := events[i]
+			if e.Kind == want.kind && e.Node == want.node && e.What == want.what {
+				if want.at >= 0 {
+					lo, hi := want.at-want.within, want.at+want.within
+					if e.At < lo || e.At > hi {
+						t.Fatalf("%v node %d %s at %v, want %v ± %v", want.kind, want.node, want.what, e.At, want.at, want.within)
+					}
+				}
+				found = true
+				i++
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("spec event missing (in order): %v node %d %s\ntrace:\n%s",
+				want.kind, want.node, want.what, tr.Render())
+		}
+	}
+
+	// Node 2's RBT must also have been raised and dropped, overlapping
+	// node 1's.
+	rbt2 := tr.Filter(func(e trace.Event) bool { return e.Node == 2 && e.What == "RBT" })
+	if len(rbt2) != 2 || rbt2[0].Kind != trace.ToneOn || rbt2[1].Kind != trace.ToneOff {
+		t.Fatalf("node 2 RBT events = %+v", rbt2)
+	}
+	// And the exchange succeeded with zero retries.
+	if w.uppers[0].completes[0].Retries != 0 || w.uppers[0].completes[0].Dropped {
+		t.Fatalf("completion = %+v", w.uppers[0].completes[0])
+	}
+	// No MRTS retransmission appeared in the trace.
+	mrtsTx := tr.Filter(func(e trace.Event) bool { return e.Kind == trace.TxStart && e.What == "MRTS" })
+	if len(mrtsTx) != 1 {
+		t.Fatalf("MRTS transmissions = %d, want 1", len(mrtsTx))
+	}
+}

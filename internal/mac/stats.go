@@ -1,0 +1,80 @@
+package mac
+
+import (
+	"rmac/internal/sim"
+)
+
+// Stats accumulates the per-node counters behind every metric in §4:
+// packet drop ratio, retransmission ratio, transmission overhead ratio,
+// MRTS length distribution and MRTS abortion ratio.
+type Stats struct {
+	// Queueing.
+	Enqueued   uint64 // packets accepted into the queue
+	QueueDrops uint64 // packets rejected on a full queue
+
+	// Reliable Send accounting ("to be transmitted" in the paper's
+	// denominators counts reliable packets handed to the contention
+	// process).
+	ReliableToTransmit uint64 // reliable packets whose transmission began
+	ReliableDelivered  uint64 // reliable packets fully acknowledged
+	Retransmissions    uint64 // retransmission cycles beyond each first attempt
+	Drops              uint64 // packets dropped at the retry limit
+
+	// Unreliable Send accounting.
+	UnreliableSent uint64
+
+	// Airtime, split as the transmission overhead ratio requires
+	// (§4.3.2): control frames sent and received, ABT checking time, and
+	// reliable data airtime.
+	CtrlTxTime   sim.Time
+	CtrlRxTime   sim.Time
+	ABTCheckTime sim.Time
+	DataTxTime   sim.Time
+
+	// RMAC specifics.
+	MRTSSent    uint64 // MRTS transmissions started (aborted ones included)
+	MRTSAborted uint64 // MRTS transmissions aborted on RBT detection
+	MRTSLens    []int  // wire length in bytes of every MRTS sent
+
+	// ABT emissions (receiver side).
+	ABTSent uint64
+}
+
+// DropRatio returns R_drop = drops / packets to be transmitted (§4.2.2).
+func (s *Stats) DropRatio() float64 {
+	if s.ReliableToTransmit == 0 {
+		return 0
+	}
+	return float64(s.Drops) / float64(s.ReliableToTransmit)
+}
+
+// RetxRatio returns R_retx = retransmissions / packets to be transmitted
+// (§4.3.1).
+func (s *Stats) RetxRatio() float64 {
+	if s.ReliableToTransmit == 0 {
+		return 0
+	}
+	return float64(s.Retransmissions) / float64(s.ReliableToTransmit)
+}
+
+// OverheadRatio returns R_txoh = (control TX + control RX + ABT checking)
+// / reliable data TX time (§4.3.2).
+func (s *Stats) OverheadRatio() float64 {
+	if s.DataTxTime == 0 {
+		return 0
+	}
+	return float64(s.CtrlTxTime+s.CtrlRxTime+s.ABTCheckTime) / float64(s.DataTxTime)
+}
+
+// AbortRatio returns R_abort = MRTSs aborted / MRTS transmissions (§4.3.4).
+func (s *Stats) AbortRatio() float64 {
+	if s.MRTSSent == 0 {
+		return 0
+	}
+	return float64(s.MRTSAborted) / float64(s.MRTSSent)
+}
+
+// NonLeaf reports whether the node acted as a forwarder (attempted at
+// least one reliable transmission); the paper averages its per-node ratios
+// over non-leaf nodes only.
+func (s *Stats) NonLeaf() bool { return s.ReliableToTransmit > 0 }

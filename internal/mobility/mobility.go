@@ -1,0 +1,121 @@
+// Package mobility implements the node movement models used in the paper's
+// evaluation (§4.1.2): a stationary model and the random waypoint model of
+// Bettstetter, parameterised by MIN-SPEED, MAX-SPEED and INTER-PAUSE.
+//
+// Models are queried lazily: PositionAt(t) computes the node position at any
+// simulated time without per-tick events, which keeps the event queue free
+// of mobility traffic. Queries must be made with nondecreasing t per node
+// (the simulator's clock only moves forward); RandomWaypoint extends its
+// precomputed trajectory on demand.
+package mobility
+
+import (
+	"math/rand"
+
+	"rmac/internal/geom"
+	"rmac/internal/sim"
+)
+
+// Model yields the position of a single node over time.
+type Model interface {
+	// PositionAt returns the node's position at simulated time t.
+	// t must be nondecreasing across calls.
+	PositionAt(t sim.Time) geom.Point
+}
+
+// Stationary is a fixed-position model.
+type Stationary struct {
+	P geom.Point
+}
+
+// PositionAt always returns the fixed position.
+func (s Stationary) PositionAt(sim.Time) geom.Point { return s.P }
+
+// leg is one segment of a waypoint trajectory: hold at 'from' until start,
+// then move linearly, arriving at 'to' at 'arrive', then pause until 'until'.
+type leg struct {
+	from, to      geom.Point
+	start, arrive sim.Time
+	until         sim.Time // end of pause at destination
+}
+
+// RandomWaypoint implements the random waypoint mobility model: pick a
+// uniform destination in the field, move toward it at a speed drawn
+// uniformly from [MinSpeed, MaxSpeed], pause for Pause, repeat.
+//
+// A MinSpeed of 0 is accepted (the paper uses it); a draw of exactly 0 m/s
+// is re-drawn to avoid a node freezing forever, mirroring common simulator
+// practice.
+type RandomWaypoint struct {
+	Field    geom.Rect
+	MinSpeed float64 // m/s
+	MaxSpeed float64 // m/s
+	Pause    sim.Time
+
+	rng  *rand.Rand
+	legs []leg
+}
+
+// NewRandomWaypoint creates a waypoint model starting at start. Each node
+// must get its own rng stream for determinism under lazy extension.
+func NewRandomWaypoint(field geom.Rect, minSpeed, maxSpeed float64, pause sim.Time, start geom.Point, rng *rand.Rand) *RandomWaypoint {
+	if maxSpeed <= 0 {
+		panic("mobility: MaxSpeed must be positive")
+	}
+	m := &RandomWaypoint{Field: field, MinSpeed: minSpeed, MaxSpeed: maxSpeed, Pause: pause, rng: rng}
+	m.legs = append(m.legs, leg{from: start, to: start, start: 0, arrive: 0, until: 0})
+	return m
+}
+
+// extend appends trajectory legs until the trajectory covers time t.
+func (m *RandomWaypoint) extend(t sim.Time) {
+	for {
+		last := m.legs[len(m.legs)-1]
+		if last.until > t {
+			return
+		}
+		dest := m.Field.RandomPoint(m.rng)
+		speed := m.MinSpeed + m.rng.Float64()*(m.MaxSpeed-m.MinSpeed)
+		for speed <= 1e-9 {
+			speed = m.MinSpeed + m.rng.Float64()*(m.MaxSpeed-m.MinSpeed)
+		}
+		dist := last.to.Dist(dest)
+		travel := sim.Time(dist / speed * float64(sim.Second))
+		l := leg{
+			from:   last.to,
+			to:     dest,
+			start:  last.until,
+			arrive: last.until + travel,
+		}
+		l.until = l.arrive + m.Pause
+		m.legs = append(m.legs, l)
+		// Drop fully-past legs to bound memory on long runs; keep the most
+		// recent few so slightly out-of-order queries within one event time
+		// still resolve.
+		if len(m.legs) > 64 {
+			m.legs = append(m.legs[:0], m.legs[len(m.legs)-8:]...)
+		}
+	}
+}
+
+// PositionAt returns the node position at time t.
+func (m *RandomWaypoint) PositionAt(t sim.Time) geom.Point {
+	m.extend(t)
+	// Find the leg containing t (legs are ordered; search from the back
+	// since queries are near the trajectory end).
+	for i := len(m.legs) - 1; i >= 0; i-- {
+		l := m.legs[i]
+		if t >= l.start || i == 0 {
+			switch {
+			case t >= l.arrive:
+				return l.to // pausing at destination
+			case t <= l.start:
+				return l.from
+			default:
+				frac := float64(t-l.start) / float64(l.arrive-l.start)
+				return l.from.Lerp(l.to, frac)
+			}
+		}
+	}
+	return m.legs[0].from
+}

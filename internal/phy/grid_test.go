@@ -1,0 +1,191 @@
+package phy
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"rmac/internal/frame"
+	"rmac/internal/geom"
+	"rmac/internal/mobility"
+	"rmac/internal/sim"
+)
+
+// buildBig creates a network larger than gridThreshold so the grid engages.
+func buildBig(t *testing.T, n int, seed int64, mobile bool) (*sim.Engine, *Medium, []*recRadio) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	cfg := DefaultConfig()
+	m := NewMedium(eng, cfg)
+	field := geom.Rect{W: 1000, H: 800}
+	rng := rand.New(rand.NewSource(seed))
+	rads := make([]*recRadio, n)
+	for i := 0; i < n; i++ {
+		start := field.RandomPoint(rng)
+		var mob mobility.Model
+		if mobile {
+			mob = mobility.NewRandomWaypoint(field, 0, 8, sim.Second, start, rand.New(rand.NewSource(seed*100+int64(i))))
+		} else {
+			mob = mobility.Stationary{P: start}
+		}
+		r := m.AddRadio(i, mob)
+		rr := &recRadio{Radio: r, rec: &recorder{}, eng: eng}
+		r.SetHandler(rr)
+		rads[i] = rr
+	}
+	return eng, m, rads
+}
+
+// linearNeighbors is the reference O(N) in-range query.
+func linearNeighbors(m *Medium, src *Radio, dist float64) []int {
+	pos := m.PositionOf(src)
+	d2max := dist * dist
+	var out []int
+	for _, o := range m.Radios() {
+		if o == src {
+			continue
+		}
+		if m.PositionOf(o).Dist2(pos) <= d2max {
+			out = append(out, o.ID())
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func gridNeighbors(m *Medium, src *Radio, dist float64) []int {
+	var out []int
+	m.forEachInRange(src, m.PositionOf(src), dist, func(o *Radio, _ float64) {
+		out = append(out, o.ID())
+	})
+	sort.Ints(out)
+	return out
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGridMatchesLinearScanStatic(t *testing.T) {
+	_, m, rads := buildBig(t, 200, 1, false)
+	if !m.gridEnabled() {
+		t.Fatal("grid should engage at 200 nodes")
+	}
+	for _, r := range rads[:50] {
+		want := linearNeighbors(m, r.Radio, m.Config().interferenceRange())
+		got := gridNeighbors(m, r.Radio, m.Config().interferenceRange())
+		if !sameInts(got, want) {
+			t.Fatalf("node %d: grid %v vs linear %v", r.ID(), got, want)
+		}
+	}
+}
+
+func TestGridTracksMobility(t *testing.T) {
+	eng, m, rads := buildBig(t, 150, 2, true)
+	// Advance time in chunks beyond the refresh interval and re-verify.
+	for step := 0; step < 5; step++ {
+		eng.Schedule(eng.Now()+sim.Second, func() {})
+		eng.RunAll()
+		for _, r := range rads[:20] {
+			want := linearNeighbors(m, r.Radio, m.Config().interferenceRange())
+			got := gridNeighbors(m, r.Radio, m.Config().interferenceRange())
+			if !sameInts(got, want) {
+				t.Fatalf("t=%v node %d: grid %v vs linear %v", eng.Now(), r.ID(), got, want)
+			}
+		}
+	}
+}
+
+func TestGridInvalidate(t *testing.T) {
+	_, m, rads := buildBig(t, 120, 3, false)
+	_ = gridNeighbors(m, rads[0].Radio, 75) // force build
+	m.InvalidateGrid()
+	want := linearNeighbors(m, rads[1].Radio, 75)
+	got := gridNeighbors(m, rads[1].Radio, 75)
+	if !sameInts(got, want) {
+		t.Fatal("grid wrong after invalidate")
+	}
+}
+
+func TestSmallNetworkSkipsGrid(t *testing.T) {
+	_, m, _ := build(t, DefaultConfig(), []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}})
+	if m.gridEnabled() {
+		t.Fatal("grid engaged below threshold")
+	}
+}
+
+// TestGridDeliveryLargeNetwork exercises the full TX path with the grid:
+// a broadcast in a dense 150-node cluster reaches exactly the in-range set.
+func TestGridDeliveryLargeNetwork(t *testing.T) {
+	eng := sim.NewEngine(4)
+	cfg := DefaultConfig()
+	m := NewMedium(eng, cfg)
+	rads := make([]*recRadio, 0, 150)
+	rng := rand.New(rand.NewSource(9))
+	field := geom.Rect{W: 600, H: 400}
+	for i := 0; i < 150; i++ {
+		r := m.AddRadio(i, mobility.Stationary{P: field.RandomPoint(rng)})
+		rr := &recRadio{Radio: r, rec: &recorder{}, eng: eng}
+		r.SetHandler(rr)
+		rads = append(rads, rr)
+	}
+	want := linearNeighbors(m, rads[0].Radio, cfg.CommRange)
+	rads[0].StartTx(&frame.UData{Transmitter: frame.AddrFromID(0), Receiver: frame.Broadcast, Payload: make([]byte, 50)})
+	eng.RunAll()
+	var got []int
+	for _, r := range rads[1:] {
+		for _, f := range r.rec.frames {
+			if f.ok {
+				got = append(got, r.ID())
+			}
+		}
+	}
+	sort.Ints(got)
+	if !sameInts(got, want) {
+		t.Fatalf("delivered to %v, want %v", got, want)
+	}
+}
+
+func BenchmarkLargeNetworkTx(b *testing.B) {
+	for _, n := range []int{75, 300, 1000} {
+		b.Run(map[int]string{75: "75nodes", 300: "300nodes", 1000: "1000nodes"}[n], func(b *testing.B) {
+			eng := sim.NewEngine(5)
+			cfg := DefaultConfig()
+			m := NewMedium(eng, cfg)
+			rng := rand.New(rand.NewSource(6))
+			field := geom.Rect{W: 2000, H: 1600}
+			for i := 0; i < n; i++ {
+				r := m.AddRadio(i, mobility.Stationary{P: field.RandomPoint(rng)})
+				r.SetHandler(nil2{})
+				_ = r
+			}
+			rads := m.Radios()
+			f := &frame.UData{Transmitter: frame.AddrFromID(0), Receiver: frame.Broadcast, Payload: make([]byte, 100)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := rads[i%n]
+				if src.Transmitting() {
+					eng.RunAll()
+				}
+				src.StartTx(f)
+				eng.RunAll()
+			}
+		})
+	}
+}
+
+type nil2 struct{}
+
+func (nil2) OnFrameReceived(frame.Frame, bool, sim.Time) {}
+func (nil2) OnCarrierChange(bool)                        {}
+func (nil2) OnToneChange(Tone, bool)                     {}
+func (nil2) OnTxDone(frame.Frame)                        {}

@@ -1,0 +1,303 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"rmac/internal/frame"
+	"rmac/internal/geom"
+	"rmac/internal/mobility"
+	"rmac/internal/sim"
+	"rmac/internal/trace"
+)
+
+// Medium is the shared wireless channel: it owns every Radio in a
+// simulation, computes propagation delays from node positions, fans
+// transmissions and tone transitions out to in-range radios, and tracks
+// overlap so each receiver knows whether a frame arrived collision-free.
+type Medium struct {
+	eng    *sim.Engine
+	cfg    Config
+	radios []*Radio
+
+	// Stats counts channel-level totals across the run.
+	Stats MediumStats
+
+	// Tracer, when non-nil, records frame and tone events (see package
+	// trace). Nil costs nothing.
+	Tracer *trace.Trace
+
+	grid *spatialGrid
+}
+
+// MediumStats aggregates channel-level counters.
+type MediumStats struct {
+	Transmissions  uint64 // StartTx calls
+	Aborts         uint64 // AbortTx calls
+	FramesDecoded  uint64 // deliveries with ok=true
+	FramesCorrupt  uint64 // deliveries with ok=false (collision/abort/BER)
+	ToneActivation uint64 // SetTone(on) calls
+}
+
+// NewMedium creates an empty medium on the given engine.
+func NewMedium(eng *sim.Engine, cfg Config) *Medium {
+	if cfg.CommRange <= 0 || cfg.BitRate <= 0 || cfg.PropSpeed <= 0 {
+		panic("phy: invalid Config")
+	}
+	return &Medium{eng: eng, cfg: cfg}
+}
+
+// Config returns the medium's radio configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// Engine returns the simulation engine the medium is bound to.
+func (m *Medium) Engine() *sim.Engine { return m.eng }
+
+// AddRadio creates and registers the radio for node id, moving according to
+// mob. The returned radio must be given a Handler before traffic starts.
+func (m *Medium) AddRadio(id int, mob mobility.Model) *Radio {
+	r := &Radio{
+		m:   m,
+		eng: m.eng,
+		id:  id,
+		mob: mob,
+	}
+	for t := range r.toneLog {
+		r.toneLog[t].onSince = -1
+	}
+	m.radios = append(m.radios, r)
+	return r
+}
+
+// Radios returns all registered radios.
+func (m *Medium) Radios() []*Radio { return m.radios }
+
+// PositionOf returns node r's current position.
+func (m *Medium) PositionOf(r *Radio) geom.Point {
+	return r.mob.PositionAt(m.eng.Now())
+}
+
+// propDelay converts a distance to a propagation delay; a floor of 1 ns
+// keeps event ordering strict for co-located nodes.
+func (m *Medium) propDelay(dist float64) sim.Time {
+	d := sim.Time(dist / m.cfg.PropSpeed * float64(sim.Second))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// NeighborsOf returns the IDs of nodes currently within communication range
+// of r, in ascending ID order. Used by routing/topology analysis, not by
+// the PHY fast path.
+func (m *Medium) NeighborsOf(r *Radio) []int {
+	p := m.PositionOf(r)
+	var out []int
+	m.forEachInRange(r, p, m.cfg.CommRange, func(o *Radio, _ float64) {
+		out = append(out, o.id)
+	})
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// transmission is one frame in flight on the data channel.
+type transmission struct {
+	src     *Radio
+	f       frame.Frame
+	start   sim.Time
+	end     sim.Time // updated if aborted
+	aborted bool
+	doneEv  *sim.Event
+	dests   []*rxPath
+}
+
+// rxPath tracks the signal from one transmission at one receiver.
+type rxPath struct {
+	tx        *transmission
+	r         *Radio
+	prop      sim.Time
+	inComm    bool // within decode range at TX start
+	corrupted bool // overlap, receiver-transmitting, or abort
+	started   bool // rxStart already processed
+	endEv     *sim.Event
+}
+
+// StartTx begins transmitting f from r. It returns the scheduled airtime.
+// The radio's handler receives OnTxDone when the transmission completes
+// naturally; an aborted transmission (AbortTx) does not call OnTxDone.
+func (m *Medium) StartTx(r *Radio, f frame.Frame) sim.Time {
+	if r.curTx != nil {
+		panic(fmt.Sprintf("phy: node %d StartTx while already transmitting", r.id))
+	}
+	now := m.eng.Now()
+	dur := m.cfg.TxDuration(f.WireSize())
+	tx := &transmission{src: r, f: f, start: now, end: now + dur}
+	r.curTx = tx
+	m.Stats.Transmissions++
+
+	// A node cannot decode while transmitting: poison any in-progress
+	// receptions at the transmitter.
+	for _, p := range r.active {
+		p.corrupted = true
+	}
+
+	srcPos := m.PositionOf(r)
+	c2 := m.cfg.CommRange * m.cfg.CommRange
+	m.forEachInRange(r, srcPos, m.cfg.interferenceRange(), func(o *Radio, d2 float64) {
+		p := &rxPath{tx: tx, r: o, inComm: d2 <= c2}
+		p.prop = m.propDelay(math.Sqrt(d2))
+		tx.dests = append(tx.dests, p)
+		m.eng.Schedule(now+p.prop, func() { m.rxStart(p) })
+		p.endEv = m.eng.Schedule(tx.end+p.prop, func() { m.rxEnd(p) })
+	})
+	tx.doneEv = m.eng.Schedule(tx.end, func() { m.txDone(tx) })
+	m.Tracer.Add(trace.Event{At: now, Node: r.id, Kind: trace.TxStart, What: f.Kind().String(),
+		Detail: fmt.Sprintf("%dB %v", f.WireSize(), dur)})
+	return dur
+}
+
+// AbortTx aborts r's in-flight transmission immediately (RMAC step 3 /
+// Unreliable Send step 2: stop when an RBT is detected). The truncated
+// signal still occupies the channel until now+prop at each receiver and is
+// never decodable there. No OnTxDone callback is made; the caller knows it
+// aborted.
+func (m *Medium) AbortTx(r *Radio) {
+	tx := r.curTx
+	if tx == nil {
+		panic(fmt.Sprintf("phy: node %d AbortTx with no transmission", r.id))
+	}
+	now := m.eng.Now()
+	tx.aborted = true
+	tx.end = now
+	tx.doneEv.Cancel()
+	m.Stats.Aborts++
+	for _, p := range tx.dests {
+		p.corrupted = true
+		p.endEv.Cancel()
+		pp := p
+		p.endEv = m.eng.Schedule(now+p.prop, func() { m.rxEnd(pp) })
+	}
+	r.curTx = nil
+	m.Tracer.Add(trace.Event{At: now, Node: r.id, Kind: trace.TxAbort, What: tx.f.Kind().String()})
+}
+
+func (m *Medium) txDone(tx *transmission) {
+	tx.src.curTx = nil
+	if tx.src.handler != nil {
+		tx.src.handler.OnTxDone(tx.f)
+	}
+}
+
+func (m *Medium) rxStart(p *rxPath) {
+	r := p.r
+	p.started = true
+	// Overlap: if any other signal is active at this receiver, every
+	// involved signal is corrupted.
+	if len(r.active) > 0 {
+		p.corrupted = true
+		for _, q := range r.active {
+			q.corrupted = true
+		}
+	}
+	// A transmitting node cannot decode.
+	if r.curTx != nil {
+		p.corrupted = true
+	}
+	r.active = append(r.active, p)
+	if len(r.active) == 1 && r.handler != nil {
+		r.handler.OnCarrierChange(true)
+	}
+}
+
+func (m *Medium) rxEnd(p *rxPath) {
+	r := p.r
+	if p.started {
+		for i, q := range r.active {
+			if q == p {
+				r.active = append(r.active[:i], r.active[i+1:]...)
+				break
+			}
+		}
+	}
+	ok := p.started && p.inComm && !p.corrupted && !p.tx.aborted
+	if ok && m.cfg.BER > 0 {
+		if m.eng.Rand().Float64() < m.cfg.FrameErrorProb(p.tx.f.WireSize()) {
+			ok = false
+		}
+	}
+	if ok {
+		m.Stats.FramesDecoded++
+	} else {
+		m.Stats.FramesCorrupt++
+	}
+	if m.Tracer != nil {
+		k := trace.RxOK
+		if !ok {
+			k = trace.RxCorrupt
+		}
+		m.Tracer.Add(trace.Event{At: m.eng.Now(), Node: r.id, Kind: k, What: p.tx.f.Kind().String(),
+			Detail: "from node " + fmt.Sprint(p.tx.src.id)})
+	}
+	if r.handler != nil {
+		r.handler.OnFrameReceived(p.tx.f, ok, p.tx.start+p.prop)
+	}
+	if len(r.active) == 0 && p.started && r.handler != nil {
+		r.handler.OnCarrierChange(false)
+	}
+}
+
+// SetTone turns node r's tone t on or off. Tone transitions propagate with
+// the same per-neighbor delay as data; the emitting node does not sense its
+// own tone. Turning a tone on twice (or off while off) panics — protocol
+// state machines must track their own tone state.
+func (m *Medium) SetTone(r *Radio, t Tone, on bool) {
+	if r.ownTone[t] == on {
+		panic(fmt.Sprintf("phy: node %d tone %v already %v", r.id, t, on))
+	}
+	r.ownTone[t] = on
+	now := m.eng.Now()
+	if m.Tracer != nil {
+		k := trace.ToneOn
+		if !on {
+			k = trace.ToneOff
+		}
+		m.Tracer.Add(trace.Event{At: now, Node: r.id, Kind: k, What: t.String()})
+	}
+	if on {
+		m.Stats.ToneActivation++
+		srcPos := m.PositionOf(r)
+		sess := &toneSession{}
+		m.forEachInRange(r, srcPos, m.cfg.interferenceRange(), func(o *Radio, d2 float64) {
+			sess.dests = append(sess.dests, o)
+			sess.props = append(sess.props, m.propDelay(math.Sqrt(d2)))
+		})
+		r.toneSess[t] = sess
+		for i, o := range sess.dests {
+			o := o
+			m.eng.Schedule(now+sess.props[i], func() { o.toneDelta(t, +1) })
+		}
+		return
+	}
+	sess := r.toneSess[t]
+	r.toneSess[t] = nil
+	if sess == nil {
+		return
+	}
+	for i, o := range sess.dests {
+		o := o
+		m.eng.Schedule(now+sess.props[i], func() { o.toneDelta(t, -1) })
+	}
+}
+
+type toneSession struct {
+	dests []*Radio
+	props []sim.Time
+}

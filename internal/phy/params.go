@@ -1,0 +1,126 @@
+// Package phy models the wireless physical layer the paper's evaluation
+// relies on: a shared data channel with propagation delay, per-receiver
+// collision tracking and carrier sense, 802.11b PLCP framing overhead, and
+// the two narrow-band busy-tone channels RMAC introduces (RBT and ABT).
+//
+// The radio model is a disc model: a transmission is decodable inside
+// CommRange and contributes interference/carrier energy inside
+// CommRange·InterferenceFactor. Busy tones are boolean fields sensed as
+// present/non-present, exactly as §3.1 describes; they never collide and
+// carry no bits.
+package phy
+
+import (
+	"math"
+
+	"rmac/internal/sim"
+)
+
+// Physical-layer timing constants from IEEE 802.11b as used in §2 and §3.3
+// of the paper.
+const (
+	// PLCPPreamble is the 72-bit physical layer preamble at 1 Mb/s.
+	PLCPPreamble = 72 * sim.Microsecond
+	// PLCPHeader is the 48-bit physical layer header at 2 Mb/s.
+	PLCPHeader = 24 * sim.Microsecond
+	// PLCPOverhead is the per-frame physical overhead (96 µs, §2).
+	PLCPOverhead = PLCPPreamble + PLCPHeader
+
+	// SlotTime is one backoff slot (20 µs, §3.3.1).
+	SlotTime = 20 * sim.Microsecond
+	// Tau is the maximum one-way propagation delay τ (1 µs for ≤300 m).
+	Tau = 1 * sim.Microsecond
+	// Lambda is the busy-tone detection duration λ (15 µs CCA).
+	Lambda = 15 * sim.Microsecond
+	// ABTDuration is l_abt = 2τ+λ, the length of one acknowledgment busy
+	// tone and of each of the sender's ABT-sensing windows.
+	ABTDuration = 2*Tau + Lambda
+	// ToneWaitTimeout is |T_wf_rbt| = |T_wf_rdata| = |T_wf_abt| = 2τ+λ.
+	ToneWaitTimeout = 2*Tau + Lambda
+
+	// SIFS and DIFS are the 802.11b interframe spaces used by the
+	// baseline protocols (BMMM, BMW).
+	SIFS = 10 * sim.Microsecond
+	DIFS = 50 * sim.Microsecond
+)
+
+// Backoff contention window bounds (802.11b).
+const (
+	CWMin = 31
+	CWMax = 1023
+)
+
+// Tone identifies one of the narrow-band busy-tone channels.
+type Tone int
+
+const (
+	// ToneRBT is the Receiver Busy Tone protecting data reception.
+	ToneRBT Tone = iota
+	// ToneABT is the Acknowledgment Busy Tone.
+	ToneABT
+	// NumTones is the number of tone channels.
+	NumTones
+)
+
+func (t Tone) String() string {
+	switch t {
+	case ToneRBT:
+		return "RBT"
+	case ToneABT:
+		return "ABT"
+	}
+	return "Tone(?)"
+}
+
+// Config carries the radio parameters of a simulation. The zero value is
+// not usable; start from DefaultConfig.
+type Config struct {
+	// CommRange is the radio propagation range in metres (75 m in §4.1.1).
+	CommRange float64
+	// InterferenceFactor scales CommRange to the interference/carrier-sense
+	// range. 1.0 reproduces the paper's GloMoSim setup at uniform power.
+	InterferenceFactor float64
+	// BitRate is the data channel rate in bits/s (2 Mb/s in §4.1.1).
+	BitRate int64
+	// PropSpeed is the signal propagation speed in m/s.
+	PropSpeed float64
+	// BER is the independent bit error probability on the data channel.
+	// 0 disables channel noise (collisions and mobility remain).
+	BER float64
+}
+
+// DefaultConfig returns the paper's §4.1.1 radio parameters.
+func DefaultConfig() Config {
+	return Config{
+		CommRange:          75,
+		InterferenceFactor: 1.0,
+		BitRate:            2_000_000,
+		PropSpeed:          3e8,
+		BER:                0,
+	}
+}
+
+// TxDuration returns the airtime of a frame of the given wire size in
+// bytes, including PLCP preamble and header: 96 µs + 4 µs/byte at 2 Mb/s.
+func (c Config) TxDuration(wireBytes int) sim.Time {
+	bits := int64(wireBytes) * 8
+	return PLCPOverhead + sim.Time(bits*int64(sim.Second)/c.BitRate)
+}
+
+// FrameErrorProb returns the probability that a frame of the given size is
+// corrupted by channel noise: 1-(1-BER)^bits.
+func (c Config) FrameErrorProb(wireBytes int) float64 {
+	if c.BER <= 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-c.BER, float64(wireBytes*8))
+}
+
+// interferenceRange returns the carrier-sense/interference radius.
+func (c Config) interferenceRange() float64 {
+	f := c.InterferenceFactor
+	if f < 1 {
+		f = 1
+	}
+	return c.CommRange * f
+}

@@ -1,0 +1,185 @@
+package phy
+
+import (
+	"rmac/internal/frame"
+	"rmac/internal/mobility"
+	"rmac/internal/sim"
+)
+
+// Handler is the interface a MAC layer implements to receive PHY
+// indications. All callbacks run on the simulation goroutine.
+type Handler interface {
+	// OnFrameReceived delivers the end of a frame reception. ok is true
+	// iff the frame was received collision-free, within communication
+	// range, not aborted mid-air, and survived channel noise. rxStart is
+	// when the first bit arrived at this node.
+	OnFrameReceived(f frame.Frame, ok bool, rxStart sim.Time)
+	// OnCarrierChange reports data-channel energy transitions at this
+	// node (foreign signals only; the node's own transmission is
+	// reflected by DataChannelBusy instead).
+	OnCarrierChange(busy bool)
+	// OnToneChange reports sensed level transitions of a busy-tone
+	// channel at this node (the node's own tone is excluded).
+	OnToneChange(t Tone, sensed bool)
+	// OnTxDone reports natural completion of this node's transmission.
+	// Aborted transmissions do not produce OnTxDone.
+	OnTxDone(f frame.Frame)
+}
+
+// toneInterval is one closed period during which a tone was sensed.
+type toneInterval struct {
+	from, to sim.Time
+}
+
+// toneState tracks sensed level and a short history for windowed queries.
+type toneState struct {
+	count   int      // number of in-range emitters currently sensed
+	onSince sim.Time // -1 when not sensed
+	log     []toneInterval
+}
+
+// maxToneLog bounds the per-tone interval history. RMAC needs at most one
+// MRTS/DATA/ABT cycle of history (≤ 21 windows); 128 is generous.
+const maxToneLog = 128
+
+// Radio is one node's PHY entity: transmitter, receiver, tone emitter and
+// tone sensor.
+type Radio struct {
+	m   *Medium
+	eng *sim.Engine
+	id  int
+	mob mobility.Model
+
+	handler Handler
+
+	curTx    *transmission
+	active   []*rxPath // signals currently arriving at this node
+	ownTone  [NumTones]bool
+	toneSess [NumTones]*toneSession
+
+	toneLog [NumTones]toneState
+}
+
+// ID returns the node ID this radio belongs to.
+func (r *Radio) ID() int { return r.id }
+
+// SetHandler installs the MAC-layer callback sink.
+func (r *Radio) SetHandler(h Handler) { r.handler = h }
+
+// Mobility returns the node's mobility model.
+func (r *Radio) Mobility() mobility.Model { return r.mob }
+
+// Transmitting reports whether the node is currently transmitting on the
+// data channel.
+func (r *Radio) Transmitting() bool { return r.curTx != nil }
+
+// DataChannelBusy reports whether the data channel is busy at this node:
+// any foreign signal arriving, or the node itself transmitting.
+func (r *Radio) DataChannelBusy() bool {
+	return len(r.active) > 0 || r.curTx != nil
+}
+
+// CarrierSensed reports foreign energy only (the receive path).
+func (r *Radio) CarrierSensed() bool { return len(r.active) > 0 }
+
+// ToneSensed reports whether tone t from some other node is currently
+// present at this node.
+func (r *Radio) ToneSensed(t Tone) bool { return r.toneLog[t].count > 0 }
+
+// OwnTone reports whether this node is currently emitting tone t.
+func (r *Radio) OwnTone(t Tone) bool { return r.ownTone[t] }
+
+// StartTx transmits f on the data channel; see Medium.StartTx.
+func (r *Radio) StartTx(f frame.Frame) sim.Time { return r.m.StartTx(r, f) }
+
+// AbortTx aborts the in-flight transmission; see Medium.AbortTx.
+func (r *Radio) AbortTx() { r.m.AbortTx(r) }
+
+// SetTone turns this node's tone t on or off; see Medium.SetTone.
+func (r *Radio) SetTone(t Tone, on bool) { r.m.SetTone(r, t, on) }
+
+// toneDelta applies a propagated +1/-1 tone transition from a remote node.
+func (r *Radio) toneDelta(t Tone, d int) {
+	s := &r.toneLog[t]
+	was := s.count > 0
+	s.count += d
+	if s.count < 0 {
+		panic("phy: tone count negative")
+	}
+	now := r.eng.Now()
+	is := s.count > 0
+	switch {
+	case !was && is:
+		s.onSince = now
+		if r.handler != nil {
+			r.handler.OnToneChange(t, true)
+		}
+	case was && !is:
+		s.log = append(s.log, toneInterval{s.onSince, now})
+		if len(s.log) > maxToneLog {
+			s.log = s.log[len(s.log)-maxToneLog/2:]
+		}
+		s.onSince = -1
+		if r.handler != nil {
+			r.handler.OnToneChange(t, false)
+		}
+	}
+}
+
+// ToneOverlap returns the total time tone t was sensed at this node within
+// the window [from, to]. to must not be in the future. The MAC uses this
+// with λ to decide whether a busy tone was "detected" in a timer window
+// (e.g. one ABT slot), which is what disambiguates an ABT spilling into
+// the next window by ≤2τ from a genuine detection (§3.3.2).
+func (r *Radio) ToneOverlap(t Tone, from, to sim.Time) sim.Time {
+	if now := r.eng.Now(); to > now {
+		// The future part of the window has not been sensed yet.
+		to = now
+	}
+	s := &r.toneLog[t]
+	var total sim.Time
+	for _, iv := range s.log {
+		total += overlap(iv.from, iv.to, from, to)
+	}
+	if s.onSince >= 0 {
+		total += overlap(s.onSince, r.eng.Now(), from, to)
+	}
+	return total
+}
+
+// PruneToneLog discards tone history ending before t, bounding memory over
+// long runs. Senders call this when starting a new exchange.
+func (r *Radio) PruneToneLog(before sim.Time) {
+	for ti := range r.toneLog {
+		s := &r.toneLog[ti]
+		kept := s.log[:0]
+		for _, iv := range s.log {
+			if iv.to >= before {
+				kept = append(kept, iv)
+			}
+		}
+		s.log = kept
+	}
+}
+
+func overlap(a1, a2, b1, b2 sim.Time) sim.Time {
+	lo, hi := max64(a1, b1), min64(a2, b2)
+	if hi > lo {
+		return hi - lo
+	}
+	return 0
+}
+
+func max64(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b sim.Time) sim.Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,180 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// other layer of the wireless network simulator: a virtual clock, an event
+// queue ordered by (time, sequence), cancellable timers, and a deterministic
+// per-run random number source.
+//
+// A single Engine drives one simulation run on one goroutine. Determinism is
+// guaranteed by ordering simultaneous events by their scheduling sequence
+// number and by deriving all randomness from the engine's seeded source.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is the simulated clock in nanoseconds since the start of the run.
+type Time int64
+
+// Common time constants expressed as Time values.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Duration converts a standard library duration into simulated time units.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds reports the time as floating-point seconds, for metric output.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports the time as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	return time.Duration(t).String()
+}
+
+// Event is a cancellable scheduled callback. The zero value is invalid;
+// events are created by Engine.Schedule and friends.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	canceled bool
+	fn       func()
+}
+
+// At reports the simulated time the event fires at.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel must only be called from the
+// simulation goroutine.
+func (e *Event) Cancel() {
+	e.canceled = true
+}
+
+// Canceled reports whether the event has been cancelled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator instance. It is not safe for
+// concurrent use; one engine belongs to one goroutine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+	// Processed counts events executed, for instrumentation.
+	Processed uint64
+}
+
+// NewEngine creates an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn at absolute time at. Scheduling into the past panics:
+// that is always a logic error in a protocol implementation.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After runs fn after delay d from the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue empties, the horizon is passed, or
+// Stop is called. Events scheduled exactly at the horizon still run.
+func (e *Engine) Run(horizon Time) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.at > horizon {
+			// Leave future events queued; advance clock to horizon so
+			// callers observe a consistent end time.
+			e.now = horizon
+			return
+		}
+		heap.Pop(&e.queue)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.Processed++
+		ev.fn()
+	}
+	if len(e.queue) == 0 && e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// RunAll executes events until the queue empties or Stop is called.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.Processed++
+		ev.fn()
+	}
+}
+
+// Pending reports the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.queue) }

@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.Schedule(30*Microsecond, func() { got = append(got, 3) })
+	e.Schedule(10*Microsecond, func() { got = append(got, 1) })
+	e.Schedule(20*Microsecond, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*Microsecond {
+		t.Fatalf("now = %v, want 30µs", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5*Microsecond, func() { got = append(got, i) })
+	}
+	e.RunAll()
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("simultaneous events not in FIFO order: %v", got)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.After(Microsecond, func() { fired = true })
+	ev.Cancel()
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	later := e.Schedule(2*Microsecond, func() { fired = true })
+	e.Schedule(Microsecond, func() { later.Cancel() })
+	e.RunAll()
+	if fired {
+		t.Fatal("event fired despite cancellation from an earlier event")
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i)*Second, func() { count++ })
+	}
+	e.Run(5 * Second)
+	if count != 5 {
+		t.Fatalf("events before horizon = %d, want 5", count)
+	}
+	if e.Now() != 5*Second {
+		t.Fatalf("now = %v, want 5s", e.Now())
+	}
+	e.Run(20 * Second)
+	if count != 10 {
+		t.Fatalf("events after resume = %d, want 10", count)
+	}
+}
+
+func TestRunHorizonInclusive(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	e.Schedule(Second, func() { fired = true })
+	e.Run(Second)
+	if !fired {
+		t.Fatal("event exactly at horizon did not fire")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 after Stop", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		e.Schedule(Second-1, func() {})
+	})
+	e.RunAll()
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		e := NewEngine(seed)
+		var trace []int
+		var recurse func(depth int)
+		recurse = func(depth int) {
+			if depth > 6 {
+				return
+			}
+			n := e.Rand().Intn(3) + 1
+			for i := 0; i < n; i++ {
+				v := e.Rand().Intn(1000)
+				e.After(Time(v)*Microsecond, func() {
+					trace = append(trace, v)
+					recurse(depth + 1)
+				})
+			}
+		}
+		recurse(0)
+		e.Run(10 * Second)
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces (suspicious)")
+	}
+}
+
+// Property: events always fire in nondecreasing time order regardless of
+// insertion order.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(7)
+		var fired []Time
+		for _, d := range delays {
+			at := Time(d) * Microsecond
+			e.Schedule(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the heap never loses events — everything scheduled either fires
+// or was cancelled.
+func TestPropertyNoLostEvents(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		e := NewEngine(seed)
+		r := rand.New(rand.NewSource(seed))
+		total := int(n)%64 + 1
+		fired, cancelled := 0, 0
+		evs := make([]*Event, 0, total)
+		for i := 0; i < total; i++ {
+			ev := e.Schedule(Time(r.Intn(100))*Microsecond, func() { fired++ })
+			evs = append(evs, ev)
+		}
+		for _, ev := range evs {
+			if r.Intn(2) == 0 {
+				if !ev.Canceled() {
+					ev.Cancel()
+					cancelled++
+				}
+			}
+		}
+		e.RunAll()
+		return fired+cancelled == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerRestart(t *testing.T) {
+	e := NewEngine(1)
+	fires := 0
+	tm := NewTimer(e, func() { fires++ })
+	tm.Start(10 * Microsecond)
+	e.Schedule(5*Microsecond, func() { tm.Start(20 * Microsecond) }) // restart before fire
+	e.RunAll()
+	if fires != 1 {
+		t.Fatalf("fires = %d, want 1 (restart must cancel prior schedule)", fires)
+	}
+	if e.Now() != 25*Microsecond {
+		t.Fatalf("fire time = %v, want 25µs", e.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := NewTimer(e, func() { fired = true })
+	tm.Start(Microsecond)
+	if !tm.Pending() {
+		t.Fatal("timer not pending after Start")
+	}
+	if tm.Deadline() != Microsecond {
+		t.Fatalf("deadline = %v, want 1µs", tm.Deadline())
+	}
+	tm.Stop()
+	if tm.Pending() {
+		t.Fatal("timer pending after Stop")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	tm.Stop() // idempotent
+}
+
+func TestTimerPendingClearsOnFire(t *testing.T) {
+	e := NewEngine(1)
+	var tm *Timer
+	tm = NewTimer(e, func() {
+		if tm.Pending() {
+			t.Error("timer still pending inside its own callback")
+		}
+	})
+	tm.Start(Microsecond)
+	e.RunAll()
+	if tm.Deadline() != 0 {
+		t.Fatalf("deadline of idle timer = %v, want 0", tm.Deadline())
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Duration(time.Millisecond) != Millisecond {
+		t.Fatal("Duration(1ms) != Millisecond")
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Fatalf("Seconds = %v, want 2.5", got)
+	}
+	if got := (17 * Microsecond).Micros(); got != 17 {
+		t.Fatalf("Micros = %v, want 17", got)
+	}
+	if s := (20 * Microsecond).String(); s != "20µs" {
+		t.Fatalf("String = %q", s)
+	}
+}

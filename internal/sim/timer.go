@@ -1,0 +1,54 @@
+package sim
+
+// Timer is a restartable one-shot timer bound to an Engine. It wraps the
+// cancel-and-reschedule pattern that protocol state machines use constantly
+// (e.g. RMAC's T_wf_rbt, T_wf_rdata, T_wf_abt).
+//
+// The zero Timer is not usable; create one with NewTimer.
+type Timer struct {
+	eng *Engine
+	fn  func()
+	ev  *Event
+}
+
+// NewTimer creates a stopped timer that invokes fn when it expires.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Start (re)arms the timer to fire after d. Any previously pending
+// expiration is cancelled first.
+func (t *Timer) Start(d Time) {
+	t.Stop()
+	t.ev = t.eng.After(d, t.fire)
+}
+
+// StartAt (re)arms the timer to fire at absolute time at.
+func (t *Timer) StartAt(at Time) {
+	t.Stop()
+	t.ev = t.eng.Schedule(at, t.fire)
+}
+
+func (t *Timer) fire() {
+	t.ev = nil
+	t.fn()
+}
+
+// Stop cancels a pending expiration. Stopping an idle timer is a no-op.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+// Pending reports whether the timer is armed and has not fired.
+func (t *Timer) Pending() bool { return t.ev != nil }
+
+// Deadline returns the absolute expiration time; valid only when Pending.
+func (t *Timer) Deadline() Time {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.At()
+}

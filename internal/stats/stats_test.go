@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 || s.Percentile(99) != 0 || s.StdDev() != 0 {
+		t.Fatal("empty sample must yield zeros")
+	}
+	sum := s.Summarize()
+	if sum.N != 0 || sum.Mean != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{4, 2, 6, 8})
+	if s.N() != 4 || !almost(s.Sum(), 20) || !almost(s.Mean(), 5) {
+		t.Fatalf("basic: n=%d sum=%v mean=%v", s.N(), s.Sum(), s.Mean())
+	}
+	if s.Max() != 8 || s.Min() != 2 {
+		t.Fatal("min/max")
+	}
+	if !almost(s.StdDev(), math.Sqrt(5)) {
+		t.Fatalf("stddev = %v", s.StdDev())
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := map[float64]float64{1: 1, 50: 50, 99: 99, 100: 100, 0: 1}
+	for p, want := range cases {
+		if got := s.Percentile(p); got != want {
+			t.Fatalf("P%v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestPercentileSmallSample(t *testing.T) {
+	var s Sample
+	s.Add(7)
+	for _, p := range []float64{1, 50, 99, 100} {
+		if s.Percentile(p) != 7 {
+			t.Fatal("single-element percentile")
+		}
+	}
+}
+
+func TestAddAfterPercentile(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{3, 1, 2})
+	_ = s.Percentile(50)
+	s.Add(0.5)
+	if got := s.Percentile(1); got != 0.5 {
+		t.Fatalf("P1 after re-add = %v", got)
+	}
+	if !almost(s.Mean(), 6.5/4) {
+		t.Fatal("mean after re-add")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Fatal("div by zero guard")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Fatal("ratio")
+	}
+}
+
+// Property: percentile is monotone in p and bounded by [Min, Max].
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, r := range raw {
+			s.Add(float64(r))
+		}
+		prev := math.Inf(-1)
+		for _, p := range []float64{1, 10, 25, 50, 75, 90, 99, 100} {
+			v := s.Percentile(p)
+			if v < prev || v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: P100 equals max; mean lies in [min, max].
+func TestPropertyMeanBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(n uint8) bool {
+		var s Sample
+		count := int(n)%50 + 1
+		for i := 0; i < count; i++ {
+			s.Add(rng.NormFloat64() * 100)
+		}
+		if !almost(s.Percentile(100), s.Max()) {
+			return false
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nearest-rank percentile agrees with a direct definition.
+func TestPropertyNearestRankDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(n uint8, pRaw uint8) bool {
+		count := int(n)%40 + 1
+		p := float64(pRaw%100) + 1
+		var s Sample
+		vals := make([]float64, count)
+		for i := range vals {
+			vals[i] = rng.Float64() * 1000
+			s.Add(vals[i])
+		}
+		sort.Float64s(vals)
+		rank := int(math.Ceil(p / 100 * float64(count)))
+		if rank < 1 {
+			rank = 1
+		}
+		return s.Percentile(p) == vals[rank-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

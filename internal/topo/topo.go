@@ -1,0 +1,191 @@
+// Package topo generates node placements and analyses the resulting
+// connectivity graphs and multicast trees, reproducing the §4.1.1
+// topology statistics (average/99-percentile hops to root, average/99-
+// percentile children per non-leaf node).
+package topo
+
+import (
+	"math/rand"
+
+	"rmac/internal/geom"
+	"rmac/internal/stats"
+)
+
+// Placement is a set of node positions on a field.
+type Placement struct {
+	Field  geom.Rect
+	Points []geom.Point
+}
+
+// RandomPlacement places n nodes uniformly at random on the field.
+func RandomPlacement(n int, field geom.Rect, rng *rand.Rand) Placement {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = field.RandomPoint(rng)
+	}
+	return Placement{Field: field, Points: pts}
+}
+
+// ConnectedRandomPlacement retries RandomPlacement until the disc graph at
+// the given radio range is connected (the paper's tree reaches all 75
+// nodes, implying connected topologies), up to maxTries attempts. It
+// returns the placement and whether connectivity was achieved.
+func ConnectedRandomPlacement(n int, field geom.Rect, radioRange float64, rng *rand.Rand, maxTries int) (Placement, bool) {
+	for try := 0; try < maxTries; try++ {
+		p := RandomPlacement(n, field, rng)
+		if p.Connected(radioRange) {
+			return p, true
+		}
+	}
+	return RandomPlacement(n, field, rng), false
+}
+
+// Adjacency returns the disc-graph adjacency lists at the given range.
+func (p Placement) Adjacency(radioRange float64) [][]int {
+	n := len(p.Points)
+	r2 := radioRange * radioRange
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if p.Points[i].Dist2(p.Points[j]) <= r2 {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+	return adj
+}
+
+// Connected reports whether the disc graph is connected.
+func (p Placement) Connected(radioRange float64) bool {
+	n := len(p.Points)
+	if n == 0 {
+		return true
+	}
+	adj := p.Adjacency(radioRange)
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// BFSTree builds the shortest-hop tree rooted at root over the disc
+// graph, breaking ties toward the highest-degree parent (then lowest ID) —
+// a static approximation of the BLESS protocol's convergence, where nodes
+// prefer already-popular parents, concentrating children on fewer
+// forwarders (§4.1.1). Parent[i] is -1 for the root and for unreachable
+// nodes.
+func (p Placement) BFSTree(root int, radioRange float64) []int {
+	n := len(p.Points)
+	adj := p.Adjacency(radioRange)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+		if i == root || dist[i] < 0 {
+			continue
+		}
+		bestDeg := -1
+		for _, j := range adj[i] { // adjacency lists are ID-ordered
+			if dist[j] == dist[i]-1 && len(adj[j]) > bestDeg {
+				parent[i] = j
+				bestDeg = len(adj[j])
+			}
+		}
+	}
+	return parent
+}
+
+// TreeStats summarises a tree given parent pointers, in the §4.1.1 shape.
+type TreeStats struct {
+	Reachable   int // nodes with a path to the root (root included)
+	Hops        stats.Summary
+	Children    stats.Summary // over non-leaf nodes only
+	NonLeaf     int
+	Leaf        int
+	Unreachable int
+}
+
+// AnalyzeTree computes hop and fan-out statistics of the tree encoded by
+// parent pointers (parent[root] == -1; unreachable nodes also -1).
+func AnalyzeTree(parent []int, root int) TreeStats {
+	n := len(parent)
+	childCount := make([]int, n)
+	hops := make([]int, n)
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[root] = 0
+	for i := 0; i < n; i++ {
+		if i != root && parent[i] >= 0 {
+			childCount[parent[i]]++
+		}
+	}
+	// Resolve hop counts by chasing parents (with cycle guard).
+	var chase func(i, depth int) int
+	chase = func(i, depth int) int {
+		if depth > n {
+			return -1 // cycle
+		}
+		if hops[i] >= 0 {
+			return hops[i]
+		}
+		if parent[i] < 0 {
+			return -1
+		}
+		h := chase(parent[i], depth+1)
+		if h < 0 {
+			return -1
+		}
+		hops[i] = h + 1
+		return hops[i]
+	}
+	var ts TreeStats
+	var hopSample, childSample stats.Sample
+	for i := 0; i < n; i++ {
+		if chase(i, 0) < 0 {
+			ts.Unreachable++
+			continue
+		}
+		ts.Reachable++
+		if i != root {
+			hopSample.Add(float64(hops[i]))
+		}
+		if childCount[i] > 0 {
+			ts.NonLeaf++
+			childSample.Add(float64(childCount[i]))
+		} else {
+			ts.Leaf++
+		}
+	}
+	ts.Hops = hopSample.Summarize()
+	ts.Children = childSample.Summarize()
+	return ts
+}

@@ -1,0 +1,198 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rmac/internal/geom"
+)
+
+func TestRandomPlacementInField(t *testing.T) {
+	field := geom.Rect{W: 500, H: 300}
+	p := RandomPlacement(75, field, rand.New(rand.NewSource(1)))
+	if len(p.Points) != 75 {
+		t.Fatal("wrong count")
+	}
+	for _, pt := range p.Points {
+		if !field.Contains(pt) {
+			t.Fatalf("point %v outside field", pt)
+		}
+	}
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	p := Placement{Points: []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 200, Y: 0}}}
+	adj := p.Adjacency(75)
+	if len(adj[0]) != 1 || adj[0][0] != 1 {
+		t.Fatalf("adj[0] = %v", adj[0])
+	}
+	if len(adj[1]) != 1 || adj[1][0] != 0 {
+		t.Fatalf("adj[1] = %v", adj[1])
+	}
+	if len(adj[2]) != 0 {
+		t.Fatalf("adj[2] = %v", adj[2])
+	}
+}
+
+func TestConnected(t *testing.T) {
+	line := Placement{Points: []geom.Point{{X: 0, Y: 0}, {X: 70, Y: 0}, {X: 140, Y: 0}}}
+	if !line.Connected(75) {
+		t.Fatal("chain should be connected")
+	}
+	if line.Connected(60) {
+		t.Fatal("sparse chain should be disconnected")
+	}
+	empty := Placement{}
+	if !empty.Connected(75) {
+		t.Fatal("empty placement is trivially connected")
+	}
+}
+
+func TestConnectedRandomPlacement(t *testing.T) {
+	field := geom.Rect{W: 500, H: 300}
+	p, ok := ConnectedRandomPlacement(75, field, 75, rand.New(rand.NewSource(2)), 100)
+	if !ok {
+		t.Fatal("could not generate a connected 75-node placement (paper's setup)")
+	}
+	if !p.Connected(75) {
+		t.Fatal("reported connected but is not")
+	}
+}
+
+func TestBFSTreeChain(t *testing.T) {
+	p := Placement{Points: []geom.Point{{X: 0, Y: 0}, {X: 70, Y: 0}, {X: 140, Y: 0}, {X: 210, Y: 0}}}
+	parent := p.BFSTree(0, 75)
+	want := []int{-1, 0, 1, 2}
+	for i, w := range want {
+		if parent[i] != w {
+			t.Fatalf("parent = %v, want %v", parent, want)
+		}
+	}
+	ts := AnalyzeTree(parent, 0)
+	if ts.Reachable != 4 || ts.Unreachable != 0 {
+		t.Fatalf("stats = %+v", ts)
+	}
+	if ts.Hops.Max != 3 || ts.Hops.Mean != 2 {
+		t.Fatalf("hops = %+v", ts.Hops)
+	}
+	if ts.NonLeaf != 3 || ts.Leaf != 1 || ts.Children.Mean != 1 {
+		t.Fatalf("children = %+v", ts)
+	}
+}
+
+func TestBFSTreeStar(t *testing.T) {
+	p := Placement{Points: []geom.Point{
+		{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 0, Y: 50}, {X: -50, Y: 0}, {X: 0, Y: -50},
+	}}
+	parent := p.BFSTree(0, 75)
+	ts := AnalyzeTree(parent, 0)
+	if ts.NonLeaf != 1 || ts.Children.Max != 4 {
+		t.Fatalf("star stats = %+v", ts)
+	}
+	if ts.Hops.Max != 1 {
+		t.Fatalf("hops = %+v", ts.Hops)
+	}
+}
+
+func TestAnalyzeTreeUnreachableAndCycle(t *testing.T) {
+	// Node 3 unreachable; nodes 4<->5 form a cycle (stale routing state).
+	parent := []int{-1, 0, 1, -1, 5, 4}
+	ts := AnalyzeTree(parent, 0)
+	if ts.Reachable != 3 {
+		t.Fatalf("reachable = %d, want 3", ts.Reachable)
+	}
+	if ts.Unreachable != 3 {
+		t.Fatalf("unreachable = %d, want 3 (orphan + cycle)", ts.Unreachable)
+	}
+}
+
+// TestPaperTopologyStats reproduces the §4.1.1 numbers across random
+// placements: "the average and 99 percentile number of hops to root ...
+// are 3.87 and 10"; "the average and 99 percentile number of children for
+// a non-leaf node are 3.54 and 9". We accept a band around them since the
+// RNG differs.
+func TestPaperTopologyStats(t *testing.T) {
+	var hopsMeanSum, childMeanSum float64
+	var hopsP99Max, childP99Max float64
+	const runs = 20
+	for seed := int64(0); seed < runs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p, ok := ConnectedRandomPlacement(75, geom.Rect{W: 500, H: 300}, 75, rng, 200)
+		if !ok {
+			t.Fatalf("seed %d: no connected placement", seed)
+		}
+		ts := AnalyzeTree(p.BFSTree(0, 75), 0)
+		if ts.Reachable != 75 {
+			t.Fatalf("seed %d: tree reaches %d/75", seed, ts.Reachable)
+		}
+		hopsMeanSum += ts.Hops.Mean
+		childMeanSum += ts.Children.Mean
+		if ts.Hops.P99 > hopsP99Max {
+			hopsP99Max = ts.Hops.P99
+		}
+		if ts.Children.P99 > childP99Max {
+			childP99Max = ts.Children.P99
+		}
+	}
+	hopsMean := hopsMeanSum / runs
+	childMean := childMeanSum / runs
+	if hopsMean < 2.5 || hopsMean > 5.5 {
+		t.Fatalf("avg hops = %.2f, paper reports 3.87", hopsMean)
+	}
+	if childMean < 2.4 || childMean > 5.0 {
+		t.Fatalf("avg children = %.2f, paper reports 3.54", childMean)
+	}
+	if hopsP99Max < 5 || hopsP99Max > 16 {
+		t.Fatalf("p99 hops (max over runs) = %.0f, paper reports 10", hopsP99Max)
+	}
+	if childP99Max < 5 || childP99Max > 14 {
+		t.Fatalf("p99 children (max over runs) = %.0f, paper reports 9", childP99Max)
+	}
+}
+
+// Property: BFS trees never increase hop count along an edge by more than
+// one and reach exactly the connected component of the root.
+func TestPropertyBFSTreeIsShortestHop(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := RandomPlacement(40, geom.Rect{W: 400, H: 250}, rng)
+		parent := p.BFSTree(0, 75)
+		// Recompute hop distance independently.
+		adj := p.Adjacency(75)
+		dist := make([]int, len(p.Points))
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[0] = 0
+		q := []int{0}
+		for len(q) > 0 {
+			v := q[0]
+			q = q[1:]
+			for _, w := range adj[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					q = append(q, w)
+				}
+			}
+		}
+		for i := range parent {
+			if i == 0 {
+				continue
+			}
+			if dist[i] < 0 {
+				if parent[i] != -1 {
+					return false
+				}
+				continue
+			}
+			if parent[i] < 0 || dist[i] != dist[parent[i]]+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package trace provides a lightweight, allocation-conscious event trace
+// for the simulator: frame transmissions, receptions, tone transitions
+// and protocol decisions, recorded into a bounded ring and renderable as
+// a human-readable timeline. It is the debugging instrument for protocol
+// work — the equivalent of GloMoSim's trace files.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rmac/internal/sim"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// TxStart is the start of a frame transmission.
+	TxStart Kind = iota
+	// TxEnd is a natural transmission completion.
+	TxEnd
+	// TxAbort is an aborted transmission.
+	TxAbort
+	// RxOK is a correctly decoded frame.
+	RxOK
+	// RxCorrupt is a collided/truncated/noisy frame.
+	RxCorrupt
+	// ToneOn / ToneOff are busy-tone emissions.
+	ToneOn
+	ToneOff
+	// State is a protocol state transition.
+	State
+	// Drop is a packet abandoned at the retry limit.
+	Drop
+	// Deliver is an upper-layer delivery.
+	Deliver
+	// Custom is free-form protocol annotation.
+	Custom
+)
+
+var kindNames = [...]string{
+	"TX", "TX-END", "TX-ABORT", "RX", "RX-BAD", "TONE-ON", "TONE-OFF",
+	"STATE", "DROP", "DELIVER", "NOTE",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one trace record.
+type Event struct {
+	At   sim.Time
+	Node int
+	Kind Kind
+	// What identifies the subject (frame kind, tone name, state name).
+	What string
+	// Detail carries free-form context.
+	Detail string
+}
+
+func (e Event) String() string {
+	s := fmt.Sprintf("%12.3fµs node %-3d %-8s %s", e.At.Micros(), e.Node, e.Kind, e.What)
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Trace is a bounded ring of events. A nil *Trace is a valid no-op sink,
+// so instrumented code can be left in place at zero cost.
+type Trace struct {
+	events []Event
+	next   int
+	full   bool
+	total  uint64
+}
+
+// New creates a trace ring holding up to capacity events.
+func New(capacity int) *Trace {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Trace{events: make([]Event, capacity)}
+}
+
+// Add records an event; the oldest event is evicted when full.
+func (t *Trace) Add(e Event) {
+	if t == nil {
+		return
+	}
+	t.events[t.next] = e
+	t.next++
+	t.total++
+	if t.next == len(t.events) {
+		t.next = 0
+		t.full = true
+	}
+}
+
+// Addf records a Custom event with a formatted detail.
+func (t *Trace) Addf(at sim.Time, node int, what, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	t.Add(Event{At: at, Node: node, Kind: Custom, What: what, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of retained events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	if t.full {
+		return len(t.events)
+	}
+	return t.next
+}
+
+// Total returns the number of events ever recorded (including evicted).
+func (t *Trace) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Events returns retained events in chronological order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.full {
+		return append([]Event(nil), t.events[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.next:]...)
+	out = append(out, t.events[:t.next]...)
+	return out
+}
+
+// Filter returns retained events matching the predicate, in order.
+func (t *Trace) Filter(pred func(Event) bool) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteTo renders the retained timeline. It implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, e := range t.Events() {
+		m, err := fmt.Fprintln(w, e.String())
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Render returns the timeline as a string (test helper).
+func (t *Trace) Render() string {
+	var sb strings.Builder
+	_, _ = t.WriteTo(&sb)
+	return sb.String()
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rmac/internal/sim"
+)
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	tr.Add(Event{}) // must not panic
+	tr.Addf(0, 1, "x", "y %d", 3)
+	if tr.Len() != 0 || tr.Total() != 0 || tr.Events() != nil {
+		t.Fatal("nil trace not inert")
+	}
+}
+
+func TestRingOrderAndEviction(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 6; i++ {
+		tr.Add(Event{At: sim.Time(i), Node: i})
+	}
+	if tr.Len() != 4 || tr.Total() != 6 {
+		t.Fatalf("len=%d total=%d", tr.Len(), tr.Total())
+	}
+	ev := tr.Events()
+	for i, e := range ev {
+		if e.Node != i+2 {
+			t.Fatalf("events out of order after eviction: %+v", ev)
+		}
+	}
+}
+
+func TestPartialRing(t *testing.T) {
+	tr := New(10)
+	tr.Add(Event{Node: 1, Kind: TxStart, What: "MRTS"})
+	tr.Add(Event{Node: 2, Kind: RxOK, What: "MRTS"})
+	ev := tr.Events()
+	if len(ev) != 2 || ev[0].Node != 1 || ev[1].Node != 2 {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestFilterAndRender(t *testing.T) {
+	tr := New(16)
+	tr.Add(Event{At: 17 * sim.Microsecond, Node: 3, Kind: ToneOn, What: "RBT"})
+	tr.Add(Event{At: 30 * sim.Microsecond, Node: 4, Kind: RxCorrupt, What: "DATA", Detail: "from node 3"})
+	tones := tr.Filter(func(e Event) bool { return e.Kind == ToneOn || e.Kind == ToneOff })
+	if len(tones) != 1 || tones[0].What != "RBT" {
+		t.Fatalf("filter = %+v", tones)
+	}
+	out := tr.Render()
+	for _, want := range []string{"TONE-ON", "RBT", "RX-BAD", "from node 3", "17.000µs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAddf(t *testing.T) {
+	tr := New(2)
+	tr.Addf(5, 7, "retry", "attempt %d of %d", 2, 7)
+	ev := tr.Events()
+	if len(ev) != 1 || ev[0].Kind != Custom || ev[0].Detail != "attempt 2 of 7" {
+		t.Fatalf("addf = %+v", ev)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if TxStart.String() != "TX" || RxCorrupt.String() != "RX-BAD" || Kind(99).String() != "Kind(99)" {
+		t.Fatal("kind names")
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity must panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: the ring retains exactly the last min(n, cap) events in order.
+func TestPropertyRingRetention(t *testing.T) {
+	f := func(capRaw, nRaw uint8) bool {
+		capacity := int(capRaw)%16 + 1
+		n := int(nRaw) % 64
+		tr := New(capacity)
+		for i := 0; i < n; i++ {
+			tr.Add(Event{Node: i})
+		}
+		ev := tr.Events()
+		want := n
+		if want > capacity {
+			want = capacity
+		}
+		if len(ev) != want {
+			return false
+		}
+		for i, e := range ev {
+			if e.Node != n-want+i {
+				return false
+			}
+		}
+		return tr.Total() == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package rmac
+
+import (
+	"io"
+	"math/rand"
+
+	"rmac/internal/analytic"
+	"rmac/internal/experiment"
+	"rmac/internal/geom"
+	"rmac/internal/mac"
+	rmacmac "rmac/internal/mac/rmac"
+	"rmac/internal/phy"
+	"rmac/internal/routing"
+	"rmac/internal/sim"
+	"rmac/internal/stats"
+	"rmac/internal/topo"
+)
+
+// Core configuration and result types, re-exported from the experiment
+// harness. See each type's documentation for field meanings.
+type (
+	// Config describes one simulation run (§4.1 parameters).
+	Config = experiment.Config
+	// Protocol selects the MAC under test.
+	Protocol = experiment.Protocol
+	// Scenario is one of the §4.1.2 mobility settings.
+	Scenario = experiment.Scenario
+	// RunResult carries all measurements of one run.
+	RunResult = experiment.RunResult
+	// Sweep describes a (protocol × scenario × rate × seed) grid.
+	Sweep = experiment.Sweep
+	// Point is one aggregated data point of a sweep.
+	Point = experiment.Point
+	// Figure identifies one reproducible paper figure.
+	Figure = experiment.Figure
+	// TreeStats summarises a multicast tree (§4.1.1).
+	TreeStats = topo.TreeStats
+	// Summary is an average/99-percentile/maximum report.
+	Summary = stats.Summary
+	// PhyConfig carries the radio parameters.
+	PhyConfig = phy.Config
+	// MACLimits carries retry/queue policy.
+	MACLimits = mac.Limits
+	// RMACOptions carries RMAC ablation switches.
+	RMACOptions = rmacmac.Options
+	// RoutingConfig carries BLESS beacon timing.
+	RoutingConfig = routing.Config
+	// Rect is a deployment field.
+	Rect = geom.Rect
+	// Time is simulated time in nanoseconds.
+	Time = sim.Time
+)
+
+// Protocols under test.
+const (
+	RMAC = experiment.RMAC
+	BMMM = experiment.BMMM
+	BMW  = experiment.BMW
+	LBP  = experiment.LBP
+	MX   = experiment.MX
+	// DOT11 is plain IEEE 802.11 DCF: reliable unicast only, one-shot
+	// multicast (§1's motivation for RMAC).
+	DOT11 = experiment.DOT11
+)
+
+// Mobility scenarios (§4.1.2).
+const (
+	Stationary = experiment.Stationary
+	Speed1     = experiment.Speed1
+	Speed2     = experiment.Speed2
+)
+
+// DefaultConfig returns the paper's evaluation parameters (75 nodes,
+// 500×300 m, 75 m range, 2 Mb/s, 500-byte packets) with a scaled-down
+// packet count.
+func DefaultConfig() Config { return experiment.DefaultConfig() }
+
+// PaperRates returns the eight source rates of §4.1.2 (packets/second).
+func PaperRates() []float64 {
+	return append([]float64(nil), experiment.PaperRates...)
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(cfg Config) RunResult { return experiment.Run(cfg) }
+
+// RunSweep executes a grid of simulations in parallel and aggregates each
+// (protocol, scenario, rate) cell across seeds, as the paper's data
+// points do.
+func RunSweep(s Sweep) []Point { return experiment.RunSweep(s) }
+
+// Figures returns the specification of every evaluation figure
+// (Figures 7–13) in paper order.
+func Figures() []Figure { return experiment.Figures() }
+
+// FigureByID looks a figure up by its paper reference ("fig7" … "fig13").
+func FigureByID(id string) (Figure, error) { return experiment.FigureByID(id) }
+
+// WriteFigureTable renders one figure as the paper's three panels.
+func WriteFigureTable(w io.Writer, fig Figure, points []Point, scenarios []Scenario) {
+	experiment.WriteFigureTable(w, fig, points, scenarios)
+}
+
+// WriteCSV emits sweep points as CSV for external plotting.
+func WriteCSV(w io.Writer, points []Point) error { return experiment.WriteCSV(w, points) }
+
+// WriteJSON emits sweep points as a JSON array for external tooling.
+func WriteJSON(w io.Writer, points []Point) error { return experiment.WriteJSON(w, points) }
+
+// WriteFigureASCII renders one figure panel as a terminal line plot.
+func WriteFigureASCII(w io.Writer, fig Figure, points []Point, sc Scenario) {
+	experiment.WriteFigureASCII(w, fig, points, sc)
+}
+
+// WriteModelTable prints the closed-form per-exchange airtime models of
+// every implemented protocol (the §2 arithmetic generalised) for the
+// given payload size across receiver counts, at the paper's 802.11b
+// radio parameters.
+func WriteModelTable(w io.Writer, payload int, receiverCounts []int) {
+	analytic.WriteTable(w, phy.DefaultConfig(), payload, receiverCounts)
+}
+
+// AnalyzeTopology generates a connected random placement with the given
+// seed and returns the §4.1.1 statistics of its BLESS-style tree rooted
+// at node 0. It draws from the same placement stream Run uses, so the
+// analysed tree is the one a Run with the same Config simulates.
+func AnalyzeTopology(nodes int, field Rect, radioRange float64, seed int64) (TreeStats, bool) {
+	rng := rand.New(rand.NewSource(seed ^ experiment.PlacementSeedMix))
+	p, ok := topo.ConnectedRandomPlacement(nodes, field, radioRange, rng, 500)
+	if !ok {
+		return TreeStats{}, false
+	}
+	return topo.AnalyzeTree(p.BFSTree(0, radioRange), 0), true
+}

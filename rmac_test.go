@@ -1,0 +1,105 @@
+package rmac
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 20
+	cfg.Field = Rect{W: 250, H: 150}
+	cfg.Rate = 10
+	cfg.Packets = 30
+	return cfg
+}
+
+func TestPublicRun(t *testing.T) {
+	res := Run(quickConfig())
+	if res.Delivery < 0.9 {
+		t.Fatalf("delivery = %v", res.Delivery)
+	}
+	if res.Metrics.Generated != 30 {
+		t.Fatalf("generated = %d", res.Metrics.Generated)
+	}
+}
+
+func TestPublicSweepAndReport(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Packets = 10
+	points := RunSweep(Sweep{
+		Base:      cfg,
+		Protocols: []Protocol{RMAC, BMMM},
+		Scenarios: []Scenario{Stationary},
+		Rates:     []float64{10},
+		Seeds:     1,
+	})
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	fig, err := FigureByID("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	WriteFigureTable(&sb, fig, points, []Scenario{Stationary})
+	if !strings.Contains(sb.String(), "RMAC") {
+		t.Fatal("table rendering")
+	}
+	var csv strings.Builder
+	if err := WriteCSV(&csv, points); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(csv.String()), "\n")) != 3 {
+		t.Fatal("csv rows")
+	}
+}
+
+func TestPublicFigures(t *testing.T) {
+	if len(Figures()) != 7 {
+		t.Fatal("figure count")
+	}
+	if len(PaperRates()) != 8 {
+		t.Fatal("paper rates")
+	}
+	// PaperRates returns a copy: mutating it must not affect the next call.
+	r := PaperRates()
+	r[0] = 999
+	if PaperRates()[0] == 999 {
+		t.Fatal("PaperRates aliases internal state")
+	}
+}
+
+func TestPublicAnalyzeTopology(t *testing.T) {
+	ts, ok := AnalyzeTopology(75, Rect{W: 500, H: 300}, 75, 1)
+	if !ok {
+		t.Fatal("no connected placement")
+	}
+	if ts.Reachable != 75 {
+		t.Fatalf("reachable = %d", ts.Reachable)
+	}
+	if ts.Hops.Mean < 2 || ts.Hops.Mean > 7 {
+		t.Fatalf("hops mean = %v", ts.Hops.Mean)
+	}
+}
+
+func TestRBTAblationIncreasesRetransmissions(t *testing.T) {
+	// DESIGN.md ablation: disabling RBT protection must hurt — more
+	// retransmissions (hidden-node collisions on data) at equal load.
+	base := quickConfig()
+	base.Rate = 40
+	base.Packets = 120
+
+	on := Run(base)
+	off := base
+	off.RMACOptions = RMACOptions{DisableRBTProtection: true}
+	offRes := Run(off)
+
+	if offRes.AvgRetxRatio <= on.AvgRetxRatio {
+		t.Fatalf("no-RBT retx %.3f <= RBT retx %.3f; protection shows no benefit",
+			offRes.AvgRetxRatio, on.AvgRetxRatio)
+	}
+	if offRes.Delivery > on.Delivery+0.05 {
+		t.Fatalf("no-RBT delivery %.3f unexpectedly above %.3f", offRes.Delivery, on.Delivery)
+	}
+}

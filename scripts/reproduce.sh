@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Reproduce every experiment of the RMAC paper with this repository.
+#
+#   scripts/reproduce.sh            # shape-accurate, minutes
+#   SCALE=full scripts/reproduce.sh # the paper's 10000 packets x 10 seeds
+#
+# Results land in results/.
+set -eu
+
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+PACKETS=500
+SEEDS=4
+if [ "${SCALE:-}" = "full" ]; then
+    PACKETS=10000
+    SEEDS=10
+fi
+
+echo "== go test ./... =="
+go test ./... | tee results/test.txt
+
+echo "== E0: closed-form models (cmd/rmacmodel) =="
+go run ./cmd/rmacmodel | tee results/model.txt
+
+echo "== E1: tree topology (cmd/treestat) =="
+go run ./cmd/treestat -v | tee results/treestat.txt
+
+echo "== E2-E8: Figures 7-13 (cmd/rmacfigs, ${PACKETS} packets x ${SEEDS} seeds) =="
+go run ./cmd/rmacfigs -packets "$PACKETS" -seeds "$SEEDS" \
+    -csv results/figures.csv -json results/figures.json \
+    | tee results/figures.txt
+
+echo "== E9: feedback disciplines (examples/disciplines) =="
+go run ./examples/disciplines | tee results/disciplines.txt
+
+echo "== E10 + per-figure benchmarks =="
+go test -bench=. -benchmem -benchtime=3x . | tee results/bench.txt
+
+echo "All results written to results/."

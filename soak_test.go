@@ -1,0 +1,50 @@
+package rmac
+
+import "testing"
+
+// TestSoakAllProtocolsAllScenarios is the long cross-product smoke: every
+// protocol under every mobility scenario on the paper's network, checking
+// only that nothing wedges and the measurements stay sane. Skipped with
+// -short.
+func TestSoakAllProtocolsAllScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	for _, p := range []Protocol{RMAC, BMMM, BMW, LBP, MX, DOT11} {
+		for _, sc := range []Scenario{Stationary, Speed1, Speed2} {
+			p, sc := p, sc
+			t.Run(p.String()+"/"+sc.String(), func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Protocol = p
+				cfg.Scenario = sc
+				cfg.Rate = 20
+				cfg.Packets = 60
+				cfg.Seed = 11
+				res := Run(cfg)
+				if res.Metrics.Generated != 60 {
+					t.Fatalf("generated = %d", res.Metrics.Generated)
+				}
+				if res.Delivery <= 0 || res.Delivery > 1 {
+					t.Fatalf("delivery = %v", res.Delivery)
+				}
+				min := 0.85
+				if p == LBP || p == MX || p == DOT11 {
+					// Negative/leader feedback leaks deliveries the
+					// sender never sees (§2), and plain 802.11 multicast
+					// has no recovery at all (§1) — the leak is the
+					// result, not a defect.
+					min = 0.6
+				}
+				if sc != Stationary {
+					min = 0.25 // mobility churn floors differ per protocol
+				}
+				if res.Delivery < min {
+					t.Fatalf("%v/%v delivery = %.3f below floor %.2f", p, sc, res.Delivery, min)
+				}
+				if res.NonLeafCount == 0 {
+					t.Fatal("no forwarders")
+				}
+			})
+		}
+	}
+}
