@@ -44,7 +44,10 @@ type Sweep struct {
 	Seeds     int
 	// Parallelism bounds concurrent runs; 0 means GOMAXPROCS.
 	Parallelism int
-	// Progress, when non-nil, receives (done, total) after each run.
+	// Progress, when non-nil, receives (done, total) after each run. It is
+	// called from the worker goroutines without holding any sweep lock, so
+	// it may run concurrently with itself and must do its own
+	// synchronization; done values may arrive out of order.
 	Progress func(done, total int)
 }
 
@@ -104,10 +107,13 @@ func RunSweep(s Sweep) []Point {
 				mu.Lock()
 				results[j.cell] = append(results[j.cell], res)
 				done++
-				if s.Progress != nil {
-					s.Progress(done, len(jobs))
-				}
+				d := done
 				mu.Unlock()
+				// Invoke the user callback outside the results lock: a slow
+				// or re-entrant Progress must not stall the other workers.
+				if s.Progress != nil {
+					s.Progress(d, len(jobs))
+				}
 			}
 		}()
 	}

@@ -23,7 +23,15 @@ type spatialGrid struct {
 	cell  float64
 	built sim.Time
 	valid bool
-	cells map[gridKey][]*Radio
+	cells map[gridKey][]gridEntry
+}
+
+// gridEntry caches the radio's position at rebuild time. For static radios
+// the cached position is exact and is used directly in range checks; mobile
+// radios are re-queried so movement between rebuilds never changes results.
+type gridEntry struct {
+	r   *Radio
+	pos geom.Point
 }
 
 type gridKey struct{ x, y int }
@@ -46,7 +54,7 @@ func (m *Medium) rebuildGrid() {
 	if m.grid == nil {
 		m.grid = &spatialGrid{
 			cell:  m.cfg.interferenceRange() * gridSlack,
-			cells: make(map[gridKey][]*Radio),
+			cells: make(map[gridKey][]gridEntry),
 		}
 	}
 	g := m.grid
@@ -56,7 +64,7 @@ func (m *Medium) rebuildGrid() {
 	for _, r := range m.radios {
 		p := m.PositionOf(r)
 		k := g.keyFor(p)
-		g.cells[k] = append(g.cells[k], r)
+		g.cells[k] = append(g.cells[k], gridEntry{r: r, pos: p})
 	}
 	g.built = m.eng.Now()
 	g.valid = true
@@ -90,11 +98,16 @@ func (m *Medium) forEachInRange(src *Radio, pos geom.Point, dist float64, fn fun
 	for dx := -1; dx <= 1; dx++ {
 		for dy := -1; dy <= 1; dy++ {
 			k := gridKey{center.x + dx, center.y + dy}
-			for _, o := range g.cells[k] {
+			for _, ent := range g.cells[k] {
+				o := ent.r
 				if o == src {
 					continue
 				}
-				if d2 := m.PositionOf(o).Dist2(pos); d2 <= d2max {
+				op := ent.pos
+				if !o.static {
+					op = m.PositionOf(o)
+				}
+				if d2 := op.Dist2(pos); d2 <= d2max {
 					fn(o, d2)
 				}
 			}

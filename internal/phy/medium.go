@@ -3,6 +3,7 @@ package phy
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"rmac/internal/frame"
 	"rmac/internal/geom"
@@ -15,6 +16,11 @@ import (
 // simulation, computes propagation delays from node positions, fans
 // transmissions and tone transitions out to in-range radios, and tracks
 // overlap so each receiver knows whether a frame arrived collision-free.
+//
+// The fan-out path is allocation-free in steady state: transmissions,
+// per-receiver rx paths and tone sessions are recycled through per-medium
+// free lists, and every callback is scheduled as a tagged event on the
+// pooled object itself (see sim.Caller) rather than as a heap closure.
 type Medium struct {
 	eng    *sim.Engine
 	cfg    Config
@@ -24,10 +30,17 @@ type Medium struct {
 	Stats MediumStats
 
 	// Tracer, when non-nil, records frame and tone events (see package
-	// trace). Nil costs nothing.
+	// trace). Nil costs nothing: every call site guards both the Add call
+	// and its Detail formatting behind a nil check.
 	Tracer *trace.Trace
 
 	grid *spatialGrid
+
+	// Object pools. A released object keeps its slice capacity, so a
+	// steady-state broadcast reuses the same backing arrays every frame.
+	txFree   []*transmission
+	rxFree   []*rxPath
+	sessFree []*toneSession
 }
 
 // MediumStats aggregates channel-level counters.
@@ -55,12 +68,18 @@ func (m *Medium) Engine() *sim.Engine { return m.eng }
 
 // AddRadio creates and registers the radio for node id, moving according to
 // mob. The returned radio must be given a Handler before traffic starts.
+// Stationary radios cache their position, removing the mobility-model call
+// from every in-range query.
 func (m *Medium) AddRadio(id int, mob mobility.Model) *Radio {
 	r := &Radio{
 		m:   m,
 		eng: m.eng,
 		id:  id,
 		mob: mob,
+	}
+	if s, ok := mob.(mobility.Stationary); ok {
+		r.static = true
+		r.pos = s.P
 	}
 	for t := range r.toneLog {
 		r.toneLog[t].onSince = -1
@@ -74,6 +93,9 @@ func (m *Medium) Radios() []*Radio { return m.radios }
 
 // PositionOf returns node r's current position.
 func (m *Medium) PositionOf(r *Radio) geom.Point {
+	if r.static {
+		return r.pos
+	}
 	return r.mob.PositionAt(m.eng.Now())
 }
 
@@ -96,28 +118,31 @@ func (m *Medium) NeighborsOf(r *Radio) []int {
 	m.forEachInRange(r, p, m.cfg.CommRange, func(o *Radio, _ float64) {
 		out = append(out, o.id)
 	})
-	sortIDs(out)
+	sort.Ints(out)
 	return out
 }
 
-func sortIDs(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
-}
+// Tags for the pooled objects' sim.Caller dispatch.
+const (
+	tagRxStart int32 = iota
+	tagRxEnd
+)
 
 // transmission is one frame in flight on the data channel.
 type transmission struct {
-	src     *Radio
-	f       frame.Frame
-	start   sim.Time
-	end     sim.Time // updated if aborted
-	aborted bool
-	doneEv  *sim.Event
-	dests   []*rxPath
+	src      *Radio
+	f        frame.Frame
+	start    sim.Time
+	end      sim.Time // updated if aborted
+	aborted  bool
+	finished bool // txDone ran or AbortTx was called
+	pending  int  // rx paths whose rxEnd has not run yet
+	doneEv   sim.Event
+	dests    []*rxPath
 }
+
+// Call implements sim.Caller: natural completion of the transmission.
+func (tx *transmission) Call(int32) { tx.src.m.txDone(tx) }
 
 // rxPath tracks the signal from one transmission at one receiver.
 type rxPath struct {
@@ -127,7 +152,60 @@ type rxPath struct {
 	inComm    bool // within decode range at TX start
 	corrupted bool // overlap, receiver-transmitting, or abort
 	started   bool // rxStart already processed
-	endEv     *sim.Event
+	endEv     sim.Event
+}
+
+// Call implements sim.Caller: arrival of the signal's first or last bit.
+func (p *rxPath) Call(tag int32) {
+	if tag == tagRxStart {
+		p.r.m.rxStart(p)
+	} else {
+		p.r.m.rxEnd(p)
+	}
+}
+
+// newTx takes a transmission from the pool (or allocates the pool's first).
+func (m *Medium) newTx() *transmission {
+	if n := len(m.txFree); n > 0 {
+		tx := m.txFree[n-1]
+		m.txFree = m.txFree[:n-1]
+		return tx
+	}
+	return &transmission{}
+}
+
+func (m *Medium) freeTx(tx *transmission) {
+	*tx = transmission{dests: tx.dests[:0]}
+	m.txFree = append(m.txFree, tx)
+}
+
+func (m *Medium) newRxPath() *rxPath {
+	if n := len(m.rxFree); n > 0 {
+		p := m.rxFree[n-1]
+		m.rxFree = m.rxFree[:n-1]
+		return p
+	}
+	return &rxPath{}
+}
+
+func (m *Medium) freeRx(p *rxPath) {
+	*p = rxPath{}
+	m.rxFree = append(m.rxFree, p)
+}
+
+func (m *Medium) newSess() *toneSession {
+	if n := len(m.sessFree); n > 0 {
+		s := m.sessFree[n-1]
+		m.sessFree = m.sessFree[:n-1]
+		return s
+	}
+	return &toneSession{}
+}
+
+func (m *Medium) freeSess(s *toneSession) {
+	s.dests = s.dests[:0]
+	s.props = s.props[:0]
+	m.sessFree = append(m.sessFree, s)
 }
 
 // StartTx begins transmitting f from r. It returns the scheduled airtime.
@@ -139,7 +217,8 @@ func (m *Medium) StartTx(r *Radio, f frame.Frame) sim.Time {
 	}
 	now := m.eng.Now()
 	dur := m.cfg.TxDuration(f.WireSize())
-	tx := &transmission{src: r, f: f, start: now, end: now + dur}
+	tx := m.newTx()
+	tx.src, tx.f, tx.start, tx.end = r, f, now, now+dur
 	r.curTx = tx
 	m.Stats.Transmissions++
 
@@ -152,15 +231,19 @@ func (m *Medium) StartTx(r *Radio, f frame.Frame) sim.Time {
 	srcPos := m.PositionOf(r)
 	c2 := m.cfg.CommRange * m.cfg.CommRange
 	m.forEachInRange(r, srcPos, m.cfg.interferenceRange(), func(o *Radio, d2 float64) {
-		p := &rxPath{tx: tx, r: o, inComm: d2 <= c2}
+		p := m.newRxPath()
+		p.tx, p.r, p.inComm = tx, o, d2 <= c2
 		p.prop = m.propDelay(math.Sqrt(d2))
 		tx.dests = append(tx.dests, p)
-		m.eng.Schedule(now+p.prop, func() { m.rxStart(p) })
-		p.endEv = m.eng.Schedule(tx.end+p.prop, func() { m.rxEnd(p) })
+		m.eng.ScheduleCall(now+p.prop, p, tagRxStart)
+		p.endEv = m.eng.ScheduleCall(tx.end+p.prop, p, tagRxEnd)
 	})
-	tx.doneEv = m.eng.Schedule(tx.end, func() { m.txDone(tx) })
-	m.Tracer.Add(trace.Event{At: now, Node: r.id, Kind: trace.TxStart, What: f.Kind().String(),
-		Detail: fmt.Sprintf("%dB %v", f.WireSize(), dur)})
+	tx.pending = len(tx.dests)
+	tx.doneEv = m.eng.ScheduleCall(tx.end, tx, 0)
+	if m.Tracer != nil {
+		m.Tracer.Add(trace.Event{At: now, Node: r.id, Kind: trace.TxStart, What: f.Kind().String(),
+			Detail: fmt.Sprintf("%dB %v", f.WireSize(), dur)})
+	}
 	return dur
 }
 
@@ -176,23 +259,34 @@ func (m *Medium) AbortTx(r *Radio) {
 	}
 	now := m.eng.Now()
 	tx.aborted = true
+	tx.finished = true
 	tx.end = now
 	tx.doneEv.Cancel()
 	m.Stats.Aborts++
 	for _, p := range tx.dests {
 		p.corrupted = true
 		p.endEv.Cancel()
-		pp := p
-		p.endEv = m.eng.Schedule(now+p.prop, func() { m.rxEnd(pp) })
+		p.endEv = m.eng.ScheduleCall(now+p.prop, p, tagRxEnd)
 	}
 	r.curTx = nil
-	m.Tracer.Add(trace.Event{At: now, Node: r.id, Kind: trace.TxAbort, What: tx.f.Kind().String()})
+	if m.Tracer != nil {
+		m.Tracer.Add(trace.Event{At: now, Node: r.id, Kind: trace.TxAbort, What: tx.f.Kind().String()})
+	}
+	if tx.pending == 0 {
+		m.freeTx(tx)
+	}
 }
 
 func (m *Medium) txDone(tx *transmission) {
 	tx.src.curTx = nil
-	if tx.src.handler != nil {
-		tx.src.handler.OnTxDone(tx.f)
+	tx.finished = true
+	h := tx.src.handler
+	f := tx.f
+	if tx.pending == 0 {
+		m.freeTx(tx)
+	}
+	if h != nil {
+		h.OnTxDone(f)
 	}
 }
 
@@ -227,9 +321,10 @@ func (m *Medium) rxEnd(p *rxPath) {
 			}
 		}
 	}
-	ok := p.started && p.inComm && !p.corrupted && !p.tx.aborted
+	tx := p.tx
+	ok := p.started && p.inComm && !p.corrupted && !tx.aborted
 	if ok && m.cfg.BER > 0 {
-		if m.eng.Rand().Float64() < m.cfg.FrameErrorProb(p.tx.f.WireSize()) {
+		if m.eng.Rand().Float64() < m.cfg.FrameErrorProb(tx.f.WireSize()) {
 			ok = false
 		}
 	}
@@ -243,13 +338,24 @@ func (m *Medium) rxEnd(p *rxPath) {
 		if !ok {
 			k = trace.RxCorrupt
 		}
-		m.Tracer.Add(trace.Event{At: m.eng.Now(), Node: r.id, Kind: k, What: p.tx.f.Kind().String(),
-			Detail: "from node " + fmt.Sprint(p.tx.src.id)})
+		m.Tracer.Add(trace.Event{At: m.eng.Now(), Node: r.id, Kind: k, What: tx.f.Kind().String(),
+			Detail: "from node " + fmt.Sprint(tx.src.id)})
 	}
+	started := p.started
+	rxStart := tx.start + p.prop
+	f := tx.f
+	// Release the path and, when this was the last outstanding path of a
+	// finished transmission, the transmission — before the handler runs,
+	// so a handler that transmits immediately reuses the warm objects.
+	tx.pending--
+	if tx.finished && tx.pending == 0 {
+		m.freeTx(tx)
+	}
+	m.freeRx(p)
 	if r.handler != nil {
-		r.handler.OnFrameReceived(p.tx.f, ok, p.tx.start+p.prop)
+		r.handler.OnFrameReceived(f, ok, rxStart)
 	}
-	if len(r.active) == 0 && p.started && r.handler != nil {
+	if len(r.active) == 0 && started && r.handler != nil {
 		r.handler.OnCarrierChange(false)
 	}
 }
@@ -274,15 +380,14 @@ func (m *Medium) SetTone(r *Radio, t Tone, on bool) {
 	if on {
 		m.Stats.ToneActivation++
 		srcPos := m.PositionOf(r)
-		sess := &toneSession{}
+		sess := m.newSess()
 		m.forEachInRange(r, srcPos, m.cfg.interferenceRange(), func(o *Radio, d2 float64) {
 			sess.dests = append(sess.dests, o)
 			sess.props = append(sess.props, m.propDelay(math.Sqrt(d2)))
 		})
 		r.toneSess[t] = sess
 		for i, o := range sess.dests {
-			o := o
-			m.eng.Schedule(now+sess.props[i], func() { o.toneDelta(t, +1) })
+			m.eng.ScheduleCall(now+sess.props[i], o, toneOnTag(t))
 		}
 		return
 	}
@@ -292,12 +397,19 @@ func (m *Medium) SetTone(r *Radio, t Tone, on bool) {
 		return
 	}
 	for i, o := range sess.dests {
-		o := o
-		m.eng.Schedule(now+sess.props[i], func() { o.toneDelta(t, -1) })
+		m.eng.ScheduleCall(now+sess.props[i], o, toneOffTag(t))
 	}
+	m.freeSess(sess)
 }
 
+// toneSession records the receivers and delays captured when a tone was
+// raised, so the matching off-transition reaches exactly the same set.
 type toneSession struct {
 	dests []*Radio
 	props []sim.Time
 }
+
+// Tone transition tags for Radio's sim.Caller dispatch: bit 0 is the
+// on/off direction, the remaining bits are the tone index.
+func toneOnTag(t Tone) int32  { return int32(t)<<1 | 1 }
+func toneOffTag(t Tone) int32 { return int32(t) << 1 }

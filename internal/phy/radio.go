@@ -2,6 +2,7 @@ package phy
 
 import (
 	"rmac/internal/frame"
+	"rmac/internal/geom"
 	"rmac/internal/mobility"
 	"rmac/internal/sim"
 )
@@ -50,6 +51,11 @@ type Radio struct {
 	id  int
 	mob mobility.Model
 
+	// static radios cache their fixed position in pos, sparing the
+	// mobility-model call on every in-range query.
+	static bool
+	pos    geom.Point
+
 	handler Handler
 
 	curTx    *transmission
@@ -97,6 +103,18 @@ func (r *Radio) AbortTx() { r.m.AbortTx(r) }
 
 // SetTone turns this node's tone t on or off; see Medium.SetTone.
 func (r *Radio) SetTone(t Tone, on bool) { r.m.SetTone(r, t, on) }
+
+// Call implements sim.Caller: a propagated tone transition from a remote
+// node, encoded as a tag (see toneOnTag/toneOffTag). Scheduled by
+// Medium.SetTone; not meant to be called directly.
+func (r *Radio) Call(tag int32) {
+	t := Tone(tag >> 1)
+	if tag&1 == 1 {
+		r.toneDelta(t, +1)
+	} else {
+		r.toneDelta(t, -1)
+	}
+}
 
 // toneDelta applies a propagated +1/-1 tone transition from a remote node.
 func (r *Radio) toneDelta(t Tone, d int) {

@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineSchedule measures the raw schedule→fire cycle of the
+// kernel: each iteration schedules a batch of events at increasing times
+// and drains them. In steady state the pooled kernel performs zero heap
+// allocations here; the pre-pooling kernel allocated one *Event (plus
+// interface boxing in container/heap) per scheduled event.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			e.After(Time(j)*Microsecond, fn)
+		}
+		e.RunAll()
+	}
+}
+
+// BenchmarkEngineScheduleCancel measures the cancel-and-reschedule churn
+// that MAC timers (T_wf_rbt and friends) generate constantly: half of the
+// scheduled events are cancelled before the queue drains.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	evs := make([]Event, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range evs {
+			evs[j] = e.After(Time(j+1)*Microsecond, fn)
+		}
+		for j := 0; j < len(evs); j += 2 {
+			evs[j].Cancel()
+		}
+		e.RunAll()
+	}
+}
+
+// BenchmarkEngineTimerChurn measures the restartable-timer hot path: one
+// Timer restarted before every expiry, as protocol state machines do.
+func BenchmarkEngineTimerChurn(b *testing.B) {
+	e := NewEngine(1)
+	tm := NewTimer(e, func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Start(10 * Microsecond)
+		tm.Start(20 * Microsecond) // restart cancels the first schedule
+		e.RunAll()
+	}
+}

@@ -6,10 +6,18 @@
 // A single Engine drives one simulation run on one goroutine. Determinism is
 // guaranteed by ordering simultaneous events by their scheduling sequence
 // number and by deriving all randomness from the engine's seeded source.
+//
+// The kernel is allocation-free in steady state: events live in a per-engine
+// arena recycled through a free list, the priority queue is a hand-rolled
+// indexed 4-ary min-heap of arena indices (no container/heap interface
+// boxing), and hot callers can schedule closure-free callbacks through the
+// Caller interface instead of func() closures. Recycled slots carry a
+// generation counter, so an Event handle that outlives its slot's lifetime
+// (a cancel after the event fired, for example) is detected and ignored
+// rather than corrupting an unrelated event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -39,64 +47,91 @@ func (t Time) String() string {
 	return time.Duration(t).String()
 }
 
-// Event is a cancellable scheduled callback. The zero value is invalid;
-// events are created by Engine.Schedule and friends.
+// Caller receives tagged event callbacks. Scheduling against a Caller
+// instead of a closure keeps the hot path allocation-free: the engine
+// stores the interface value (a single pointer for pointer receivers) and
+// the tag inside the pooled event slot, so no func() object is created.
+// The tag distinguishes the different events one object can receive.
+type Caller interface {
+	Call(tag int32)
+}
+
+// eventNode is one pooled event slot in the engine's arena. Slots are
+// addressed by index, never by long-lived pointer, so the arena can grow.
+type eventNode struct {
+	at     Time
+	seq    uint64
+	fn     func() // closure form; nil when target is used
+	target Caller // tagged form; nil when fn is used
+	gen    uint32 // incremented on every release; stale-handle detection
+	pos    int32  // position in the heap order, -1 when free
+	tag    int32
+}
+
+// Event is a cancellable handle to a scheduled callback, returned by
+// Engine.Schedule and friends. It is a small value (not a pointer into the
+// kernel): copying it is cheap and allocation-free. The zero Event is
+// inert: Cancel is a no-op and Pending reports false.
 type Event struct {
-	at       Time
-	seq      uint64
-	index    int // heap index, -1 when not queued
-	canceled bool
-	fn       func()
+	eng *Engine
+	id  int32
+	gen uint32
 }
 
-// At reports the simulated time the event fires at.
-func (e *Event) At() Time { return e.at }
+// canceledID marks a handle whose Cancel method has been invoked.
+const canceledID int32 = -2
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op. Cancel must only be called from the
-// simulation goroutine.
-func (e *Event) Cancel() {
-	e.canceled = true
-}
-
-// Canceled reports whether the event has been cancelled.
-func (e *Event) Canceled() bool { return e.canceled }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// node resolves the handle to its live arena slot, or nil if the handle is
+// zero, cancelled, or stale (the event already fired or was cancelled and
+// its slot moved on to a later generation).
+func (e Event) node() *eventNode {
+	if e.eng == nil || e.id < 0 {
+		return nil
 	}
-	return q[i].seq < q[j].seq
+	n := &e.eng.nodes[e.id]
+	if n.gen != e.gen {
+		return nil
+	}
+	return n
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// At reports the simulated time the event fires at; 0 if the event is no
+// longer pending.
+func (e Event) At() Time {
+	if n := e.node(); n != nil {
+		return n.at
+	}
+	return 0
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+
+// Pending reports whether the event is still queued to fire.
+func (e Event) Pending() bool { return e.node() != nil }
+
+// Cancel prevents the event from firing and releases its slot immediately.
+// Cancelling an already-fired, already-cancelled, or zero Event is a safe
+// no-op: generation counters detect stale handles, so a late Cancel can
+// never affect an unrelated event that recycled the same slot. Cancel must
+// only be called from the simulation goroutine.
+func (e *Event) Cancel() {
+	if n := e.node(); n != nil {
+		e.eng.removeAt(n.pos)
+	}
+	if e.eng != nil {
+		e.id = canceledID
+	}
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
+
+// Canceled reports whether Cancel has been called through this handle.
+func (e Event) Canceled() bool { return e.eng != nil && e.id == canceledID }
 
 // Engine is a discrete-event simulator instance. It is not safe for
 // concurrent use; one engine belongs to one goroutine.
 type Engine struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	nodes   []eventNode // arena of event slots
+	free    []int32     // released slot indices
+	order   []int32     // 4-ary min-heap of slot indices, by (at, seq)
 	rng     *rand.Rand
 	stopped bool
 	// Processed counts events executed, for instrumentation.
@@ -114,50 +149,113 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// alloc takes a slot from the free list (or grows the arena) and queues it.
+func (e *Engine) alloc(at Time) int32 {
+	var id int32
+	if n := len(e.free); n > 0 {
+		id = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.nodes = append(e.nodes, eventNode{gen: 1})
+		id = int32(len(e.nodes) - 1)
+	}
+	n := &e.nodes[id]
+	n.at = at
+	n.seq = e.seq
+	e.seq++
+	n.pos = int32(len(e.order))
+	e.order = append(e.order, id)
+	e.siftUp(len(e.order) - 1)
+	return id
+}
+
+// release returns a slot to the free list and invalidates outstanding
+// handles by bumping the generation.
+func (e *Engine) release(id int32) {
+	n := &e.nodes[id]
+	n.gen++
+	n.fn = nil
+	n.target = nil
+	n.pos = -1
+	e.free = append(e.free, id)
+}
+
 // Schedule runs fn at absolute time at. Scheduling into the past panics:
 // that is always a logic error in a protocol implementation.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+func (e *Engine) Schedule(at Time, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	id := e.alloc(at)
+	e.nodes[id].fn = fn
+	return Event{eng: e, id: id, gen: e.nodes[id].gen}
+}
+
+// ScheduleCall runs c.Call(tag) at absolute time at without allocating a
+// closure. It is the closure-free counterpart of Schedule for hot paths
+// that schedule the same few callbacks on pooled objects millions of times.
+func (e *Engine) ScheduleCall(at Time, c Caller, tag int32) Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	id := e.alloc(at)
+	n := &e.nodes[id]
+	n.target = c
+	n.tag = tag
+	return Event{eng: e, id: id, gen: n.gen}
 }
 
 // After runs fn after delay d from the current time.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	return e.Schedule(e.now+d, fn)
 }
 
+// AfterCall runs c.Call(tag) after delay d; see ScheduleCall.
+func (e *Engine) AfterCall(d Time, c Caller, tag int32) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.ScheduleCall(e.now+d, c, tag)
+}
+
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// dispatch pops the minimum event, releases its slot, and runs it. The
+// callback is copied out before release so the slot can be reused (and the
+// arena can grow) while the callback schedules new events.
+func (e *Engine) dispatch() {
+	id := e.order[0]
+	e.popTop()
+	n := &e.nodes[id]
+	at, fn, target, tag := n.at, n.fn, n.target, n.tag
+	e.release(id)
+	e.now = at
+	e.Processed++
+	if fn != nil {
+		fn()
+	} else {
+		target.Call(tag)
+	}
+}
 
 // Run executes events until the queue empties, the horizon is passed, or
 // Stop is called. Events scheduled exactly at the horizon still run.
 func (e *Engine) Run(horizon Time) {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue[0]
-		if ev.at > horizon {
+	for len(e.order) > 0 && !e.stopped {
+		if e.nodes[e.order[0]].at > horizon {
 			// Leave future events queued; advance clock to horizon so
 			// callers observe a consistent end time.
 			e.now = horizon
 			return
 		}
-		heap.Pop(&e.queue)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		e.Processed++
-		ev.fn()
+		e.dispatch()
 	}
-	if len(e.queue) == 0 && e.now < horizon {
+	if len(e.order) == 0 && e.now < horizon {
 		e.now = horizon
 	}
 }
@@ -165,16 +263,104 @@ func (e *Engine) Run(horizon Time) {
 // RunAll executes events until the queue empties or Stop is called.
 func (e *Engine) RunAll() {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		e.now = ev.at
-		e.Processed++
-		ev.fn()
+	for len(e.order) > 0 && !e.stopped {
+		e.dispatch()
 	}
 }
 
-// Pending reports the number of queued (possibly cancelled) events.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports the number of queued events. Cancelled events are
+// removed eagerly and never counted.
+func (e *Engine) Pending() int { return len(e.order) }
+
+// PoolInUse reports the number of event slots currently queued or
+// executing, for leak checks in tests: after a full drain it must be 0.
+func (e *Engine) PoolInUse() int { return len(e.nodes) - len(e.free) }
+
+// less orders slots by (at, seq): strict total order, so runs are
+// reproducible regardless of heap shape.
+func (e *Engine) less(a, b int32) bool {
+	na, nb := &e.nodes[a], &e.nodes[b]
+	if na.at != nb.at {
+		return na.at < nb.at
+	}
+	return na.seq < nb.seq
+}
+
+// The priority queue is a 4-ary min-heap: children of i are 4i+1..4i+4.
+// Compared to a binary heap it halves the tree depth, trading slightly
+// more comparisons per level for fewer cache-missing levels — a win for
+// the sift-down-heavy pop/push mix of a simulation queue.
+
+func (e *Engine) siftUp(i int) {
+	id := e.order[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(id, e.order[parent]) {
+			break
+		}
+		e.order[i] = e.order[parent]
+		e.nodes[e.order[i]].pos = int32(i)
+		i = parent
+	}
+	e.order[i] = id
+	e.nodes[id].pos = int32(i)
+}
+
+func (e *Engine) siftDown(i int) {
+	id := e.order[i]
+	n := len(e.order)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.less(e.order[c], e.order[best]) {
+				best = c
+			}
+		}
+		if !e.less(e.order[best], id) {
+			break
+		}
+		e.order[i] = e.order[best]
+		e.nodes[e.order[i]].pos = int32(i)
+		i = best
+	}
+	e.order[i] = id
+	e.nodes[id].pos = int32(i)
+}
+
+// popTop removes the minimum slot from the heap (without releasing it).
+func (e *Engine) popTop() {
+	last := len(e.order) - 1
+	moved := e.order[last]
+	e.order = e.order[:last]
+	if last > 0 {
+		e.order[0] = moved
+		e.nodes[moved].pos = 0
+		e.siftDown(0)
+	}
+}
+
+// removeAt removes the slot at heap position pos and releases it.
+func (e *Engine) removeAt(pos int32) {
+	i := int(pos)
+	id := e.order[i]
+	last := len(e.order) - 1
+	moved := e.order[last]
+	e.order = e.order[:last]
+	if i != last {
+		e.order[i] = moved
+		e.nodes[moved].pos = pos
+		e.siftDown(i)
+		if e.nodes[moved].pos == pos {
+			e.siftUp(i)
+		}
+	}
+	e.release(id)
+}

@@ -213,7 +213,7 @@ func TestPropertyNoLostEvents(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		total := int(n)%64 + 1
 		fired, cancelled := 0, 0
-		evs := make([]*Event, 0, total)
+		evs := make([]Event, 0, total)
 		for i := 0; i < total; i++ {
 			ev := e.Schedule(Time(r.Intn(100))*Microsecond, func() { fired++ })
 			evs = append(evs, ev)

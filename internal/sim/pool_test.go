@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPoolStressMillionEvents schedules and cancels one million events
+// through the pooled kernel and verifies (time, seq) ordering, that
+// cancelled events never fire, and that every slot returns to the free
+// list when the queue drains (no pool leak).
+func TestPoolStressMillionEvents(t *testing.T) {
+	const total = 1_000_000
+	e := NewEngine(99)
+	r := rand.New(rand.NewSource(99))
+
+	fired := 0
+	var lastAt Time
+	var lastSeq int
+	seq := 0
+
+	// Keep a rolling window of handles so cancels hit both queued and
+	// already-fired (stale) events.
+	window := make([]Event, 0, 1024)
+	canceled := 0
+	for i := 0; i < total; i++ {
+		at := e.Now() + Time(r.Intn(1000))*Microsecond
+		mySeq := seq
+		seq++
+		ev := e.Schedule(at, func() {
+			if at < lastAt {
+				t.Fatalf("event at %v fired after %v", at, lastAt)
+			}
+			if at == lastAt && mySeq < lastSeq {
+				t.Fatalf("FIFO violated at %v: seq %d after %d", at, mySeq, lastSeq)
+			}
+			lastAt, lastSeq = at, mySeq
+			fired++
+		})
+		window = append(window, ev)
+		switch r.Intn(8) {
+		case 0: // cancel a random handle from the window (maybe stale)
+			j := r.Intn(len(window))
+			if window[j].Pending() {
+				canceled++
+			}
+			window[j].Cancel()
+		case 1: // drain a little so cancels interleave with execution
+			e.Run(e.Now() + Time(r.Intn(200))*Microsecond)
+		}
+		if len(window) == cap(window) {
+			window = window[:0]
+		}
+	}
+	e.RunAll()
+
+	if fired+canceled != total {
+		t.Fatalf("fired %d + canceled %d = %d, want %d (events lost or duplicated)",
+			fired, canceled, fired+canceled, total)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("queue not empty after RunAll: %d", e.Pending())
+	}
+	if in := e.PoolInUse(); in != 0 {
+		t.Fatalf("pool leak: %d slots still in use after full drain", in)
+	}
+}
+
+// TestCancelGenerationSafety pins the generation-counter guarantee: a
+// handle to an event that already fired must not cancel the unrelated
+// event that recycled the same arena slot.
+func TestCancelGenerationSafety(t *testing.T) {
+	e := NewEngine(1)
+	stale := e.After(Microsecond, func() {})
+	e.RunAll() // fires; slot returns to the free list
+
+	fired := false
+	fresh := e.After(Microsecond, func() { fired = true }) // reuses the slot
+	if fresh.At() != e.Now()+Microsecond {
+		t.Fatalf("fresh event At = %v", fresh.At())
+	}
+	stale.Cancel() // stale handle: must be a no-op on the recycled slot
+	if !fresh.Pending() {
+		t.Fatal("stale Cancel removed the recycled slot's new event")
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatal("event cancelled through a stale handle to its recycled slot")
+	}
+}
+
+// TestCancelReleasesSlotEagerly verifies cancelled events do not linger in
+// the queue (the pre-pooling kernel kept them until pop).
+func TestCancelReleasesSlotEagerly(t *testing.T) {
+	e := NewEngine(1)
+	evs := make([]Event, 100)
+	for i := range evs {
+		evs[i] = e.After(Time(i+1)*Microsecond, func() {})
+	}
+	for i := range evs {
+		evs[i].Cancel()
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after cancelling everything, want 0", e.Pending())
+	}
+	if in := e.PoolInUse(); in != 0 {
+		t.Fatalf("PoolInUse = %d after cancelling everything, want 0", in)
+	}
+}
+
+// taggedSink collects tagged Caller dispatches.
+type taggedSink struct {
+	got []int32
+}
+
+func (s *taggedSink) Call(tag int32) { s.got = append(s.got, tag) }
+
+// TestScheduleCallDispatch covers the closure-free scheduling path: tags
+// are delivered to the right object in (time, seq) order, interleaved
+// correctly with closure events, and cancellable.
+func TestScheduleCallDispatch(t *testing.T) {
+	e := NewEngine(1)
+	var sink taggedSink
+	order := []int32{}
+	e.ScheduleCall(3*Microsecond, &sink, 30)
+	e.Schedule(2*Microsecond, func() { order = append(order, -2) })
+	e.ScheduleCall(1*Microsecond, &sink, 10)
+	ev := e.ScheduleCall(2*Microsecond, &sink, 20)
+	ev.Cancel()
+	e.RunAll()
+	if len(sink.got) != 2 || sink.got[0] != 10 || sink.got[1] != 30 {
+		t.Fatalf("tagged dispatch = %v, want [10 30]", sink.got)
+	}
+	if len(order) != 1 || order[0] != -2 {
+		t.Fatalf("closure event = %v, want [-2]", order)
+	}
+	if e.PoolInUse() != 0 {
+		t.Fatal("slots leaked")
+	}
+}

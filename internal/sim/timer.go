@@ -2,13 +2,15 @@ package sim
 
 // Timer is a restartable one-shot timer bound to an Engine. It wraps the
 // cancel-and-reschedule pattern that protocol state machines use constantly
-// (e.g. RMAC's T_wf_rbt, T_wf_rdata, T_wf_abt).
+// (e.g. RMAC's T_wf_rbt, T_wf_rdata, T_wf_abt). A Timer schedules itself
+// through the engine's tagged-event path, so arming and restarting it
+// allocates nothing.
 //
 // The zero Timer is not usable; create one with NewTimer.
 type Timer struct {
 	eng *Engine
 	fn  func()
-	ev  *Event
+	ev  Event
 }
 
 // NewTimer creates a stopped timer that invokes fn when it expires.
@@ -20,35 +22,30 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 // expiration is cancelled first.
 func (t *Timer) Start(d Time) {
 	t.Stop()
-	t.ev = t.eng.After(d, t.fire)
+	t.ev = t.eng.AfterCall(d, t, 0)
 }
 
 // StartAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) StartAt(at Time) {
 	t.Stop()
-	t.ev = t.eng.Schedule(at, t.fire)
+	t.ev = t.eng.ScheduleCall(at, t, 0)
 }
 
-func (t *Timer) fire() {
-	t.ev = nil
+// Call implements Caller; it is invoked by the engine on expiry and is not
+// meant to be called directly.
+func (t *Timer) Call(int32) {
+	t.ev = Event{}
 	t.fn()
 }
 
 // Stop cancels a pending expiration. Stopping an idle timer is a no-op.
 func (t *Timer) Stop() {
-	if t.ev != nil {
-		t.ev.Cancel()
-		t.ev = nil
-	}
+	t.ev.Cancel()
+	t.ev = Event{}
 }
 
 // Pending reports whether the timer is armed and has not fired.
-func (t *Timer) Pending() bool { return t.ev != nil }
+func (t *Timer) Pending() bool { return t.ev.Pending() }
 
 // Deadline returns the absolute expiration time; valid only when Pending.
-func (t *Timer) Deadline() Time {
-	if t.ev == nil {
-		return 0
-	}
-	return t.ev.At()
-}
+func (t *Timer) Deadline() Time { return t.ev.At() }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# bench.sh — run the kernel/PHY hot-path benchmark suite and record the
+# results in BENCH_kernel.json so every PR leaves a perf trajectory.
+#
+# Usage:
+#   scripts/bench.sh            # run suite, rewrite BENCH_kernel.json
+#   scripts/bench.sh -quick     # single iteration smoke (CI)
+#
+# The JSON maps each benchmark to {ns_op, b_op, allocs_op}. Commit the
+# refreshed file together with any change that moves these numbers, and
+# quote the before/after in the PR description.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="2s"
+OUT=BENCH_kernel.json
+if [[ "${1:-}" == "-quick" ]]; then
+    # Smoke mode: single iteration, and keep the committed numbers — a 1x
+    # sample is a liveness check, not a measurement.
+    BENCHTIME="1x"
+    OUT=/dev/null
+fi
+
+PATTERN='BenchmarkEngineSchedule|BenchmarkEngineScheduleCancel|BenchmarkEngineTimerChurn|BenchmarkMediumFanout|BenchmarkToneStorm'
+RAW=$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem \
+    ./internal/sim ./internal/phy)
+echo "$RAW"
+
+echo "$RAW" | awk '
+BEGIN { print "{"; n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+    ns = ""; bop = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns     = $(i - 1)
+        if ($(i) == "B/op")      bop    = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "  \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
+        name, ns, (bop == "" ? "null" : bop), (allocs == "" ? "null" : allocs)
+}
+END { print "\n}" }
+' > "$OUT"
+
+echo
+echo "wrote $OUT:"
+cat "$OUT"
