@@ -36,10 +36,18 @@ func main() {
 	jsonPath := flag.String("json", "", "write all sweep points to this JSON file")
 	protoFlag := flag.String("protocols", "", "comma-separated protocols to sweep (rmac,bmmm,bmw,lbp,mx); default: the paper's figure set")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	resilience := flag.Bool("resilience", false, "run the resilience sweep (delivery vs burst loss and node churn) instead of the paper figures")
+	flag.Uint64Var(&base.MaxEvents, "max-events", 0, "watchdog: abort any single run after this many events (0 disables)")
+	flag.DurationVar(&base.MaxWall, "max-wall", 0, "watchdog: abort any single run after this much wall-clock time (0 disables)")
 	flag.Parse()
 
 	base.Packets = *packets
 	base.Nodes = *nodes
+
+	if err := base.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "rmacfigs:", err)
+		os.Exit(2)
+	}
 
 	figs, err := selectFigures(*figsFlag)
 	if err != nil {
@@ -58,6 +66,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+
+	if *resilience {
+		protocols := []experiment.Protocol{experiment.RMAC, experiment.BMMM, experiment.BMW}
+		if *protoFlag != "" {
+			protocols, err = cli.ParseProtocols(*protoFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+		runResilience(base, protocols, *seeds, *parallel, *csvPath, *quiet)
+		return
 	}
 
 	// One sweep covers every requested figure: figures differ only in
@@ -121,6 +142,54 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// runResilience executes the burst-loss and churn ladders for the given
+// protocols and renders one table per impairment level (plus CSV when
+// requested). Failed runs are reported per cell rather than poisoning the
+// sweep, so a crash in one configuration still yields the other curves.
+func runResilience(base experiment.Config, protocols []experiment.Protocol, seeds, parallel int, csvPath string, quiet bool) {
+	levels := append(experiment.DefaultBurstLevels(), experiment.DefaultChurnLevels()...)
+	sweep := experiment.ResilienceSweep{
+		Base:        base,
+		Protocols:   protocols,
+		Levels:      levels,
+		Seeds:       seeds,
+		Parallelism: parallel,
+	}
+	total := len(protocols) * len(levels) * seeds
+	fmt.Printf("rmacfigs: resilience sweep, %d simulations (%d nodes, %d packets each)\n",
+		total, base.Nodes, base.Packets)
+	if !quiet {
+		sweep.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+		}
+	}
+	start := time.Now()
+	points := experiment.RunResilienceSweep(sweep)
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "\rcompleted %d runs in %v\n", total, time.Since(start).Round(time.Second))
+	}
+
+	experiment.WriteResilienceTable(os.Stdout, points)
+	failed := 0
+	for _, p := range points {
+		failed += p.FailedRuns
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "rmacfigs: %d run(s) failed and were excluded from the averages\n", failed)
+	}
+
+	if csvPath != "" {
+		if err := writeFile(csvPath, func(w *os.File) error { return experiment.WriteResilienceCSV(w, points) }); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", csvPath)
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -6,8 +6,11 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
+	"rmac/internal/fault"
 	"rmac/internal/geom"
 	"rmac/internal/mac"
 	"rmac/internal/mac/rmac"
@@ -136,6 +139,17 @@ type Config struct {
 	// with equal seeds are bit-identical.
 	Seed int64
 
+	// Fault configures the impairment layer: Gilbert–Elliott bursty
+	// channel errors and node churn. The zero value disables both and
+	// leaves the run's RNG stream untouched.
+	Fault fault.Config
+
+	// MaxEvents and MaxWall arm the engine watchdog: a run exceeding
+	// either budget is aborted and reports partial statistics with
+	// RunResult.Aborted set. Zero disables the respective budget.
+	MaxEvents uint64
+	MaxWall   time.Duration
+
 	// TraceCap, when positive, records the last TraceCap PHY events
 	// (frames, tones) into RunResult.Trace.
 	TraceCap int
@@ -167,14 +181,35 @@ var PaperRates = []float64{5, 10, 20, 40, 60, 80, 100, 120}
 // Scenarios lists all three mobility scenarios.
 var Scenarios = []Scenario{Stationary, Speed1, Speed2}
 
-// validate panics on configurations that cannot be simulated.
-func (c Config) validate() {
+// Validate reports whether the configuration can be simulated. Run
+// rejects invalid configurations with a Failed RunResult; the command-line
+// front ends call Validate up front so flag mistakes exit non-zero with a
+// message instead of starting a doomed simulation.
+func (c Config) Validate() error {
 	if c.Nodes < 2 {
-		panic("experiment: need at least 2 nodes")
+		return fmt.Errorf("experiment: need at least 2 nodes, have %d", c.Nodes)
 	}
-	if c.Rate <= 0 || c.Packets < 0 || c.PacketSize < 0 {
-		panic("experiment: invalid traffic parameters")
+	if c.Rate <= 0 {
+		return fmt.Errorf("experiment: source rate must be positive, have %g", c.Rate)
 	}
+	if c.Packets < 0 || c.PacketSize < 0 {
+		return fmt.Errorf("experiment: negative traffic parameters (packets=%d size=%d)", c.Packets, c.PacketSize)
+	}
+	if c.Field.W <= 0 || c.Field.H <= 0 {
+		return fmt.Errorf("experiment: field must have positive area, have %gx%g", c.Field.W, c.Field.H)
+	}
+	if b := c.Fault.Burst; b.Enabled {
+		if b.MeanGood <= 0 || b.MeanBad <= 0 {
+			return errors.New("experiment: burst model needs positive mean sojourn times")
+		}
+		if b.BERGood < 0 || b.BERGood > 1 || b.BERBad < 0 || b.BERBad > 1 {
+			return errors.New("experiment: burst BER values must be in [0,1]")
+		}
+	}
+	if ch := c.Fault.Churn; ch.Enabled && (ch.MeanUp <= 0 || ch.MeanDown <= 0) {
+		return errors.New("experiment: churn needs positive mean up/down times")
+	}
+	return nil
 }
 
 // Horizon returns the simulated end time of the run.

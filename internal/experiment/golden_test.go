@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"rmac/internal/fault"
 	"rmac/internal/geom"
 	"testing"
 )
@@ -32,6 +33,23 @@ func goldenGridConfig() Config {
 	return cfg
 }
 
+// goldenFaultConfig is the golden run with the impairment layer switched
+// on — Gilbert–Elliott bursts erasing 20% of the timeline and nodes that
+// are up 90% of the time — pinning the fault layer's RNG consumption and
+// crash scheduling alongside the protocol behaviour they provoke.
+func goldenFaultConfig() Config {
+	cfg := goldenConfig()
+	cfg.Fault = fault.Config{Burst: fault.BurstAt(0.2), Churn: fault.ChurnAt(0.9)}
+	return cfg
+}
+
+// goldenFaultString extends goldenString with the impairment counters.
+func goldenFaultString(r RunResult) string {
+	return fmt.Sprintf("%s bursterr=%d badentries=%d crashes=%d recoveries=%d deadlocks=%d",
+		goldenString(r), r.Fault.BurstErrors, r.Fault.BadEntries, r.Crashes,
+		r.Fault.Recoveries, len(r.Deadlocks))
+}
+
 // goldenString reduces a RunResult to the fields every figure is computed
 // from, formatted with full float precision so any drift is visible.
 func goldenString(r RunResult) string {
@@ -55,6 +73,10 @@ func goldenString(r RunResult) string {
 const (
 	goldenStationary = "events=348700 gen=200 rx=5783 dup=0 deliv=0.99706896551724133 delay=0.010149750000000001 drop=0 retx=0.12833333333333333 ovh=0.1991675194619906 nonleaf=12 mrts_n=2708 abort_n=12 reach=30"
 	goldenGrid       = "events=719946 gen=60 rx=6959 dup=0 deliv=0.97464985994397757 delay=0.139179626 drop=0.0016878531073446328 retx=0.36548022598870056 ovh=0.22847831986517395 nonleaf=40 mrts_n=3208 abort_n=40 reach=120"
+	// goldenFault pins the impairment layer: same run as goldenStationary
+	// but with bursty loss and churn enabled, so any drift in the GE chain
+	// advancement, churn scheduling, or crash semantics shows up here.
+	goldenFault = "events=1213364 gen=200 rx=4918 dup=0 deliv=0.84793103448275864 delay=1.384340632 drop=0.13251187479635138 retx=1.7901727760145416 ovh=0.23795492429779674 nonleaf=12 mrts_n=6118 abort_n=12 reach=30 bursterr=5233 badentries=14960 crashes=284 recoveries=279 deadlocks=0"
 )
 
 // TestGoldenDeterminism pins the fixed-seed RunResult of a full RMAC run
@@ -68,9 +90,14 @@ func TestGoldenDeterminism(t *testing.T) {
 	}{
 		{"stationary-30", goldenConfig(), goldenStationary},
 		{"grid-120", goldenGridConfig(), goldenGrid},
+		{"fault-30", goldenFaultConfig(), goldenFault},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			got := goldenString(Run(tc.cfg))
+			r := Run(tc.cfg)
+			got := goldenString(r)
+			if tc.cfg.Fault.Enabled() {
+				got = goldenFaultString(r)
+			}
 			if got != tc.want {
 				t.Errorf("fixed-seed run drifted from seed kernel\n got: %s\nwant: %s", got, tc.want)
 			}

@@ -1,9 +1,12 @@
 package experiment
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime/debug"
 
 	"rmac/internal/app"
+	"rmac/internal/fault"
 	"rmac/internal/mac"
 	"rmac/internal/mac/bmmm"
 	"rmac/internal/mac/bmw"
@@ -52,23 +55,68 @@ type RunResult struct {
 	Events uint64
 	// Trace holds the PHY event timeline when Config.TraceCap > 0.
 	Trace *trace.Trace
+
+	// Fault carries the impairment layer's counters; Crashes is the
+	// medium's count of applied radio crashes.
+	Fault   fault.Stats
+	Crashes uint64
+
+	// Deadlocks lists nodes the liveness audit flagged at quiesce: stuck
+	// in a non-idle protocol state with nothing armed to advance them.
+	Deadlocks []Deadlock
+
+	// Aborted is set when the engine watchdog stopped the run before its
+	// horizon; the metrics above then cover only the simulated prefix.
+	Aborted     bool
+	AbortReason string
+
+	// Failed is set when the run could not produce metrics at all: the
+	// configuration was invalid or the simulation panicked. FailReason
+	// explains why; Stack holds the panicking goroutine's stack.
+	Failed     bool
+	FailReason string
+	Stack      string
+}
+
+// Deadlock identifies one node flagged by the MAC liveness audit.
+type Deadlock struct {
+	Node  int
+	State string
+}
+
+// auditLiveness applies the deadlock predicate to every MAC: non-idle
+// with nothing pending means the node can never advance again.
+func auditLiveness(macs []mac.MAC) []Deadlock {
+	var out []Deadlock
+	for i, m := range macs {
+		lr, ok := m.(mac.LivenessReporter)
+		if !ok {
+			continue
+		}
+		if l := lr.Liveness(); !l.Idle && !l.Pending {
+			out = append(out, Deadlock{Node: i, State: l.State})
+		}
+	}
+	return out
 }
 
 // network is one fully-wired simulation.
 type network struct {
-	cfg     Config
-	eng     *sim.Engine
-	medium  *phy.Medium
-	macs    []mac.MAC
-	routers []*routing.Protocol
-	apps    []*app.Node
-	metrics *app.Metrics
-	source  *app.Source
+	cfg      Config
+	eng      *sim.Engine
+	medium   *phy.Medium
+	macs     []mac.MAC
+	routers  []*routing.Protocol
+	apps     []*app.Node
+	metrics  *app.Metrics
+	source   *app.Source
+	injector *fault.Injector
+
+	deadlocks []Deadlock
 }
 
-// build assembles the network for cfg.
+// build assembles the network for cfg, which must already be validated.
 func build(cfg Config) *network {
-	cfg.validate()
 	eng := sim.NewEngine(cfg.Seed)
 	medium := phy.NewMedium(eng, cfg.Phy)
 
@@ -112,12 +160,46 @@ func build(cfg Config) *network {
 	}
 	n.source = app.NewSource(n.apps[0], cfg.Rate, cfg.Packets, cfg.PacketSize)
 	n.source.Start(cfg.Warmup)
+	// The impairment layer attaches after every radio exists (its GE
+	// chains are built per registered radio). A zero cfg.Fault leaves the
+	// medium untouched.
+	n.injector = fault.New(eng, medium, cfg.Fault)
+	// The liveness audit runs whenever the engine quiesces — horizon
+	// reached, queue drained, or watchdog abort.
+	eng.QuiesceAudit = func() { n.deadlocks = auditLiveness(n.macs) }
 	return n
 }
 
-// Run executes one simulation and reduces its measurements.
-func Run(cfg Config) RunResult {
+// testHookPreRun, when non-nil, runs inside Run's panic isolation just
+// before the simulation is built. Tests use it to inject a panic for a
+// chosen configuration and assert the sweep survives.
+var testHookPreRun func(Config)
+
+// Run executes one simulation and reduces its measurements. It never
+// panics: an invalid configuration or a panicking protocol stack yields a
+// RunResult with Failed set (and the captured stack), so one poisoned
+// seed cannot take down a whole sweep.
+func Run(cfg Config) (res RunResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = RunResult{
+				Config:     cfg,
+				Failed:     true,
+				FailReason: fmt.Sprintf("panic: %v", r),
+				Stack:      string(debug.Stack()),
+			}
+		}
+	}()
+	if err := cfg.Validate(); err != nil {
+		return RunResult{Config: cfg, Failed: true, FailReason: err.Error()}
+	}
+	if testHookPreRun != nil {
+		testHookPreRun(cfg)
+	}
 	n := build(cfg)
+	if cfg.MaxEvents > 0 || cfg.MaxWall > 0 {
+		n.eng.SetWatchdog(cfg.MaxEvents, cfg.MaxWall)
+	}
 	n.eng.Run(cfg.Horizon())
 	return n.collect()
 }
@@ -132,6 +214,13 @@ func (n *network) collect() RunResult {
 		AbortRatios: &stats.Sample{},
 		Events:      n.eng.Processed,
 		Trace:       n.medium.Tracer,
+		Fault:       n.injector.Stats,
+		Crashes:     n.medium.Stats.Crashes,
+		Deadlocks:   n.deadlocks,
+	}
+	if reason, aborted := n.eng.Aborted(); aborted {
+		res.Aborted = true
+		res.AbortReason = reason
 	}
 	var drop, retx, ovh stats.Sample
 	for _, m := range n.macs {

@@ -33,6 +33,13 @@ type Point struct {
 	// the whole set).
 	MRTSLens    stats.Summary
 	AbortRatios stats.Summary
+
+	// FailedRuns counts runs excluded from the averages because they
+	// failed (panic or invalid config); AbortedRuns counts runs the
+	// watchdog stopped early (their partial metrics ARE averaged, since
+	// a truncated run still measured real protocol behaviour).
+	FailedRuns  int
+	AbortedRuns int
 }
 
 // Sweep describes a grid of runs.
@@ -135,6 +142,13 @@ func (p *Point) aggregate() {
 	var deliv, drop, retx, ovh, delay stats.Sample
 	var lens, aborts stats.Sample
 	for _, r := range p.Runs {
+		if r.Failed {
+			p.FailedRuns++
+			continue
+		}
+		if r.Aborted {
+			p.AbortedRuns++
+		}
 		deliv.Add(r.Delivery)
 		drop.Add(r.AvgDropRatio)
 		retx.Add(r.AvgRetxRatio)

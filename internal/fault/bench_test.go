@@ -1,0 +1,58 @@
+package fault
+
+import (
+	"testing"
+
+	"rmac/internal/frame"
+	"rmac/internal/geom"
+	"rmac/internal/mobility"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+// benchFanout measures the phy broadcast fan-out cycle (the simulator's
+// dominant per-frame cost; see phy.BenchmarkMediumFanout200) with the
+// impairment layer attached, so BENCH_fault.json tracks the overhead the
+// Gilbert–Elliott rolls add to every delivery. The churn schedule is
+// excluded: its events are rare and don't belong in a per-frame figure.
+func benchFanout(b *testing.B, n int, cfg Config) {
+	eng := sim.NewEngine(1)
+	med := phy.NewMedium(eng, phy.DefaultConfig())
+	side := 50.0
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	for i := 0; i < n; i++ {
+		x := 100 + side*float64(i%cols)/float64(cols)
+		y := 100 + side*float64(i/cols)/float64(cols)
+		med.AddRadio(i, mobility.Stationary{P: geom.Point{X: x, Y: y}})
+	}
+	New(eng, med, cfg)
+	src := med.Radios()[0]
+	f := &frame.UData{
+		Transmitter: frame.AddrFromID(0),
+		Receiver:    frame.Broadcast,
+		Payload:     make([]byte, 500),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		med.StartTx(src, f)
+		eng.RunAll()
+	}
+}
+
+// BenchmarkFaultFanout200 is the impaired twin of phy's
+// BenchmarkMediumFanout200: 200 radios, every delivery advancing a GE
+// chain and rolling a burst error.
+func BenchmarkFaultFanout200(b *testing.B) {
+	benchFanout(b, 200, Config{Burst: BurstAt(0.3)})
+}
+
+// BenchmarkFaultFanout200Disabled is the same harness with an inert
+// injector — the faults-disabled baseline the overhead is measured
+// against.
+func BenchmarkFaultFanout200Disabled(b *testing.B) {
+	benchFanout(b, 200, Config{})
+}

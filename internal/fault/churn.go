@@ -1,0 +1,46 @@
+package fault
+
+import (
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+// startChurn schedules the first crash of every non-spared radio. Each
+// radio then alternates up/down forever via self-rescheduling closures —
+// churn transitions are rare (hundreds per run, against millions of frame
+// events), so the closure allocations are irrelevant and the clarity is
+// worth it.
+func (inj *Injector) startChurn() {
+	for _, r := range inj.med.Radios() {
+		if inj.cfg.Churn.SpareSource && r.ID() == 0 {
+			continue
+		}
+		inj.scheduleCrash(r)
+	}
+}
+
+// expAfter draws an exponential delay with the given mean, floored at one
+// tick so the schedule always advances.
+func (inj *Injector) expAfter(mean sim.Time) sim.Time {
+	d := sim.Time(inj.eng.Rand().ExpFloat64() * float64(mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+func (inj *Injector) scheduleCrash(r *phy.Radio) {
+	inj.eng.After(inj.expAfter(inj.cfg.Churn.MeanUp), func() {
+		inj.med.SetDown(r, true)
+		inj.Stats.Crashes++
+		inj.scheduleRecovery(r)
+	})
+}
+
+func (inj *Injector) scheduleRecovery(r *phy.Radio) {
+	inj.eng.After(inj.expAfter(inj.cfg.Churn.MeanDown), func() {
+		inj.med.SetDown(r, false)
+		inj.Stats.Recoveries++
+		inj.scheduleCrash(r)
+	})
+}

@@ -1,0 +1,196 @@
+package fault
+
+import (
+	"testing"
+
+	"rmac/internal/frame"
+	"rmac/internal/geom"
+	"rmac/internal/mobility"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+// countHandler tallies deliveries.
+type countHandler struct {
+	rxOK, rxBad int
+}
+
+func (h *countHandler) OnFrameReceived(f frame.Frame, ok bool, _ sim.Time) {
+	if ok {
+		h.rxOK++
+	} else {
+		h.rxBad++
+	}
+}
+func (h *countHandler) OnCarrierChange(bool)        {}
+func (h *countHandler) OnToneChange(phy.Tone, bool) {}
+func (h *countHandler) OnTxDone(frame.Frame)        {}
+
+// harness builds n all-in-range radios with counting handlers and a
+// periodic broadcast from node 0 every interval for the whole horizon.
+func harness(t testing.TB, seed int64, n int, cfg Config) (*sim.Engine, *phy.Medium, *Injector, []*countHandler) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	med := phy.NewMedium(eng, phy.DefaultConfig())
+	hs := make([]*countHandler, n)
+	for i := 0; i < n; i++ {
+		r := med.AddRadio(i, mobility.Stationary{P: geom.Point{X: float64(i), Y: 0}})
+		hs[i] = &countHandler{}
+		r.SetHandler(hs[i])
+	}
+	inj := New(eng, med, cfg)
+	return eng, med, inj, hs
+}
+
+func broadcastEvery(eng *sim.Engine, src *phy.Radio, interval, horizon sim.Time) {
+	for at := sim.Time(0); at < horizon; at += interval {
+		eng.Schedule(at, func() {
+			if !src.Transmitting() && !src.Down() {
+				src.StartTx(&frame.UData{
+					Transmitter: frame.AddrFromID(src.ID()),
+					Receiver:    frame.Broadcast,
+					Payload:     make([]byte, 200),
+				})
+			}
+		})
+	}
+}
+
+// TestBurstDeterminism: the same seed and config produce bit-identical
+// impairment decisions and delivery counts.
+func TestBurstDeterminism(t *testing.T) {
+	cfg := Config{Burst: BurstAt(0.3), Churn: ChurnAt(0.8)}
+	run := func() (Stats, []countHandler) {
+		eng, med, inj, hs := harness(t, 42, 8, cfg)
+		broadcastEvery(eng, med.Radios()[0], 2*sim.Millisecond, 2*sim.Second)
+		// Bounded Run, not RunAll: the churn schedule reschedules itself
+		// forever, so the queue never drains.
+		eng.Run(3 * sim.Second)
+		out := make([]countHandler, len(hs))
+		for i, h := range hs {
+			out[i] = *h
+		}
+		return inj.Stats, out
+	}
+	s1, h1 := run()
+	s2, h2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats diverged across identical runs:\n  %+v\n  %+v", s1, s2)
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Fatalf("node %d deliveries diverged: %+v vs %+v", i, h1[i], h2[i])
+		}
+	}
+	if s1.BurstErrors == 0 || s1.BadEntries == 0 {
+		t.Fatalf("burst model never fired: %+v", s1)
+	}
+	if s1.Crashes == 0 || s1.Recoveries == 0 {
+		t.Fatalf("churn never fired: %+v", s1)
+	}
+}
+
+// TestBurstSeverityOrdering: heavier burst levels corrupt strictly more
+// frames than lighter ones, and a disabled model corrupts none.
+func TestBurstSeverityOrdering(t *testing.T) {
+	deliveries := func(sev float64) (ok, bad int) {
+		eng, med, _, hs := harness(t, 7, 4, Config{Burst: BurstAt(sev)})
+		broadcastEvery(eng, med.Radios()[0], sim.Millisecond, 3*sim.Second)
+		eng.RunAll()
+		for _, h := range hs {
+			ok += h.rxOK
+			bad += h.rxBad
+		}
+		return ok, bad
+	}
+	okClean, badClean := deliveries(0)
+	if badClean != 0 {
+		t.Fatalf("disabled burst model corrupted %d frames", badClean)
+	}
+	okLight, badLight := deliveries(0.1)
+	okHeavy, badHeavy := deliveries(0.6)
+	if badLight == 0 || badHeavy <= badLight {
+		t.Fatalf("burst severity not ordered: clean=%d light=%d heavy=%d corruptions",
+			badClean, badLight, badHeavy)
+	}
+	if okHeavy >= okLight || okLight >= okClean {
+		t.Fatalf("deliveries not ordered: clean=%d light=%d heavy=%d", okClean, okLight, okHeavy)
+	}
+}
+
+// TestChurnSparesSource: with SpareSource set, node 0 is never crashed
+// while other nodes churn.
+func TestChurnSparesSource(t *testing.T) {
+	cfg := Config{Churn: ChurnConfig{
+		Enabled:     true,
+		MeanUp:      50 * sim.Millisecond,
+		MeanDown:    50 * sim.Millisecond,
+		SpareSource: true,
+	}}
+	eng, med, inj, _ := harness(t, 3, 5, cfg)
+	// No traffic: just let churn toggle radios for a while.
+	eng.Run(5 * sim.Second)
+	if inj.Stats.Crashes == 0 {
+		t.Fatal("no crashes under aggressive churn")
+	}
+	if med.Stats.Crashes != inj.Stats.Crashes {
+		t.Fatalf("medium saw %d crashes, injector counted %d", med.Stats.Crashes, inj.Stats.Crashes)
+	}
+	if med.Radios()[0].Down() {
+		t.Fatal("spared source is down")
+	}
+	if d := inj.Stats.Crashes - inj.Stats.Recoveries; d > 4 {
+		t.Fatalf("crash/recovery imbalance %d exceeds node count", d)
+	}
+}
+
+// TestDisabledConfigIsInert: a zero Config installs nothing — the run is
+// bit-identical to one without an injector at all.
+func TestDisabledConfigIsInert(t *testing.T) {
+	run := func(withInjector bool) (uint64, int) {
+		eng := sim.NewEngine(11)
+		med := phy.NewMedium(eng, phy.DefaultConfig())
+		h := &countHandler{}
+		a := med.AddRadio(0, mobility.Stationary{P: geom.Point{X: 0, Y: 0}})
+		med.AddRadio(1, mobility.Stationary{P: geom.Point{X: 20, Y: 0}}).SetHandler(h)
+		a.SetHandler(&countHandler{})
+		if withInjector {
+			New(eng, med, Config{})
+		}
+		broadcastEvery(eng, a, sim.Millisecond, 100*sim.Millisecond)
+		eng.RunAll()
+		return eng.Processed, h.rxOK
+	}
+	ev1, ok1 := run(false)
+	ev2, ok2 := run(true)
+	if ev1 != ev2 || ok1 != ok2 {
+		t.Fatalf("inert injector perturbed the run: events %d vs %d, rxOK %d vs %d", ev1, ev2, ok1, ok2)
+	}
+	if ok1 == 0 {
+		t.Fatal("no deliveries in baseline run")
+	}
+}
+
+// TestLevelHelpers: the severity helpers disable themselves at the ends
+// of their ranges and hold the documented duty cycles.
+func TestLevelHelpers(t *testing.T) {
+	if BurstAt(0).Enabled {
+		t.Fatal("BurstAt(0) enabled")
+	}
+	if ChurnAt(1).Enabled {
+		t.Fatal("ChurnAt(1) enabled")
+	}
+	b := BurstAt(0.25)
+	duty := float64(b.MeanBad) / float64(b.MeanBad+b.MeanGood)
+	if duty < 0.24 || duty > 0.26 {
+		t.Fatalf("BurstAt(0.25) duty = %.3f", duty)
+	}
+	c := ChurnAt(0.8)
+	avail := float64(c.MeanUp) / float64(c.MeanUp+c.MeanDown)
+	if avail < 0.79 || avail > 0.81 {
+		t.Fatalf("ChurnAt(0.8) availability = %.3f", avail)
+	}
+	if !c.SpareSource {
+		t.Fatal("ChurnAt must spare the source")
+	}
+}

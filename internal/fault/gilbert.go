@@ -1,0 +1,68 @@
+package fault
+
+import (
+	"math"
+
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+// geChain is one receiver's Gilbert–Elliott channel state. Chains advance
+// lazily: nothing is scheduled on the event queue; instead, on each
+// delivery the chain fast-forwards through whole sojourns until it covers
+// the current simulation time, drawing each sojourn length from the
+// engine RNG. Because deliveries are engine events, the draw sequence is
+// fixed by the engine's (time, seq) order and the model stays
+// deterministic without costing an event per state flip.
+type geChain struct {
+	bad   bool
+	until sim.Time // end of the current sojourn; 0 = not started
+}
+
+// advance fast-forwards the chain to cover time now.
+func (c *geChain) advance(inj *Injector, now sim.Time) {
+	cfg := &inj.cfg.Burst
+	if c.until == 0 {
+		// Chains start in Good at a uniformly random point of a sojourn,
+		// so receivers are desynchronised from the first frame on.
+		c.until = sim.Time(inj.eng.Rand().Float64()*float64(cfg.MeanGood)) + 1
+	}
+	for c.until <= now {
+		c.bad = !c.bad
+		mean := cfg.MeanGood
+		if c.bad {
+			mean = cfg.MeanBad
+			inj.Stats.BadEntries++
+		}
+		d := sim.Time(inj.eng.Rand().ExpFloat64() * float64(mean))
+		if d < 1 {
+			d = 1 // keep sojourns strictly advancing
+		}
+		c.until += d
+	}
+}
+
+// FrameError implements phy.Impairment: it reports whether a frame of the
+// given wire size arriving at rx now is corrupted by the bursty channel.
+// It allocates nothing and draws only from the engine RNG.
+func (inj *Injector) FrameError(rx, tx *phy.Radio, wireBytes int) bool {
+	c := inj.chains[rx]
+	if c == nil {
+		// Radio added after New: no chain, no impairment.
+		return false
+	}
+	c.advance(inj, inj.eng.Now())
+	ber := inj.cfg.Burst.BERGood
+	if c.bad {
+		ber = inj.cfg.Burst.BERBad
+	}
+	if ber <= 0 {
+		return false
+	}
+	p := 1 - math.Pow(1-ber, float64(wireBytes*8))
+	if inj.eng.Rand().Float64() < p {
+		inj.Stats.BurstErrors++
+		return true
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+package frame
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// corpusFrames returns one well-formed frame of every kind, used both as
+// the in-code fuzz seed corpus and by gencorpus to write the checked-in
+// testdata corpus.
+func corpusFrames() []Frame {
+	a := AddrFromID(1)
+	b := AddrFromID(2)
+	c := AddrFromID(3)
+	return []Frame{
+		&MRTS{Transmitter: a, Receivers: []Addr{b, c}},
+		&MRTS{Transmitter: a}, // zero receivers
+		&RData{Transmitter: a, Receiver: b, Seq: 7, Flags: 1, Payload: []byte("rdata-payload")},
+		&UData{Transmitter: a, Receiver: Broadcast, Seq: 9, Payload: []byte{}},
+		&RTS{Duration: 632, Receiver: b, Transmitter: a},
+		&CTS{Duration: 500, Receiver: a},
+		&ACK{Duration: 0, Receiver: a},
+		&RAK{Duration: 100, Receiver: b},
+		&Data{Duration: 300, Receiver: Broadcast, Transmitter: a, Seq: 42, Payload: []byte("dot11")},
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes to Unmarshal. The codec faces
+// CRC-validated but otherwise adversarial input (the simulator corrupts
+// frames, and trace tooling decodes captures), so it must never panic.
+// When an input does decode, its canonical re-encoding must decode to the
+// same frame — the decoder and encoder may disagree on ignored wire bits
+// (802.11 Address 3, the frame-control filler byte) but never on meaning.
+func FuzzDecode(f *testing.F) {
+	for _, fr := range corpusFrames() {
+		f.Add(fr.Marshal(nil))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(KindMRTS), 0, 0, 0})
+	f.Add([]byte{0x7f, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, err := Unmarshal(b)
+		if err != nil {
+			return // malformed input rejected: the only other acceptable outcome
+		}
+		out := fr.Marshal(nil)
+		if fr.WireSize() != len(out) {
+			t.Errorf("WireSize %d != marshaled length %d for %v", fr.WireSize(), len(out), fr.Kind())
+		}
+		fr2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("canonical re-encoding of %v failed to decode: %v", fr.Kind(), err)
+		}
+		if !reflect.DeepEqual(fr, fr2) {
+			t.Errorf("decode(marshal(decode(b))) drifted\nfirst:  %#v\nsecond: %#v", fr, fr2)
+		}
+	})
+}
+
+// FuzzRoundTrip builds each frame kind from fuzzed field values and checks
+// that the wire-carried fields survive Marshal → Unmarshal exactly. Fields
+// documented as simulation bookkeeping (CTS/ACK/RAK Transmitter, CTS
+// Expect, RAK Seq, Data Address 3) are not on the wire and are excluded.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(byte(0), uint16(632), uint32(7), []byte("payload"), byte(3))
+	f.Add(byte(2), uint16(0), uint32(1<<31), []byte{}, byte(0))
+	f.Add(byte(7), uint16(65535), uint32(0), []byte{0xff}, byte(255))
+	f.Fuzz(func(t *testing.T, sel byte, dur uint16, seq uint32, payload []byte, nrecv byte) {
+		tx := AddrFromID(int(sel) + 1)
+		rx := AddrFromID(int(nrecv) + 2)
+		var built Frame
+		switch sel % 8 {
+		case 0:
+			recvs := make([]Addr, int(nrecv)%(MaxReceivers+1))
+			for i := range recvs {
+				recvs[i] = AddrFromID(i)
+			}
+			built = &MRTS{Transmitter: tx, Receivers: recvs}
+		case 1:
+			built = &RData{Transmitter: tx, Receiver: rx, Seq: seq, Flags: byte(dur), Payload: payload}
+		case 2:
+			built = &UData{Transmitter: tx, Receiver: rx, Seq: seq, Flags: byte(dur), Payload: payload}
+		case 3:
+			built = &RTS{Duration: dur, Receiver: rx, Transmitter: tx}
+		case 4:
+			built = &CTS{Duration: dur, Receiver: rx}
+		case 5:
+			built = &ACK{Duration: dur, Receiver: rx}
+		case 6:
+			built = &RAK{Duration: dur, Receiver: rx}
+		default:
+			built = &Data{Duration: dur, Receiver: rx, Transmitter: tx, Seq: uint16(seq), Payload: payload}
+		}
+		wire := built.Marshal(nil)
+		if built.WireSize() != len(wire) {
+			t.Errorf("%v: WireSize %d != marshaled length %d", built.Kind(), built.WireSize(), len(wire))
+		}
+		got, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("%v: round-trip decode failed: %v", built.Kind(), err)
+		}
+		if got.Kind() != built.Kind() {
+			t.Fatalf("kind drifted: built %v, decoded %v", built.Kind(), got.Kind())
+		}
+		switch want := built.(type) {
+		case *MRTS:
+			g := got.(*MRTS)
+			if g.Transmitter != want.Transmitter || len(g.Receivers) != len(want.Receivers) {
+				t.Errorf("MRTS drifted: %#v -> %#v", want, g)
+			}
+			for i := range want.Receivers {
+				if g.Receivers[i] != want.Receivers[i] {
+					t.Errorf("MRTS receiver %d drifted", i)
+				}
+			}
+		case *RData:
+			g := got.(*RData)
+			if g.Transmitter != want.Transmitter || g.Receiver != want.Receiver ||
+				g.Seq != want.Seq || g.Flags != want.Flags || !bytes.Equal(g.Payload, want.Payload) {
+				t.Errorf("RData drifted: %#v -> %#v", want, g)
+			}
+		case *UData:
+			g := got.(*UData)
+			if g.Transmitter != want.Transmitter || g.Receiver != want.Receiver ||
+				g.Seq != want.Seq || g.Flags != want.Flags || !bytes.Equal(g.Payload, want.Payload) {
+				t.Errorf("UData drifted: %#v -> %#v", want, g)
+			}
+		case *RTS:
+			g := got.(*RTS)
+			if g.Duration != want.Duration || g.Receiver != want.Receiver || g.Transmitter != want.Transmitter {
+				t.Errorf("RTS drifted: %#v -> %#v", want, g)
+			}
+		case *CTS:
+			g := got.(*CTS)
+			if g.Duration != want.Duration || g.Receiver != want.Receiver {
+				t.Errorf("CTS drifted: %#v -> %#v", want, g)
+			}
+		case *ACK:
+			g := got.(*ACK)
+			if g.Duration != want.Duration || g.Receiver != want.Receiver {
+				t.Errorf("ACK drifted: %#v -> %#v", want, g)
+			}
+		case *RAK:
+			g := got.(*RAK)
+			if g.Duration != want.Duration || g.Receiver != want.Receiver {
+				t.Errorf("RAK drifted: %#v -> %#v", want, g)
+			}
+		case *Data:
+			g := got.(*Data)
+			if g.Duration != want.Duration || g.Receiver != want.Receiver ||
+				g.Transmitter != want.Transmitter || g.Seq != want.Seq ||
+				!bytes.Equal(g.Payload, want.Payload) {
+				t.Errorf("Data drifted: %#v -> %#v", want, g)
+			}
+		}
+	})
+}

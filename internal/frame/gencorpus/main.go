@@ -1,0 +1,50 @@
+// Command gencorpus regenerates the checked-in seed corpus for the frame
+// codec fuzz targets (internal/frame/testdata/fuzz/FuzzDecode). Run it
+// from the repository root after changing the wire format:
+//
+//	go run ./internal/frame/gencorpus
+//
+// Each corpus entry is one canonically-marshaled frame, so the fuzzer
+// starts from inputs that pass the FCS check and reach the per-kind
+// decoders instead of spending its budget rediscovering CRC32.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"rmac/internal/frame"
+)
+
+func main() {
+	a := frame.AddrFromID(1)
+	b := frame.AddrFromID(2)
+	c := frame.AddrFromID(3)
+	seeds := map[string]frame.Frame{
+		"mrts":       &frame.MRTS{Transmitter: a, Receivers: []frame.Addr{b, c}},
+		"mrts_empty": &frame.MRTS{Transmitter: a},
+		"rdata":      &frame.RData{Transmitter: a, Receiver: b, Seq: 7, Flags: 1, Payload: []byte("rdata-payload")},
+		"udata":      &frame.UData{Transmitter: a, Receiver: frame.Broadcast, Seq: 9},
+		"rts":        &frame.RTS{Duration: 632, Receiver: b, Transmitter: a},
+		"cts":        &frame.CTS{Duration: 500, Receiver: a},
+		"ack":        &frame.ACK{Duration: 0, Receiver: a},
+		"rak":        &frame.RAK{Duration: 100, Receiver: b},
+		"data80211":  &frame.Data{Duration: 300, Receiver: frame.Broadcast, Transmitter: a, Seq: 42, Payload: []byte("dot11")},
+	}
+
+	dir := filepath.Join("internal", "frame", "testdata", "fuzz", "FuzzDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, fr := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(fr.Marshal(nil))))
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", path)
+	}
+}

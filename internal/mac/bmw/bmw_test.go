@@ -28,6 +28,7 @@ func (u *upper) OnSendComplete(res mac.TxResult) { u.completes = append(u.comple
 
 type world struct {
 	eng    *sim.Engine
+	medium *phy.Medium
 	nodes  []*Node
 	uppers []*upper
 }
@@ -36,7 +37,7 @@ func newWorld(seed int64, pos []geom.Point) *world {
 	eng := sim.NewEngine(seed)
 	cfg := phy.DefaultConfig()
 	m := phy.NewMedium(eng, cfg)
-	w := &world{eng: eng}
+	w := &world{eng: eng, medium: m}
 	for i, p := range pos {
 		r := m.AddRadio(i, mobility.Stationary{P: p})
 		n := New(r, cfg, eng, mac.DefaultLimits())

@@ -1,0 +1,56 @@
+package bmw
+
+import (
+	"testing"
+
+	"rmac/internal/fault"
+	"rmac/internal/frame"
+	"rmac/internal/geom"
+	"rmac/internal/mac"
+	"rmac/internal/sim"
+)
+
+// TestRetryExhaustionUnderBurstLoss corrupts every frame (1-tick good
+// sojourns, BER 1 in both states) so each round-robin unicast round fails:
+// the sender must walk through RetryLimit retransmission cycles and then
+// drop, with the exhaustion visible in the TxResult and the counters.
+func TestRetryExhaustionUnderBurstLoss(t *testing.T) {
+	w := newWorld(7, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}})
+	inj := fault.New(w.eng, w.medium, fault.Config{Burst: fault.BurstConfig{
+		Enabled: true, MeanGood: 1, MeanBad: sim.Second, BERGood: 1, BERBad: 1,
+	}})
+
+	if !w.nodes[0].Send(reliableReq("doomed", 1)) {
+		t.Fatal("Send rejected")
+	}
+	w.eng.Run(60 * sim.Second)
+
+	limit := mac.DefaultLimits().RetryLimit
+	u := w.uppers[0]
+	if len(u.completes) != 1 {
+		t.Fatalf("sender reported %d completions, want 1", len(u.completes))
+	}
+	res := u.completes[0]
+	if !res.Dropped {
+		t.Error("packet was not dropped despite a dead channel")
+	}
+	if res.Retries != limit+1 {
+		t.Errorf("Retries = %d, want %d (limit exhausted)", res.Retries, limit+1)
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != frame.AddrFromID(1) {
+		t.Errorf("Failed = %v, want exactly receiver 1", res.Failed)
+	}
+	s := w.nodes[0].Stats()
+	if s.Drops != 1 {
+		t.Errorf("Drops = %d, want 1", s.Drops)
+	}
+	if s.Retransmissions != uint64(limit) {
+		t.Errorf("Retransmissions = %d, want %d", s.Retransmissions, limit)
+	}
+	if len(w.uppers[1].delivered) != 0 {
+		t.Errorf("receiver delivered %d packets through a dead channel", len(w.uppers[1].delivered))
+	}
+	if inj.Stats.BurstErrors == 0 {
+		t.Error("impairment layer corrupted no frames")
+	}
+}

@@ -73,6 +73,10 @@ type Node struct {
 	timer *sim.Timer
 	peers map[frame.Addr]*peerDedup
 	seq   uint16
+
+	// deferred counts scheduled exchange steps (SIFS gaps, pending
+	// responses) not yet fired, so the liveness audit sees them.
+	deferred int
 }
 
 var _ mac.MAC = (*Node)(nil)
@@ -105,6 +109,16 @@ func (n *Node) Stats() *mac.Stats { return &n.stats }
 
 // SetUpper implements mac.MAC.
 func (n *Node) SetUpper(u mac.UpperLayer) { n.upper = u }
+
+// Liveness implements mac.LivenessReporter.
+func (n *Node) Liveness() mac.Liveness {
+	return mac.Liveness{
+		State: n.st.String(),
+		Idle:  n.st == stIdle && n.cur == nil && n.queue.Len() == 0,
+		Pending: n.timer.Pending() || n.radio.Transmitting() ||
+			n.radio.CarrierSensed() || n.dcf.Armed() || n.deferred > 0,
+	}
+}
 
 // Send implements mac.MAC.
 func (n *Node) Send(req *mac.SendRequest) bool {
@@ -263,7 +277,9 @@ func (n *Node) sendData() {
 
 func (n *Node) afterSIFS(step func()) {
 	n.st = stGap
+	n.deferred++
 	n.eng.After(phy.SIFS, func() {
+		n.deferred--
 		if n.cur == nil || n.radio.Transmitting() {
 			return
 		}
@@ -389,7 +405,9 @@ func subDuration(d uint16, sub sim.Time) uint16 {
 }
 
 func (n *Node) respond(f frame.Frame) {
+	n.deferred++
 	n.eng.After(phy.SIFS, func() {
+		n.deferred--
 		if n.st != stIdle || n.radio.Transmitting() {
 			return
 		}

@@ -101,6 +101,32 @@ type MAC interface {
 	Stats() *Stats
 }
 
+// Liveness is a point-in-time snapshot of a MAC's progress guarantees,
+// taken by the experiment harness's deadlock auditor when the engine
+// quiesces. A node reporting !Idle with !Pending is stuck: it is inside
+// an exchange but holds no armed timer, in-flight transmission or
+// arriving signal that could ever advance it — a protocol deadlock.
+// Pending is deliberately conservative (any plausibly-advancing source
+// counts), so a flagged node is a genuine bug, not a mid-exchange
+// snapshot artifact.
+type Liveness struct {
+	// State is the protocol state name, for diagnostics.
+	State string
+	// Idle reports that no exchange, queued packet or pending context
+	// could require the node to make progress.
+	Idle bool
+	// Pending reports that something is armed that will advance the
+	// node: a protocol timer, the contention process, an in-flight
+	// transmission or reception, or a scheduled exchange step.
+	Pending bool
+}
+
+// LivenessReporter is implemented by MAC protocols that can be audited
+// for deadlock. All protocols in this repository implement it.
+type LivenessReporter interface {
+	Liveness() Liveness
+}
+
 // Limits bundles the retry/queue policies shared by the protocols.
 type Limits struct {
 	// RetryLimit is the maximum number of retransmission cycles for one

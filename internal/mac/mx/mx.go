@@ -95,6 +95,10 @@ type Node struct {
 	nakOn bool
 	peers map[frame.Addr]*peerDedup
 	seq   uint16
+
+	// deferred counts scheduled exchange steps (SIFS gaps) not yet
+	// fired, so the liveness audit sees them.
+	deferred int
 }
 
 type peerDedup struct {
@@ -132,6 +136,16 @@ func (n *Node) Stats() *mac.Stats { return &n.stats }
 
 // SetUpper implements mac.MAC.
 func (n *Node) SetUpper(u mac.UpperLayer) { n.upper = u }
+
+// Liveness implements mac.LivenessReporter.
+func (n *Node) Liveness() mac.Liveness {
+	return mac.Liveness{
+		State: n.st.String(),
+		Idle:  n.st == stIdle && n.cur == nil && n.queue.Len() == 0,
+		Pending: n.nakTmr.Pending() || n.radio.Transmitting() ||
+			n.radio.CarrierSensed() || n.dcf.Armed() || n.deferred > 0,
+	}
+}
 
 // Send implements mac.MAC.
 func (n *Node) Send(req *mac.SendRequest) bool {
@@ -258,7 +272,9 @@ func (n *Node) sendData() {
 
 func (n *Node) afterSIFS(step func()) {
 	n.st = stGap
+	n.deferred++
 	n.eng.After(phy.SIFS, func() {
+		n.deferred--
 		if n.cur == nil || n.radio.Transmitting() {
 			return
 		}

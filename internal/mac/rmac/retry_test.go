@@ -1,0 +1,63 @@
+package rmac
+
+import (
+	"testing"
+
+	"rmac/internal/fault"
+	"rmac/internal/geom"
+	"rmac/internal/mac"
+	"rmac/internal/sim"
+)
+
+// alwaysBadBurst corrupts every frame on the air: the chain's bad state
+// dominates (1-tick good sojourns vs 1-second bad ones) and both BERs are
+// 1, so no frame ever decodes. Tones still propagate — only frame decoding
+// is impaired — which exercises the full timeout/retry path.
+func alwaysBadBurst() fault.Config {
+	return fault.Config{Burst: fault.BurstConfig{
+		Enabled: true, MeanGood: 1, MeanBad: sim.Second, BERGood: 1, BERBad: 1,
+	}}
+}
+
+// TestRetryExhaustionUnderBurstLoss drives a sender into the retry limit
+// with a fully corrupting channel and checks the §3.3.2 exhaustion
+// accounting: RetryLimit retransmission cycles, then a drop reported both
+// in the TxResult and the node's counters.
+func TestRetryExhaustionUnderBurstLoss(t *testing.T) {
+	w := newWorld(7, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}})
+	inj := fault.New(w.eng, w.medium, alwaysBadBurst())
+
+	if !w.nodes[0].Send(reliableReq("doomed", 1)) {
+		t.Fatal("Send rejected")
+	}
+	w.eng.Run(60 * sim.Second)
+
+	limit := mac.DefaultLimits().RetryLimit
+	u := w.uppers[0]
+	if len(u.completes) != 1 {
+		t.Fatalf("sender reported %d completions, want 1", len(u.completes))
+	}
+	res := u.completes[0]
+	if !res.Dropped {
+		t.Error("packet was not dropped despite a dead channel")
+	}
+	if res.Retries != limit+1 {
+		t.Errorf("Retries = %d, want %d (limit exhausted)", res.Retries, limit+1)
+	}
+	if !hasAddr(res.Failed, 1) {
+		t.Errorf("receiver 1 missing from Failed: %v", res.Failed)
+	}
+	s := w.nodes[0].Stats()
+	if s.Drops != 1 {
+		t.Errorf("Drops = %d, want 1", s.Drops)
+	}
+	if s.Retransmissions != uint64(limit) {
+		t.Errorf("Retransmissions = %d, want %d", s.Retransmissions, limit)
+	}
+	if len(w.uppers[1].delivered) != 0 {
+		t.Errorf("receiver delivered %d packets through a dead channel", len(w.uppers[1].delivered))
+	}
+	if inj.Stats.BurstErrors == 0 {
+		t.Error("impairment layer corrupted no frames")
+	}
+}

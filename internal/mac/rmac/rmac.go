@@ -165,6 +165,24 @@ func (n *Node) SetUpper(u mac.UpperLayer) { n.upper = u }
 // State returns the node's current protocol state (for tests/tracing).
 func (n *Node) State() State { return n.state }
 
+// Liveness implements mac.LivenessReporter. Every non-idle state is
+// advanced by exactly one of: the in-flight transmission (TX_* states,
+// resolved by OnTxDone even if the radio crashed mid-frame), an armed
+// protocol timer (WF_*), or a signal currently arriving (WF_RDATA with
+// the T_wf_rdata timer cancelled after the data's first bit).
+func (n *Node) Liveness() mac.Liveness {
+	return mac.Liveness{
+		State: n.state.String(),
+		Idle:  n.state == StateIdle && n.cur == nil && n.queue.Len() == 0,
+		Pending: n.radio.Transmitting() || n.radio.CarrierSensed() ||
+			n.wfRBT.Pending() || n.wfABT.Pending() || n.wfRData.Pending() ||
+			n.backoff.Counting() ||
+			// A sensed foreign RBT suspends our backoff; its falling edge
+			// is what resumes us, so it counts as a pending wake-up.
+			n.radio.ToneSensed(phy.ToneRBT),
+	}
+}
+
 // Send implements mac.MAC: it enqueues the request and kicks the pipeline.
 func (n *Node) Send(req *mac.SendRequest) bool {
 	if req.Service == mac.Reliable && len(req.Dests) == 0 {

@@ -25,6 +25,7 @@ type Medium struct {
 	eng    *sim.Engine
 	cfg    Config
 	radios []*Radio
+	imp    Impairment
 
 	// Stats counts channel-level totals across the run.
 	Stats MediumStats
@@ -50,6 +51,7 @@ type MediumStats struct {
 	FramesDecoded  uint64 // deliveries with ok=true
 	FramesCorrupt  uint64 // deliveries with ok=false (collision/abort/BER)
 	ToneActivation uint64 // SetTone(on) calls
+	Crashes        uint64 // SetDown(true) transitions (fault injection)
 }
 
 // NewMedium creates an empty medium on the given engine.
@@ -59,6 +61,27 @@ func NewMedium(eng *sim.Engine, cfg Config) *Medium {
 	}
 	return &Medium{eng: eng, cfg: cfg}
 }
+
+// Impairment is an extra channel-error model consulted for every frame
+// that is otherwise decodable (collision-free, in range, not aborted, not
+// at a crashed radio, and past the independent-BER roll). Implemented by
+// internal/fault's Gilbert–Elliott bursty channel; nil disables it at
+// zero cost.
+//
+// FrameError must draw all of its randomness from the owning engine's
+// Rand() so that the determinism contract of the delivery path holds (see
+// the package comment), and must not allocate: it runs on the per-frame
+// hot path.
+type Impairment interface {
+	// FrameError reports whether the frame of the given wire size from tx
+	// is corrupted on its path to rx. Called at reception end.
+	FrameError(rx, tx *Radio, wireBytes int) bool
+}
+
+// SetImpairment installs (or, with nil, removes) the medium's extra
+// channel-error model. Install it before traffic starts: swapping models
+// mid-run changes the RNG consumption sequence from that point on.
+func (m *Medium) SetImpairment(imp Impairment) { m.imp = imp }
 
 // Config returns the medium's radio configuration.
 func (m *Medium) Config() Config { return m.cfg }
@@ -228,16 +251,21 @@ func (m *Medium) StartTx(r *Radio, f frame.Frame) sim.Time {
 		p.corrupted = true
 	}
 
-	srcPos := m.PositionOf(r)
-	c2 := m.cfg.CommRange * m.cfg.CommRange
-	m.forEachInRange(r, srcPos, m.cfg.interferenceRange(), func(o *Radio, d2 float64) {
-		p := m.newRxPath()
-		p.tx, p.r, p.inComm = tx, o, d2 <= c2
-		p.prop = m.propDelay(math.Sqrt(d2))
-		tx.dests = append(tx.dests, p)
-		m.eng.ScheduleCall(now+p.prop, p, tagRxStart)
-		p.endEv = m.eng.ScheduleCall(tx.end+p.prop, p, tagRxEnd)
-	})
+	// A crashed radio transmits into its dead front-end: the MAC sees the
+	// usual airtime and OnTxDone (so its state machine keeps advancing into
+	// its timeout/retry paths), but no energy reaches any receiver.
+	if !r.down {
+		srcPos := m.PositionOf(r)
+		c2 := m.cfg.CommRange * m.cfg.CommRange
+		m.forEachInRange(r, srcPos, m.cfg.interferenceRange(), func(o *Radio, d2 float64) {
+			p := m.newRxPath()
+			p.tx, p.r, p.inComm = tx, o, d2 <= c2
+			p.prop = m.propDelay(math.Sqrt(d2))
+			tx.dests = append(tx.dests, p)
+			m.eng.ScheduleCall(now+p.prop, p, tagRxStart)
+			p.endEv = m.eng.ScheduleCall(tx.end+p.prop, p, tagRxEnd)
+		})
+	}
 	tx.pending = len(tx.dests)
 	tx.doneEv = m.eng.ScheduleCall(tx.end, tx, 0)
 	if m.Tracer != nil {
@@ -301,14 +329,31 @@ func (m *Medium) rxStart(p *rxPath) {
 			q.corrupted = true
 		}
 	}
-	// A transmitting node cannot decode.
-	if r.curTx != nil {
+	// A transmitting node cannot decode; neither can a crashed one.
+	if r.curTx != nil || r.down {
 		p.corrupted = true
 	}
 	r.active = append(r.active, p)
 	if len(r.active) == 1 && r.handler != nil {
 		r.handler.OnCarrierChange(true)
 	}
+}
+
+// channelError rolls channel noise for an otherwise-decodable frame
+// (control and data frames alike): first the independent per-bit BER,
+// then the pluggable Impairment model. Both draw from the engine's
+// deterministic RNG, and draws happen only here — in rxEnd event order —
+// which is what keeps same-seed runs bit-identical; see the package
+// comment for the full determinism contract.
+func (m *Medium) channelError(r *Radio, tx *transmission) bool {
+	if m.cfg.BER > 0 &&
+		m.eng.Rand().Float64() < m.cfg.FrameErrorProb(tx.f.WireSize()) {
+		return true
+	}
+	if m.imp != nil && m.imp.FrameError(r, tx.src, tx.f.WireSize()) {
+		return true
+	}
+	return false
 }
 
 func (m *Medium) rxEnd(p *rxPath) {
@@ -323,10 +368,8 @@ func (m *Medium) rxEnd(p *rxPath) {
 	}
 	tx := p.tx
 	ok := p.started && p.inComm && !p.corrupted && !tx.aborted
-	if ok && m.cfg.BER > 0 {
-		if m.eng.Rand().Float64() < m.cfg.FrameErrorProb(tx.f.WireSize()) {
-			ok = false
-		}
+	if ok {
+		ok = !m.channelError(r, tx)
 	}
 	if ok {
 		m.Stats.FramesDecoded++
@@ -379,6 +422,12 @@ func (m *Medium) SetTone(r *Radio, t Tone, on bool) {
 	}
 	if on {
 		m.Stats.ToneActivation++
+		if r.down {
+			// A crashed radio raises no tone energy: ownTone tracks the
+			// MAC's intent, but no session forms and nothing propagates.
+			// The matching off-transition is a no-op (nil session).
+			return
+		}
 		srcPos := m.PositionOf(r)
 		sess := m.newSess()
 		m.forEachInRange(r, srcPos, m.cfg.interferenceRange(), func(o *Radio, d2 float64) {
@@ -400,6 +449,74 @@ func (m *Medium) SetTone(r *Radio, t Tone, on bool) {
 		m.eng.ScheduleCall(now+sess.props[i], o, toneOffTag(t))
 	}
 	m.freeSess(sess)
+}
+
+// SetDown crashes (down=true) or recovers (down=false) node r's radio —
+// the PHY half of fault-injected node churn. A crashed radio neither
+// transmits nor receives:
+//
+//   - Its in-flight transmission, if any, truncates immediately at every
+//     receiver (never decodable there), exactly like AbortTx — but unlike
+//     AbortTx the MAC still gets its OnTxDone at the original end time,
+//     so the sender state machine runs into its normal timeout/retry
+//     paths instead of wedging in a TX state.
+//   - Every signal currently arriving at r is poisoned, and new arrivals
+//     while down are undecodable; foreign MACs see the missing feedback
+//     and exercise their retransmission and drop paths.
+//   - Tones r is emitting drop at every listener (the sessions end), and
+//     no tone energy is emitted while down. ownTone keeps tracking the
+//     MAC's intent so the protocol's own off-transition stays legal.
+//
+// Sensing (carrier and tone levels) deliberately keeps operating while
+// down — the model is a dead RF power stage with a live baseband — which
+// preserves the medium's +1/-1 accounting across crashes. Recovery is
+// instantaneous: the radio simply starts emitting and decoding again.
+// SetDown is idempotent in either direction.
+func (m *Medium) SetDown(r *Radio, down bool) {
+	if r.down == down {
+		return
+	}
+	r.down = down
+	if m.Tracer != nil {
+		k := trace.NodeDown
+		if !down {
+			k = trace.NodeUp
+		}
+		m.Tracer.Add(trace.Event{At: m.eng.Now(), Node: r.id, Kind: k})
+	}
+	if !down {
+		return
+	}
+	m.Stats.Crashes++
+	// Truncate the in-flight transmission at every receiver. All rx paths
+	// are still pending (their rxEnd is scheduled at tx.end+prop, and
+	// now < tx.end), so rescheduling each end to now+prop is safe.
+	if tx := r.curTx; tx != nil {
+		now := m.eng.Now()
+		tx.aborted = true
+		for _, p := range tx.dests {
+			p.corrupted = true
+			p.endEv.Cancel()
+			p.endEv = m.eng.ScheduleCall(now+p.prop, p, tagRxEnd)
+		}
+	}
+	// Poison signals mid-reception at the crashed node.
+	for _, p := range r.active {
+		p.corrupted = true
+	}
+	// Drop emitted tones at every listener.
+	now := m.eng.Now()
+	for t := Tone(0); t < NumTones; t++ {
+		sess := r.toneSess[t]
+		if sess == nil {
+			continue
+		}
+		r.toneSess[t] = nil
+		for i, o := range sess.dests {
+			m.eng.ScheduleCall(now+sess.props[i], o, toneOffTag(t))
+		}
+		m.freeSess(sess)
+	}
 }
 
 // toneSession records the receivers and delays captured when a tone was

@@ -8,6 +8,22 @@
 // CommRange·InterferenceFactor. Busy tones are boolean fields sensed as
 // present/non-present, exactly as §3.1 describes; they never collide and
 // carry no bits.
+//
+// # Determinism contract
+//
+// Every random decision on the delivery path draws from the owning
+// engine's seeded RNG (Engine.Rand), never from a package-level or
+// time-seeded source, so two runs with the same seed and configuration
+// are bit-identical. Channel errors — the independent per-bit BER and
+// the pluggable Impairment model, in that order — are rolled for control
+// frames (MRTS/RTS/CTS/ACK/RAK) and data frames alike, exactly once per
+// frame delivery, and only for frames that are otherwise decodable
+// (collision-free, in communication range, not aborted, receiver up).
+// Because those rolls happen at reception-end events, whose order the
+// engine's (time, sequence) queue fixes, enabling or disabling fault
+// injection never perturbs the RNG stream consumed by backoff draws or
+// mobility, and a run with all faults disabled consumes exactly the
+// RNG stream of a build without the fault layer.
 package phy
 
 import (

@@ -56,6 +56,11 @@ type Radio struct {
 	static bool
 	pos    geom.Point
 
+	// down marks a crashed radio (fault injection): it emits no signal or
+	// tone energy and decodes nothing, but keeps sensing — see
+	// Medium.SetDown for the exact crash semantics.
+	down bool
+
 	handler Handler
 
 	curTx    *transmission
@@ -78,6 +83,12 @@ func (r *Radio) Mobility() mobility.Model { return r.mob }
 // Transmitting reports whether the node is currently transmitting on the
 // data channel.
 func (r *Radio) Transmitting() bool { return r.curTx != nil }
+
+// Down reports whether the radio is crashed (see Medium.SetDown).
+func (r *Radio) Down() bool { return r.down }
+
+// SetDown crashes or recovers this radio; see Medium.SetDown.
+func (r *Radio) SetDown(down bool) { r.m.SetDown(r, down) }
 
 // DataChannelBusy reports whether the data channel is busy at this node:
 // any foreign signal arriving, or the node itself transmitting.

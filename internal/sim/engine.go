@@ -136,7 +136,25 @@ type Engine struct {
 	stopped bool
 	// Processed counts events executed, for instrumentation.
 	Processed uint64
+
+	// QuiesceAudit, when non-nil, runs once every time Run or RunAll
+	// returns (horizon reached, queue drained, Stop, or watchdog abort).
+	// Protocol-liveness auditors hook here: at quiesce they can inspect
+	// every state machine and flag nodes stuck in a non-idle state with
+	// nothing pending — a deadlock that would otherwise surface only as
+	// silently skewed metrics.
+	QuiesceAudit func()
+
+	// Watchdog state (SetWatchdog).
+	wdEvents    uint64
+	wdWall      time.Duration
+	wdStart     time.Time
+	abortReason string
 }
+
+// wallCheckMask throttles the wall-clock watchdog check to one time.Since
+// call per 8192 dispatched events.
+const wallCheckMask = 8191
 
 // NewEngine creates an engine whose random source is seeded with seed.
 func NewEngine(seed int64) *Engine {
@@ -224,6 +242,46 @@ func (e *Engine) AfterCall(d Time, c Caller, tag int32) Event {
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetWatchdog arms the engine's runaway-run protection: the run aborts
+// once maxEvents events have been dispatched (0 disables the event budget)
+// or once maxWall of real time has elapsed since this call (0 disables the
+// wall-clock deadline). An aborted run stops like Stop — already-executed
+// events and their statistics remain valid, so callers can still collect
+// partial results — and Aborted reports the reason. The wall-clock check
+// runs every few thousand events; it never perturbs event order, so a run
+// that does not trip the watchdog is bit-identical to an unwatched one.
+func (e *Engine) SetWatchdog(maxEvents uint64, maxWall time.Duration) {
+	e.wdEvents = maxEvents
+	e.wdWall = maxWall
+	e.wdStart = time.Now()
+	e.abortReason = ""
+}
+
+// Aborted reports whether the watchdog stopped the run, and why.
+func (e *Engine) Aborted() (reason string, aborted bool) {
+	return e.abortReason, e.abortReason != ""
+}
+
+// watchdogTripped checks the event budget and (periodically) the
+// wall-clock deadline, recording the abort reason on the first trip.
+func (e *Engine) watchdogTripped() bool {
+	if e.abortReason != "" {
+		return true
+	}
+	if e.wdEvents > 0 && e.Processed >= e.wdEvents {
+		e.abortReason = fmt.Sprintf("sim: watchdog: event budget %d exhausted at t=%v", e.wdEvents, e.now)
+		return true
+	}
+	if e.wdWall > 0 && e.Processed&wallCheckMask == wallCheckMask {
+		if elapsed := time.Since(e.wdStart); elapsed > e.wdWall {
+			e.abortReason = fmt.Sprintf("sim: watchdog: wall clock budget %v exceeded (%v) at t=%v after %d events",
+				e.wdWall, elapsed.Round(time.Millisecond), e.now, e.Processed)
+			return true
+		}
+	}
+	return false
+}
+
 // dispatch pops the minimum event, releases its slot, and runs it. The
 // callback is copied out before release so the slot can be reused (and the
 // arena can grow) while the callback schedules new events.
@@ -242,11 +300,17 @@ func (e *Engine) dispatch() {
 	}
 }
 
-// Run executes events until the queue empties, the horizon is passed, or
-// Stop is called. Events scheduled exactly at the horizon still run.
+// Run executes events until the queue empties, the horizon is passed,
+// Stop is called, or the watchdog (SetWatchdog) trips. Events scheduled
+// exactly at the horizon still run. QuiesceAudit, when set, runs once
+// before Run returns.
 func (e *Engine) Run(horizon Time) {
+	defer e.quiesce()
 	e.stopped = false
 	for len(e.order) > 0 && !e.stopped {
+		if e.watchdogTripped() {
+			return
+		}
 		if e.nodes[e.order[0]].at > horizon {
 			// Leave future events queued; advance clock to horizon so
 			// callers observe a consistent end time.
@@ -260,11 +324,22 @@ func (e *Engine) Run(horizon Time) {
 	}
 }
 
-// RunAll executes events until the queue empties or Stop is called.
+// RunAll executes events until the queue empties, Stop is called, or the
+// watchdog trips. QuiesceAudit, when set, runs once before RunAll returns.
 func (e *Engine) RunAll() {
+	defer e.quiesce()
 	e.stopped = false
 	for len(e.order) > 0 && !e.stopped {
+		if e.watchdogTripped() {
+			return
+		}
 		e.dispatch()
+	}
+}
+
+func (e *Engine) quiesce() {
+	if e.QuiesceAudit != nil {
+		e.QuiesceAudit()
 	}
 }
 

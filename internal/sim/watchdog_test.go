@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWatchdogEventBudget: a self-rescheduling event (an "infinite"
+// simulation) is stopped at the event budget with partial state intact.
+func TestWatchdogEventBudget(t *testing.T) {
+	e := NewEngine(1)
+	var fired int
+	var tick func()
+	tick = func() {
+		fired++
+		e.After(Microsecond, tick)
+	}
+	e.After(0, tick)
+	e.SetWatchdog(1000, 0)
+	e.RunAll()
+	if reason, aborted := e.Aborted(); !aborted {
+		t.Fatal("runaway run not aborted")
+	} else if !strings.Contains(reason, "event budget") {
+		t.Fatalf("unexpected abort reason %q", reason)
+	}
+	if fired != 1000 {
+		t.Fatalf("fired %d events, want exactly the budget of 1000", fired)
+	}
+	// The queue still holds the next pending event: partial state, not a
+	// crash.
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+// TestWatchdogWallClock: a spinning run is stopped by the wall-clock
+// deadline even when the event budget is unlimited.
+func TestWatchdogWallClock(t *testing.T) {
+	e := NewEngine(1)
+	var tick func()
+	tick = func() { e.After(Nanosecond, tick) }
+	e.After(0, tick)
+	e.SetWatchdog(0, time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		e.RunAll()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("wall-clock watchdog did not stop the run")
+	}
+	if reason, aborted := e.Aborted(); !aborted || !strings.Contains(reason, "wall clock") {
+		t.Fatalf("aborted=%v reason=%q", aborted, reason)
+	}
+}
+
+// TestWatchdogUntrippedIsInvisible: arming a generous watchdog changes
+// nothing about a normal run's schedule, clock, or event count.
+func TestWatchdogUntrippedIsInvisible(t *testing.T) {
+	run := func(arm bool) (Time, uint64) {
+		e := NewEngine(7)
+		for i := 0; i < 50; i++ {
+			d := Time(e.Rand().Intn(1000)) * Microsecond
+			e.After(d, func() {})
+		}
+		if arm {
+			e.SetWatchdog(1<<40, time.Hour)
+		}
+		e.RunAll()
+		return e.Now(), e.Processed
+	}
+	t1, p1 := run(false)
+	t2, p2 := run(true)
+	if t1 != t2 || p1 != p2 {
+		t.Fatalf("watchdog perturbed run: (%v,%d) vs (%v,%d)", t1, p1, t2, p2)
+	}
+}
+
+// TestQuiesceAuditRuns: the audit hook fires exactly once per Run/RunAll
+// return, including watchdog aborts.
+func TestQuiesceAuditRuns(t *testing.T) {
+	e := NewEngine(1)
+	audits := 0
+	e.QuiesceAudit = func() { audits++ }
+	e.After(Microsecond, func() {})
+	e.Run(Second)
+	if audits != 1 {
+		t.Fatalf("audits = %d after Run, want 1", audits)
+	}
+	var tick func()
+	tick = func() { e.After(Microsecond, tick) }
+	e.After(0, tick)
+	e.SetWatchdog(10, 0)
+	e.RunAll()
+	if audits != 2 {
+		t.Fatalf("audits = %d after aborted RunAll, want 2", audits)
+	}
+}

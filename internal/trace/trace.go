@@ -38,11 +38,14 @@ const (
 	Deliver
 	// Custom is free-form protocol annotation.
 	Custom
+	// NodeDown / NodeUp are fault-injected radio crashes and recoveries.
+	NodeDown
+	NodeUp
 )
 
 var kindNames = [...]string{
 	"TX", "TX-END", "TX-ABORT", "RX", "RX-BAD", "TONE-ON", "TONE-OFF",
-	"STATE", "DROP", "DELIVER", "NOTE",
+	"STATE", "DROP", "DELIVER", "NOTE", "DOWN", "UP",
 }
 
 func (k Kind) String() string {

@@ -1,50 +1,67 @@
 #!/usr/bin/env bash
 # bench.sh — run the kernel/PHY hot-path benchmark suite and record the
-# results in BENCH_kernel.json so every PR leaves a perf trajectory.
+# results in BENCH_kernel.json, then the fault-injection overhead suite
+# into BENCH_fault.json, so every PR leaves a perf trajectory.
 #
 # Usage:
-#   scripts/bench.sh            # run suite, rewrite BENCH_kernel.json
+#   scripts/bench.sh            # run suites, rewrite BENCH_*.json
 #   scripts/bench.sh -quick     # single iteration smoke (CI)
 #
-# The JSON maps each benchmark to {ns_op, b_op, allocs_op}. Commit the
-# refreshed file together with any change that moves these numbers, and
+# Each JSON maps a benchmark to {ns_op, b_op, allocs_op}. Commit the
+# refreshed files together with any change that moves these numbers, and
 # quote the before/after in the PR description.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="2s"
-OUT=BENCH_kernel.json
+QUICK=0
 if [[ "${1:-}" == "-quick" ]]; then
     # Smoke mode: single iteration, and keep the committed numbers — a 1x
     # sample is a liveness check, not a measurement.
     BENCHTIME="1x"
-    OUT=/dev/null
+    QUICK=1
 fi
 
-PATTERN='BenchmarkEngineSchedule|BenchmarkEngineScheduleCancel|BenchmarkEngineTimerChurn|BenchmarkMediumFanout|BenchmarkToneStorm'
-RAW=$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem \
-    ./internal/sim ./internal/phy)
-echo "$RAW"
+# bench_suite PATTERN OUT PKGS... — run one benchmark suite and render the
+# results as JSON into OUT (/dev/null in smoke mode).
+bench_suite() {
+    local pattern=$1 out=$2
+    shift 2
+    [[ "$QUICK" == 1 ]] && out=/dev/null
+    local raw
+    raw=$(go test -run '^$' -bench "$pattern" -benchtime "$BENCHTIME" -benchmem "$@")
+    echo "$raw"
 
-echo "$RAW" | awk '
-BEGIN { print "{"; n = 0 }
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
-    ns = ""; bop = ""; allocs = ""
-    for (i = 2; i <= NF; i++) {
-        if ($(i) == "ns/op")     ns     = $(i - 1)
-        if ($(i) == "B/op")      bop    = $(i - 1)
-        if ($(i) == "allocs/op") allocs = $(i - 1)
+    echo "$raw" | awk '
+    BEGIN { print "{"; n = 0 }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+        ns = ""; bop = ""; allocs = ""
+        for (i = 2; i <= NF; i++) {
+            if ($(i) == "ns/op")     ns     = $(i - 1)
+            if ($(i) == "B/op")      bop    = $(i - 1)
+            if ($(i) == "allocs/op") allocs = $(i - 1)
+        }
+        if (ns == "") next
+        if (n++) printf ",\n"
+        printf "  \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
+            name, ns, (bop == "" ? "null" : bop), (allocs == "" ? "null" : allocs)
     }
-    if (ns == "") next
-    if (n++) printf ",\n"
-    printf "  \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
-        name, ns, (bop == "" ? "null" : bop), (allocs == "" ? "null" : allocs)
-}
-END { print "\n}" }
-' > "$OUT"
+    END { print "\n}" }
+    ' > "$out"
 
-echo
-echo "wrote $OUT:"
-cat "$OUT"
+    if [[ "$out" != /dev/null ]]; then
+        echo
+        echo "wrote $out:"
+        cat "$out"
+    fi
+}
+
+bench_suite 'BenchmarkEngineSchedule|BenchmarkEngineScheduleCancel|BenchmarkEngineTimerChurn|BenchmarkMediumFanout|BenchmarkToneStorm' \
+    BENCH_kernel.json ./internal/sim ./internal/phy
+
+# Impairment overhead: the same 200-radio fanout with the fault layer
+# attached (bursty channel) vs attached-but-disabled. The disabled case is
+# the regression gate — a zero fault.Config must stay free.
+bench_suite 'BenchmarkFaultFanout' BENCH_fault.json ./internal/fault
