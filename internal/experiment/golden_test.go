@@ -76,7 +76,7 @@ const (
 	// goldenFault pins the impairment layer: same run as goldenStationary
 	// but with bursty loss and churn enabled, so any drift in the GE chain
 	// advancement, churn scheduling, or crash semantics shows up here.
-	goldenFault = "events=1213364 gen=200 rx=4918 dup=0 deliv=0.84793103448275864 delay=1.384340632 drop=0.13251187479635138 retx=1.7901727760145416 ovh=0.23795492429779674 nonleaf=12 mrts_n=6118 abort_n=12 reach=30 bursterr=5233 badentries=14960 crashes=284 recoveries=279 deadlocks=0"
+	goldenFault = "events=1011170 gen=200 rx=4771 dup=0 deliv=0.82258620689655171 delay=0.734644046 drop=0.10764765045303065 retx=1.7330833580432325 ovh=0.21918798901650646 nonleaf=11 mrts_n=5236 abort_n=11 reach=30 bursterr=4848 badentries=14914 crashes=279 recoveries=274 deadlocks=0"
 )
 
 // TestGoldenDeterminism pins the fixed-seed RunResult of a full RMAC run

@@ -23,9 +23,11 @@ type geChain struct {
 func (c *geChain) advance(inj *Injector, now sim.Time) {
 	cfg := &inj.cfg.Burst
 	if c.until == 0 {
-		// Chains start in Good at a uniformly random point of a sojourn,
-		// so receivers are desynchronised from the first frame on.
-		c.until = sim.Time(inj.eng.Rand().Float64()*float64(cfg.MeanGood)) + 1
+		// Chains start in Good mid-sojourn. For an exponential sojourn the
+		// stationary residual lifetime is again Exp(MeanGood), so drawing
+		// the first sojourn end from that distribution desynchronises
+		// receivers without biasing early bad-state entry times.
+		c.until = sim.Time(inj.eng.Rand().ExpFloat64()*float64(cfg.MeanGood)) + 1
 	}
 	for c.until <= now {
 		c.bad = !c.bad

@@ -122,6 +122,68 @@ func TestCrashDropsEmittedTone(t *testing.T) {
 	a.SetTone(ToneABT, false)
 }
 
+// TestAbortAfterCrashTruncation: a crashed radio's baseband still senses
+// tones, so its MAC may AbortTx during the dead transmission's remaining
+// airtime — after the truncated rx paths have completed, returned to the
+// pool, and been reused by another node's transmission. The abort must
+// only do sender-side bookkeeping and must not touch the recycled paths.
+func TestAbortAfterCrashTruncation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewMedium(eng, DefaultConfig())
+	a := m.AddRadio(0, mobility.Stationary{P: geom.Point{X: 0, Y: 0}})
+	b := m.AddRadio(1, mobility.Stationary{P: geom.Point{X: 30, Y: 0}})
+	c := m.AddRadio(2, mobility.Stationary{P: geom.Point{X: 60, Y: 0}})
+	ha, hb, hc := &recHandler{}, &recHandler{}, &recHandler{}
+	a.SetHandler(ha)
+	b.SetHandler(hb)
+	c.SetHandler(hc)
+
+	// The 100-byte frame's airtime is well over 96 µs and prop is ≤ 200 ns,
+	// so: crash mid-frame at 10 µs; by 11 µs both truncated rx paths have
+	// run and are back in the pool, and c's transmission reuses them; the
+	// abort at 12 µs lands inside the dead transmission's remaining airtime.
+	eng.Schedule(0, func() { a.StartTx(testFrame(0, 100)) })
+	eng.Schedule(10*sim.Microsecond, func() { m.SetDown(a, true) })
+	eng.Schedule(11*sim.Microsecond, func() { c.StartTx(testFrame(2, 100)) })
+	eng.Schedule(12*sim.Microsecond, func() { a.AbortTx() })
+	eng.RunAll()
+
+	if hb.rxBad != 1 {
+		t.Fatalf("b saw %d corrupt frames, want 1 (a's truncated tx)", hb.rxBad)
+	}
+	if hb.rxOK != 1 {
+		t.Fatalf("b decoded %d frames, want 1 — c's tx on recycled rx paths was corrupted", hb.rxOK)
+	}
+	if ha.txDone != 0 {
+		t.Fatalf("aborting sender got OnTxDone %d times, want 0", ha.txDone)
+	}
+	if m.Stats.Aborts != 1 {
+		t.Fatalf("Aborts = %d, want 1", m.Stats.Aborts)
+	}
+}
+
+// TestCrashRecoverCrashWithinAirtime: with downtime floored at one tick, a
+// node can crash, recover, and crash again inside a single transmission's
+// airtime. The second crash must not re-truncate the already-aborted
+// transmission — its rx paths have completed and been pooled.
+func TestCrashRecoverCrashWithinAirtime(t *testing.T) {
+	eng, m, a, _, ha, hb := downPair(t)
+	eng.Schedule(0, func() { a.StartTx(testFrame(0, 100)) })
+	eng.Schedule(10*sim.Microsecond, func() { m.SetDown(a, true) })
+	eng.Schedule(11*sim.Microsecond, func() { m.SetDown(a, false) })
+	eng.Schedule(12*sim.Microsecond, func() { m.SetDown(a, true) })
+	eng.RunAll()
+	if hb.rxBad != 1 || hb.rxOK != 0 {
+		t.Fatalf("receiver saw rxOK=%d rxBad=%d, want exactly one corrupt truncation", hb.rxOK, hb.rxBad)
+	}
+	if ha.txDone != 1 {
+		t.Fatalf("sender OnTxDone = %d, want 1 (crash keeps the MAC advancing)", ha.txDone)
+	}
+	if m.Stats.Crashes != 2 {
+		t.Fatalf("Crashes = %d, want 2", m.Stats.Crashes)
+	}
+}
+
 // TestChurnPreservesQuiescence: random crash/recover cycles interleaved
 // with traffic and tones leave the medium's accounting balanced.
 func TestChurnPreservesQuiescence(t *testing.T) {

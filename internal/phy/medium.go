@@ -280,21 +280,35 @@ func (m *Medium) StartTx(r *Radio, f frame.Frame) sim.Time {
 // signal still occupies the channel until now+prop at each receiver and is
 // never decodable there. No OnTxDone callback is made; the caller knows it
 // aborted.
+//
+// Aborting a transmission that a crash (SetDown) already truncated is
+// legal — a crashed radio's baseband still senses tones, so its MAC can
+// reach an abort transition during the dead transmission's airtime. In
+// that case only the sender-side bookkeeping runs: the signal was already
+// cut at every receiver at crash time, and tx.dests may by now reference
+// rx paths that completed and returned to the pool (possibly reused by a
+// later transmission), so they must not be touched again.
 func (m *Medium) AbortTx(r *Radio) {
 	tx := r.curTx
 	if tx == nil {
 		panic(fmt.Sprintf("phy: node %d AbortTx with no transmission", r.id))
 	}
 	now := m.eng.Now()
+	truncated := tx.aborted // SetDown already cut the signal at every receiver
 	tx.aborted = true
 	tx.finished = true
 	tx.end = now
 	tx.doneEv.Cancel()
 	m.Stats.Aborts++
-	for _, p := range tx.dests {
-		p.corrupted = true
-		p.endEv.Cancel()
-		p.endEv = m.eng.ScheduleCall(now+p.prop, p, tagRxEnd)
+	if !truncated {
+		for _, p := range tx.dests {
+			if p.tx != tx || !p.endEv.Pending() {
+				continue // rxEnd already ran; path is freed or reused
+			}
+			p.corrupted = true
+			p.endEv.Cancel()
+			p.endEv = m.eng.ScheduleCall(now+p.prop, p, tagRxEnd)
+		}
 	}
 	r.curTx = nil
 	if m.Tracer != nil {
@@ -470,8 +484,13 @@ func (m *Medium) SetTone(r *Radio, t Tone, on bool) {
 // Sensing (carrier and tone levels) deliberately keeps operating while
 // down — the model is a dead RF power stage with a live baseband — which
 // preserves the medium's +1/-1 accounting across crashes. Recovery is
-// instantaneous: the radio simply starts emitting and decoding again.
-// SetDown is idempotent in either direction.
+// instantaneous for carrier and decoding: the next StartTx radiates and
+// new arrivals decode normally. Tones are NOT re-raised: a tone dropped
+// at crash time stays down at every listener until the MAC's next
+// off→on transition for it, even though ownTone still records the MAC's
+// intent — the dead power stage lost the tone, and the recovered
+// hardware does not replay MAC state it never saw. SetDown is idempotent
+// in either direction.
 func (m *Medium) SetDown(r *Radio, down bool) {
 	if r.down == down {
 		return
@@ -488,13 +507,20 @@ func (m *Medium) SetDown(r *Radio, down bool) {
 		return
 	}
 	m.Stats.Crashes++
-	// Truncate the in-flight transmission at every receiver. All rx paths
-	// are still pending (their rxEnd is scheduled at tx.end+prop, and
-	// now < tx.end), so rescheduling each end to now+prop is safe.
-	if tx := r.curTx; tx != nil {
+	// Truncate the in-flight transmission at every receiver. Only a live
+	// (not yet aborted) transmission is cut: if tx.aborted is already set,
+	// a previous crash in this same airtime truncated it — its rxEnds are
+	// running at crash+prop and some dests may already be freed or reused,
+	// so touching them again would corrupt the pools. For a live tx every
+	// rxEnd sits at tx.end+prop > now and is still pending; the guards in
+	// the loop are belt-and-braces against that invariant shifting.
+	if tx := r.curTx; tx != nil && !tx.aborted {
 		now := m.eng.Now()
 		tx.aborted = true
 		for _, p := range tx.dests {
+			if p.tx != tx || !p.endEv.Pending() {
+				continue
+			}
 			p.corrupted = true
 			p.endEv.Cancel()
 			p.endEv = m.eng.ScheduleCall(now+p.prop, p, tagRxEnd)
