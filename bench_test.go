@@ -224,6 +224,47 @@ func BenchmarkFeedbackDisciplines(b *testing.B) {
 	b.ReportMetric(m.Delivery, "mx-deliv")
 }
 
+// BenchmarkWholeRun measures whole-run simulator performance per MAC
+// protocol: event throughput (events/s), simulated-seconds per wall
+// second, and the total allocation bill of a run (allocs/op — setup plus
+// steady state; the steady-state share is asserted ≈0 separately by the
+// experiment package's allocation regression test). scripts/bench.sh
+// records this suite in BENCH_run.json so the numbers are tracked
+// per-commit.
+func BenchmarkWholeRun(b *testing.B) {
+	protos := []struct {
+		name string
+		p    Protocol
+	}{
+		{"rmac", RMAC},
+		{"bmmm", BMMM},
+		{"bmw", BMW},
+		{"lbp", LBP},
+		{"mx", MX},
+		{"dot11", DOT11},
+	}
+	for _, tc := range protos {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			var simulated sim.Time
+			for i := 0; i < b.N; i++ {
+				cfg := benchConfig()
+				cfg.Protocol = tc.p
+				cfg.Seed = int64(i + 1)
+				res := Run(cfg)
+				if res.Failed {
+					b.Fatal(res.FailReason)
+				}
+				events += res.Events
+				simulated += cfg.Horizon()
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(simulated.Seconds()/b.Elapsed().Seconds(), "simsec/s")
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw event throughput of the
 // kernel+PHY+MAC stack — the engineering metric for the simulator itself.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -25,15 +25,23 @@ const HeaderSize = 1 + 4 + 4 + 8
 // MarshalPacket builds an application payload of exactly size bytes
 // (HeaderSize minimum) carrying (src, seq, generated-at).
 func MarshalPacket(src int, seq uint32, gen sim.Time, size int) []byte {
+	return AppendPacket(nil, src, seq, gen, size)
+}
+
+// AppendPacket appends the encoded packet to dst (the allocation-free
+// form used by the source, which encodes into a reusable buffer).
+func AppendPacket(dst []byte, src int, seq uint32, gen sim.Time, size int) []byte {
 	if size < HeaderSize {
 		size = HeaderSize
 	}
-	out := make([]byte, size)
+	n := len(dst)
+	dst = append(dst, make([]byte, size)...)
+	out := dst[n:]
 	out[0] = DataMagic
 	binary.BigEndian.PutUint32(out[1:], uint32(src))
 	binary.BigEndian.PutUint32(out[5:], seq)
 	binary.BigEndian.PutUint64(out[9:], uint64(gen))
-	return out
+	return dst
 }
 
 // ParsePacket decodes an application payload header.
@@ -93,6 +101,11 @@ type Node struct {
 
 	seen map[uint64]struct{}
 
+	// reqs pools forwarding SendRequests; childBuf backs the per-forward
+	// children query. Both are recycled/reused in steady state.
+	reqs     mac.ReqPool
+	childBuf []int
+
 	// Forwarded counts reliable sends this node initiated.
 	Forwarded uint64
 	// SendRejected counts forwards rejected by a full MAC queue.
@@ -124,8 +137,10 @@ func (n *Node) OnDeliver(payload []byte, info mac.RxInfo) {
 }
 
 // OnSendComplete implements mac.UpperLayer. Per-hop outcomes are already
-// accounted in the MAC stats; nothing to do at the application.
-func (n *Node) OnSendComplete(mac.TxResult) {}
+// accounted in the MAC stats; the request (a forward from this node's
+// pool, or a beacon from the routing pool) is recycled here, after the
+// loaned TxResult slices are dead.
+func (n *Node) OnSendComplete(res mac.TxResult) { res.Req.Recycle() }
 
 func (n *Node) onData(payload []byte) {
 	src, seq, gen, ok := ParsePacket(payload)
@@ -152,17 +167,23 @@ func (n *Node) onData(payload []byte) {
 // Send (§4.1.1: "packets are transmitted from the parent node to the
 // child nodes using the reliable multicast services").
 func (n *Node) forward(payload []byte) {
-	children := n.rt.Children()
+	n.childBuf = n.rt.ChildrenInto(n.childBuf[:0])
+	children := n.childBuf
 	if len(children) == 0 {
 		return
 	}
-	dests := make([]frame.Addr, len(children))
-	for i, c := range children {
-		dests[i] = frame.AddrFromID(c)
+	req := n.reqs.Get()
+	req.Service = mac.Reliable
+	for _, c := range children {
+		req.Dests = append(req.Dests, frame.AddrFromID(c))
 	}
+	// payload may alias a pooled frame's backing (OnDeliver loan): copy
+	// into the request's own storage.
+	req.Payload = append(req.Payload, payload...)
 	n.Forwarded++
-	if !n.mac.Send(&mac.SendRequest{Service: mac.Reliable, Dests: dests, Payload: payload}) {
+	if !n.mac.Send(req) {
 		n.SendRejected++
+		req.Recycle() // rejected: no OnSendComplete will follow
 	}
 }
 
@@ -173,6 +194,7 @@ type Source struct {
 	count      int
 	packetSize int
 	sent       int
+	buf        []byte // reusable payload encoding buffer
 }
 
 // NewSource attaches a generator to the root node's application.
@@ -185,8 +207,11 @@ func NewSource(node *Node, rate float64, count, packetSize int) *Source {
 
 // Start begins generation at startAt; packets are spaced 1/rate apart.
 func (s *Source) Start(startAt sim.Time) {
-	s.node.eng.Schedule(startAt, s.generate)
+	s.node.eng.ScheduleCall(startAt, s, 0)
 }
+
+// Call implements sim.Caller: the generation tick, scheduled closure-free.
+func (s *Source) Call(int32) { s.generate() }
 
 func (s *Source) generate() {
 	if s.sent >= s.count {
@@ -195,12 +220,12 @@ func (s *Source) generate() {
 	s.sent++
 	n := s.node
 	seq := uint32(s.sent)
-	payload := MarshalPacket(n.id, seq, n.eng.Now(), s.packetSize)
+	s.buf = AppendPacket(s.buf[:0], n.id, seq, n.eng.Now(), s.packetSize)
 	n.metrics.Generated++
 	n.seen[key(n.id, seq)] = struct{}{} // the source never re-forwards its own packet
-	n.forward(payload)
+	n.forward(s.buf)
 	interval := sim.Time(float64(sim.Second) / s.rate)
-	n.eng.After(interval, s.generate)
+	n.eng.AfterCall(interval, s, 0)
 }
 
 // Sent reports how many packets the source has generated so far.

@@ -1,0 +1,13 @@
+//go:build !framecheck
+
+package frame
+
+// Checking reports whether the framecheck poisoning build is active.
+const Checking = false
+
+// poison is a no-op in normal builds; released frames keep their contents
+// so the free-list push stays a few stores.
+func poison(pooled) {}
+
+// AssertLive is compiled out in normal builds.
+func AssertLive(Frame) {}

@@ -1,0 +1,66 @@
+//go:build framecheck
+
+package frame
+
+// Checking reports whether the framecheck poisoning build is active.
+const Checking = true
+
+// poisonByte is an address/payload fill pattern chosen to be loud: a
+// poisoned address never equals a real node address or the broadcast
+// address, and a poisoned payload fails any content check.
+const poisonByte = 0xDD
+
+var poisonAddr = Addr{poisonByte, poisonByte, poisonByte, poisonByte, poisonByte, poisonByte}
+
+func poisonBytes(b []byte) {
+	for i := range b {
+		b[i] = poisonByte
+	}
+}
+
+// poison overwrites a released frame with garbage so any consumer that
+// kept a reference past release reads nonsense and fails loudly in tests.
+// Slices are poisoned across their full capacity: a stale sub-slice of the
+// backing array is just as illegal as the frame itself.
+func poison(f pooled) {
+	switch v := f.(type) {
+	case *MRTS:
+		v.Transmitter = poisonAddr
+		rs := v.Receivers[:cap(v.Receivers)]
+		for i := range rs {
+			rs[i] = poisonAddr
+		}
+	case *RData:
+		v.Transmitter, v.Receiver = poisonAddr, poisonAddr
+		v.Seq, v.Flags = 0xDDDDDDDD, poisonByte
+		poisonBytes(v.Payload[:cap(v.Payload)])
+	case *UData:
+		v.Transmitter, v.Receiver = poisonAddr, poisonAddr
+		v.Seq, v.Flags = 0xDDDDDDDD, poisonByte
+		poisonBytes(v.Payload[:cap(v.Payload)])
+	case *RTS:
+		v.Duration = 0xDDDD
+		v.Receiver, v.Transmitter = poisonAddr, poisonAddr
+	case *CTS:
+		v.Duration, v.Expect = 0xDDDD, 0xDDDD
+		v.Receiver, v.Transmitter = poisonAddr, poisonAddr
+	case *ACK:
+		v.Duration = 0xDDDD
+		v.Receiver, v.Transmitter = poisonAddr, poisonAddr
+	case *RAK:
+		v.Duration, v.Seq = 0xDDDD, 0xDDDD
+		v.Receiver, v.Transmitter = poisonAddr, poisonAddr
+	case *Data:
+		v.Duration, v.Seq = 0xDDDD, 0xDDDD
+		v.Receiver, v.Transmitter = poisonAddr, poisonAddr
+		poisonBytes(v.Payload[:cap(v.Payload)])
+	}
+}
+
+// AssertLive panics if a pooled frame is used after release. The PHY calls
+// it at every handler boundary under framecheck.
+func AssertLive(f Frame) {
+	if f != nil && !Live(f) {
+		panic("frame: use after release of " + f.Kind().String())
+	}
+}

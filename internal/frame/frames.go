@@ -97,6 +97,7 @@ type Frame interface {
 // MRTS is the Multicast Request-To-Send control frame of Fig 3. The order
 // of Receivers stipulates the ABT response order (§3.2).
 type MRTS struct {
+	poolHdr
 	Transmitter Addr
 	Receivers   []Addr
 }
@@ -118,6 +119,7 @@ func (f *MRTS) IndexOf(a Addr) int {
 
 // RData is an RMAC reliable data frame.
 type RData struct {
+	poolHdr
 	Transmitter Addr
 	Receiver    Addr // multicast/unicast/broadcast label; delivery is governed by the MRTS
 	Seq         uint32
@@ -132,6 +134,7 @@ func (f *RData) Src() Addr     { return f.Transmitter }
 // UData is an RMAC unreliable data frame; Receiver may be a unicast,
 // multicast, or the broadcast address (§3.3.3).
 type UData struct {
+	poolHdr
 	Transmitter Addr
 	Receiver    Addr
 	Seq         uint32
@@ -146,6 +149,7 @@ func (f *UData) Src() Addr     { return f.Transmitter }
 // RTS is the 802.11 Request-To-Send. Duration carries the NAV reservation
 // in microseconds.
 type RTS struct {
+	poolHdr
 	Duration    uint16
 	Receiver    Addr
 	Transmitter Addr
@@ -161,6 +165,7 @@ func (f *RTS) Src() Addr     { return f.Transmitter }
 // Tang & Gerla). BMW encodes it where 802.11 reserves bits; the 14-byte
 // wire size is unchanged and plain-802.11/BMMM users leave it zero.
 type CTS struct {
+	poolHdr
 	Duration    uint16
 	Receiver    Addr // = transmitter of the soliciting RTS
 	Transmitter Addr // not on the 802.11 wire; carried for simulation bookkeeping, not counted in WireSize
@@ -173,6 +178,7 @@ func (f *CTS) Src() Addr     { return f.Transmitter }
 
 // ACK is the 802.11 Acknowledgment.
 type ACK struct {
+	poolHdr
 	Duration    uint16
 	Receiver    Addr
 	Transmitter Addr // bookkeeping only, as with CTS
@@ -187,6 +193,7 @@ func (f *ACK) Src() Addr     { return f.Transmitter }
 // bind a RAK to the preceding data frame by exchange timing, which the
 // simulator makes explicit without changing the 14-byte wire size.
 type RAK struct {
+	poolHdr
 	Duration    uint16
 	Receiver    Addr
 	Transmitter Addr // bookkeeping only
@@ -201,6 +208,7 @@ func (f *RAK) Src() Addr     { return f.Transmitter }
 // broadcast address for unreliable broadcast. Seq occupies the 802.11
 // sequence-control field (16 bits on the wire).
 type Data struct {
+	poolHdr
 	Duration    uint16
 	Receiver    Addr
 	Transmitter Addr

@@ -1,0 +1,123 @@
+package frame
+
+import "testing"
+
+func TestPoolReusesFrames(t *testing.T) {
+	p := NewPool()
+	m := p.MRTS()
+	m.Transmitter = Addr{1}
+	m.Receivers = append(m.Receivers, Addr{2}, Addr{3})
+	Release(m)
+
+	m2 := p.MRTS()
+	if m2 != m {
+		t.Fatalf("free list miss: got a fresh allocation")
+	}
+	if len(m2.Receivers) != 0 || cap(m2.Receivers) < 2 {
+		t.Fatalf("Receivers not reset with capacity kept: len=%d cap=%d",
+			len(m2.Receivers), cap(m2.Receivers))
+	}
+	if !Checking && m2.Transmitter != (Addr{}) {
+		t.Fatalf("Transmitter not cleared: %v", m2.Transmitter)
+	}
+	Release(m2)
+
+	st := p.Stats()
+	if st.Live != 0 || st.Acquired != 2 || st.Allocated != 1 || st.Released != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolPayloadCapacityKept(t *testing.T) {
+	p := NewPool()
+	d := p.RData()
+	d.Payload = append(d.Payload, make([]byte, 500)...)
+	Release(d)
+	d2 := p.RData()
+	if d2 != d || len(d2.Payload) != 0 || cap(d2.Payload) < 500 {
+		t.Fatalf("payload backing not reused: len=%d cap=%d", len(d2.Payload), cap(d2.Payload))
+	}
+	Release(d2)
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	p := NewPool()
+	f := p.CTS()
+	Release(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("double release did not panic")
+		}
+	}()
+	Release(f)
+}
+
+func TestReleaseUnpooledIsNoop(t *testing.T) {
+	f := &ACK{Receiver: Addr{9}}
+	Release(f) // must not panic
+	Release(nil)
+	if !Live(f) {
+		t.Fatalf("unpooled frame reported dead")
+	}
+}
+
+func TestRefGoesStaleOnRelease(t *testing.T) {
+	p := NewPool()
+	f := p.Data()
+	r := MakeRef(f)
+	if !r.Valid() {
+		t.Fatalf("fresh ref invalid")
+	}
+	Release(f)
+	if r.Valid() {
+		t.Fatalf("ref still valid after release")
+	}
+	// Recycling the object must not resurrect the old ref.
+	f2 := p.Data()
+	if f2 != f {
+		t.Fatalf("expected recycled object")
+	}
+	if r.Valid() {
+		t.Fatalf("stale ref validated against recycled frame")
+	}
+	if !MakeRef(&RTS{}).Valid() {
+		t.Fatalf("unpooled ref must always be valid")
+	}
+	Release(f2)
+}
+
+func TestPoisonOnRelease(t *testing.T) {
+	if !Checking {
+		t.Skip("framecheck build tag not active")
+	}
+	p := NewPool()
+	d := p.RData()
+	d.Transmitter = Addr{1}
+	d.Payload = append(d.Payload, 0x42, 0x42)
+	payload := d.Payload
+	Release(d)
+	if d.Transmitter == (Addr{1}) || payload[0] == 0x42 {
+		t.Fatalf("released frame not poisoned: tx=%v payload=%v", d.Transmitter, payload)
+	}
+	if Live(d) {
+		t.Fatalf("released frame reported live")
+	}
+	p.RData()
+}
+
+func TestPoolSteadyStateAllocs(t *testing.T) {
+	p := NewPool()
+	// Warm the free lists and the slice capacities.
+	warm := func() {
+		m := p.MRTS()
+		m.Receivers = append(m.Receivers, Addr{1}, Addr{2}, Addr{3})
+		d := p.RData()
+		d.Payload = append(d.Payload, make([]byte, 512)...)
+		Release(m)
+		Release(d)
+	}
+	warm()
+	if got := testing.AllocsPerRun(100, warm); got != 0 {
+		t.Fatalf("steady-state acquire/release allocates %.1f times per cycle", got)
+	}
+}

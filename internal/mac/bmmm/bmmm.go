@@ -71,6 +71,17 @@ type peerState struct {
 	deliverOK bool
 }
 
+// step identifies the deferred exchange step scheduled by afterSIFS,
+// replacing the per-step closure with a tagged event on the node.
+type step int8
+
+const (
+	stepNone step = iota
+	stepRTS
+	stepData
+	stepRAK
+)
+
 // Node is one BMMM instance bound to a radio.
 type Node struct {
 	eng    *sim.Engine
@@ -79,6 +90,7 @@ type Node struct {
 	addr   frame.Addr
 	limits mac.Limits
 	upper  mac.UpperLayer
+	frames *frame.Pool
 
 	st    state
 	queue *mac.Queue
@@ -90,6 +102,18 @@ type Node struct {
 	timer *sim.Timer // CTS/ACK response timeout
 	peers map[frame.Addr]*peerState
 	seq   uint16
+
+	// ctxBuf backs cur (one exchange at a time); stillBuf/failedBuf are
+	// scratch receiver lists reused across rounds.
+	ctxBuf    txContext
+	stillBuf  []frame.Addr
+	failedBuf []frame.Addr
+
+	// pendingStep/pendingResp carry the argument of the next tagged
+	// event: the deferred sender-side step, and the acquired (not yet
+	// transmitted) CTS/ACK response frame.
+	pendingStep step
+	pendingResp frame.Frame
 
 	// deferred counts scheduled exchange steps (SIFS gaps, pending
 	// responses) not yet fired, so the liveness audit sees them.
@@ -110,6 +134,7 @@ func New(radio *phy.Radio, cfg phy.Config, eng *sim.Engine, limits mac.Limits) *
 		limits: limits,
 		queue:  mac.NewQueue(limits.QueueCap),
 		peers:  make(map[frame.Addr]*peerState),
+		frames: radio.Frames(),
 	}
 	n.nav = csma.NewNAV(eng, func() { n.dcf.ChannelMaybeIdle() })
 	n.dcf = csma.NewDCF(eng, eng.Rand(), n.mediumIdle, n.onWin)
@@ -172,9 +197,17 @@ func (n *Node) trySend() {
 			return
 		}
 		n.seq++
-		n.cur = &txContext{req: req, seq: n.seq}
+		ctx := &n.ctxBuf
+		*ctx = txContext{
+			req: req, seq: n.seq,
+			remaining: ctx.remaining[:0],
+			delivered: ctx.delivered[:0],
+			ctsOK:     ctx.ctsOK[:0],
+			ackOK:     ctx.ackOK[:0],
+		}
+		n.cur = ctx
 		if req.Service == mac.Reliable {
-			n.cur.remaining = append([]frame.Addr(nil), req.Dests...)
+			ctx.remaining = append(ctx.remaining, req.Dests...)
 			n.stats.ReliableToTransmit++
 		}
 	}
@@ -192,12 +225,19 @@ func (n *Node) onWin() {
 			dest = n.cur.req.Dests[0]
 		}
 		n.st = stTxUData
-		n.startTx(&frame.Data{Receiver: dest, Transmitter: n.addr, Seq: n.cur.seq, Payload: n.cur.req.Payload})
+		f := n.frames.Data()
+		f.Receiver, f.Transmitter, f.Seq = dest, n.addr, n.cur.seq
+		f.Payload = append(f.Payload, n.cur.req.Payload...)
+		n.startTx(f)
 		return
 	}
 	// New round: solicit every remaining receiver.
-	n.cur.ctsOK = make([]bool, len(n.cur.remaining))
-	n.cur.ackOK = make([]bool, len(n.cur.remaining))
+	n.cur.ctsOK = n.cur.ctsOK[:0]
+	n.cur.ackOK = n.cur.ackOK[:0]
+	for range n.cur.remaining {
+		n.cur.ctsOK = append(n.cur.ctsOK, false)
+		n.cur.ackOK = append(n.cur.ackOK, false)
+	}
 	n.cur.idx = 0
 	n.sendRTS()
 }
@@ -256,36 +296,33 @@ func durationMicros(d sim.Time) uint16 {
 
 func (n *Node) sendRTS() {
 	n.st = stTxRTS
-	f := &frame.RTS{
-		Duration:    durationMicros(n.exchangeRemaining(stTxRTS)),
-		Receiver:    n.cur.remaining[n.cur.idx],
-		Transmitter: n.addr,
-	}
+	f := n.frames.RTS()
+	f.Duration = durationMicros(n.exchangeRemaining(stTxRTS))
+	f.Receiver = n.cur.remaining[n.cur.idx]
+	f.Transmitter = n.addr
 	dur := n.startTx(f)
 	n.stats.CtrlTxTime += dur
 }
 
 func (n *Node) sendData() {
 	n.st = stTxData
-	f := &frame.Data{
-		Duration:    durationMicros(n.exchangeRemaining(stTxData)),
-		Receiver:    frame.Broadcast,
-		Transmitter: n.addr,
-		Seq:         n.cur.seq,
-		Payload:     n.cur.req.Payload,
-	}
+	f := n.frames.Data()
+	f.Duration = durationMicros(n.exchangeRemaining(stTxData))
+	f.Receiver = frame.Broadcast
+	f.Transmitter = n.addr
+	f.Seq = n.cur.seq
+	f.Payload = append(f.Payload, n.cur.req.Payload...)
 	dur := n.startTx(f)
 	n.stats.DataTxTime += dur
 }
 
 func (n *Node) sendRAK() {
 	n.st = stTxRAK
-	f := &frame.RAK{
-		Duration:    durationMicros(n.exchangeRemaining(stTxRAK)),
-		Receiver:    n.cur.remaining[n.cur.idx],
-		Transmitter: n.addr,
-		Seq:         n.cur.seq,
-	}
+	f := n.frames.RAK()
+	f.Duration = durationMicros(n.exchangeRemaining(stTxRAK))
+	f.Receiver = n.cur.remaining[n.cur.idx]
+	f.Transmitter = n.addr
+	f.Seq = n.cur.seq
 	dur := n.startTx(f)
 	n.stats.CtrlTxTime += dur
 }
@@ -339,14 +376,14 @@ func (n *Node) advanceCTS(ok bool) {
 	n.cur.ctsOK[n.cur.idx] = ok
 	n.cur.idx++
 	if n.cur.idx < len(n.cur.remaining) {
-		n.afterSIFS(n.sendRTS)
+		n.afterSIFS(stepRTS)
 		return
 	}
 	if countTrue(n.cur.ctsOK) == 0 {
 		n.roundFailed()
 		return
 	}
-	n.afterSIFS(n.sendData)
+	n.afterSIFS(stepData)
 }
 
 // advanceRAK advances idx to the next receiver that returned a CTS and
@@ -361,7 +398,7 @@ func (n *Node) advanceRAK() {
 		n.scoreRound()
 		return
 	}
-	n.afterSIFS(n.sendRAK)
+	n.afterSIFS(stepRAK)
 }
 
 func (n *Node) advanceACK(ok bool) {
@@ -370,24 +407,65 @@ func (n *Node) advanceACK(ok bool) {
 	n.advanceRAK()
 }
 
-// afterSIFS schedules the next exchange step one SIFS later. The node
-// stays in stGap so it neither responds to solicitations nor starts a new
-// contention meanwhile.
-func (n *Node) afterSIFS(step func()) {
-	n.st = stGap
-	n.deferred++
-	n.eng.After(phy.SIFS, func() {
+// Tags for the node's sim.Caller dispatch.
+const (
+	tagStep int32 = iota // deferred sender-side exchange step (afterSIFS)
+	tagResp              // deferred CTS/ACK response (respond)
+)
+
+// Call implements sim.Caller: the SIFS-deferred continuations, scheduled
+// closure-free through the engine's tagged-event path. The step/response
+// argument rides in pendingStep/pendingResp — at most one of each can be
+// outstanding (exchange steps are strictly sequential, and back-to-back
+// solicitations are separated by at least one frame airtime ≫ SIFS).
+func (n *Node) Call(tag int32) {
+	switch tag {
+	case tagStep:
 		n.deferred--
+		s := n.pendingStep
+		n.pendingStep = stepNone
 		if n.cur == nil || n.radio.Transmitting() {
 			return
 		}
-		step()
-	})
+		switch s {
+		case stepRTS:
+			n.sendRTS()
+		case stepData:
+			n.sendData()
+		case stepRAK:
+			n.sendRAK()
+		}
+	case tagResp:
+		n.deferred--
+		f := n.pendingResp
+		n.pendingResp = nil
+		if f == nil {
+			return
+		}
+		if n.st != stIdle || n.radio.Transmitting() {
+			frame.Release(f) // busy with our own exchange; solicitation lost
+			return
+		}
+		n.st = stTxResp
+		dur := n.startTx(f)
+		n.stats.CtrlTxTime += dur
+	}
 }
 
-// scoreRound splits the remaining receivers by ACK outcome.
+// afterSIFS schedules the next exchange step one SIFS later. The node
+// stays in stGap so it neither responds to solicitations nor starts a new
+// contention meanwhile.
+func (n *Node) afterSIFS(s step) {
+	n.st = stGap
+	n.deferred++
+	n.pendingStep = s
+	n.eng.AfterCall(phy.SIFS, n, tagStep)
+}
+
+// scoreRound splits the remaining receivers by ACK outcome. still reuses
+// the node's scratch buffer, swapping roles with cur.remaining.
 func (n *Node) scoreRound() {
-	var still []frame.Addr
+	still := n.stillBuf[:0]
 	for i, a := range n.cur.remaining {
 		if n.cur.ackOK[i] {
 			n.cur.delivered = append(n.cur.delivered, a)
@@ -396,9 +474,11 @@ func (n *Node) scoreRound() {
 		}
 	}
 	if len(still) == 0 {
+		n.stillBuf = still
 		n.completeReliable(false)
 		return
 	}
+	n.stillBuf = n.cur.remaining
 	n.cur.remaining = still
 	n.roundFailed()
 }
@@ -424,7 +504,8 @@ func (n *Node) completeReliable(dropped bool) {
 	if dropped {
 		n.stats.Drops++
 		res.Dropped = true
-		res.Failed = append([]frame.Addr(nil), ctx.remaining...)
+		res.Failed = append(n.failedBuf[:0], ctx.remaining...)
+		n.failedBuf = res.Failed
 	} else {
 		n.stats.ReliableDelivered++
 	}
@@ -457,11 +538,11 @@ func (n *Node) OnFrameReceived(f frame.Frame, ok bool, rxStart sim.Time) {
 		if g.Receiver == n.addr {
 			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
 			n.peer(g.Transmitter).solicited = true
-			n.respond(&frame.CTS{
-				Duration:    subDuration(g.Duration, phy.SIFS+n.cfg.TxDuration(frame.CTSLen)),
-				Receiver:    g.Transmitter,
-				Transmitter: n.addr,
-			})
+			cts := n.frames.CTS()
+			cts.Duration = subDuration(g.Duration, phy.SIFS+n.cfg.TxDuration(frame.CTSLen))
+			cts.Receiver = g.Transmitter
+			cts.Transmitter = n.addr
+			n.respond(cts)
 			return
 		}
 		n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
@@ -483,11 +564,11 @@ func (n *Node) OnFrameReceived(f frame.Frame, ok bool, rxStart sim.Time) {
 			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
 			p := n.peer(g.Transmitter)
 			if p.have && p.haveSeq == g.Seq {
-				n.respond(&frame.ACK{
-					Duration:    subDuration(g.Duration, phy.SIFS+n.cfg.TxDuration(frame.ACKLen)),
-					Receiver:    g.Transmitter,
-					Transmitter: n.addr,
-				})
+				ack := n.frames.ACK()
+				ack.Duration = subDuration(g.Duration, phy.SIFS+n.cfg.TxDuration(frame.ACKLen))
+				ack.Receiver = g.Transmitter
+				ack.Transmitter = n.addr
+				n.respond(ack)
 			}
 			return
 		}
@@ -556,18 +637,19 @@ func (n *Node) deliver(d *frame.Data, reliable bool, rxStart sim.Time) {
 	}
 }
 
-// respond transmits a CTS or ACK one SIFS after the soliciting frame.
+// respond transmits an acquired CTS or ACK one SIFS after the soliciting
+// frame (via the tagResp tagged event). The node owns f until then; if the
+// response cannot be sent the frame is released in Call.
 func (n *Node) respond(f frame.Frame) {
+	if n.pendingResp != nil {
+		// A response is already queued; a second solicitation within one
+		// SIFS cannot happen on a collision-free channel. Drop the new one.
+		frame.Release(f)
+		return
+	}
 	n.deferred++
-	n.eng.After(phy.SIFS, func() {
-		n.deferred--
-		if n.st != stIdle || n.radio.Transmitting() {
-			return // busy with our own exchange; solicitation lost
-		}
-		n.st = stTxResp
-		dur := n.startTx(f)
-		n.stats.CtrlTxTime += dur
-	})
+	n.pendingResp = f
+	n.eng.AfterCall(phy.SIFS, n, tagResp)
 }
 
 // OnCarrierChange implements phy.Handler.

@@ -45,6 +45,7 @@ type txContext struct {
 	req       *mac.SendRequest
 	remaining []frame.Addr
 	delivered []frame.Addr
+	idx       int // cursor into remaining: [idx:] is still outstanding
 	retries   int
 	seq       uint16
 }
@@ -65,16 +66,22 @@ type Node struct {
 	limits mac.Limits
 	upper  mac.UpperLayer
 
-	st    state
-	queue *mac.Queue
-	dcf   *csma.DCF
-	nav   *csma.NAV
-	stats mac.Stats
+	st     state
+	queue  *mac.Queue
+	dcf    *csma.DCF
+	nav    *csma.NAV
+	stats  mac.Stats
+	frames *frame.Pool
 
 	cur   *txContext
 	timer *sim.Timer
 	peers map[frame.Addr]*peerState
 	seq   uint16
+
+	// ctxBuf backs cur (one packet in flight at a time); pendingResp is
+	// an acquired CTS/ACK awaiting its SIFS-deferred transmission.
+	ctxBuf      txContext
+	pendingResp frame.Frame
 
 	// deferred counts scheduled exchange steps (SIFS gaps, pending
 	// responses) not yet fired, so the liveness audit sees them.
@@ -95,6 +102,7 @@ func New(radio *phy.Radio, cfg phy.Config, eng *sim.Engine, limits mac.Limits) *
 		limits: limits,
 		queue:  mac.NewQueue(limits.QueueCap),
 		peers:  make(map[frame.Addr]*peerState),
+		frames: radio.Frames(),
 	}
 	n.nav = csma.NewNAV(eng, func() { n.dcf.ChannelMaybeIdle() })
 	n.dcf = csma.NewDCF(eng, eng.Rand(), n.mediumIdle, n.onWin)
@@ -157,9 +165,15 @@ func (n *Node) trySend() {
 			return
 		}
 		n.seq++
-		n.cur = &txContext{req: req, seq: n.seq}
+		ctx := &n.ctxBuf
+		*ctx = txContext{
+			req: req, seq: n.seq,
+			remaining: ctx.remaining[:0],
+			delivered: ctx.delivered[:0],
+		}
+		n.cur = ctx
 		if req.Service == mac.Reliable {
-			n.cur.remaining = append([]frame.Addr(nil), req.Dests...)
+			ctx.remaining = append(ctx.remaining, req.Dests...)
 			n.stats.ReliableToTransmit++
 		}
 	}
@@ -182,7 +196,10 @@ func (n *Node) onWin() {
 			dest = n.cur.req.Dests[0]
 		}
 		n.st = stTxUData
-		n.startTx(&frame.Data{Receiver: dest, Transmitter: n.addr, Seq: n.cur.seq, Payload: n.cur.req.Payload})
+		f := n.frames.Data()
+		f.Receiver, f.Transmitter, f.Seq = dest, n.addr, n.cur.seq
+		f.Payload = append(f.Payload, n.cur.req.Payload...)
+		n.startTx(f)
 		return
 	}
 	n.st = stTxRTS
@@ -190,11 +207,10 @@ func (n *Node) onWin() {
 	tail := phy.SIFS + n.cfg.TxDuration(frame.CTSLen) +
 		phy.SIFS + n.cfg.TxDuration(frame.Data80211Overhead+len(n.cur.req.Payload)) +
 		phy.SIFS + n.cfg.TxDuration(frame.ACKLen)
-	f := &frame.RTS{
-		Duration:    durationMicros(tail),
-		Receiver:    n.cur.remaining[0],
-		Transmitter: n.addr,
-	}
+	f := n.frames.RTS()
+	f.Duration = durationMicros(tail)
+	f.Receiver = n.cur.remaining[n.cur.idx]
+	f.Transmitter = n.addr
 	dur := n.startTx(f)
 	n.stats.CtrlTxTime += dur
 }
@@ -262,10 +278,10 @@ func (n *Node) visitFailed() {
 // already-past-this-seq CTS); move to the next receiver with a fresh
 // contention phase.
 func (n *Node) visitDelivered() {
-	n.cur.delivered = append(n.cur.delivered, n.cur.remaining[0])
-	n.cur.remaining = n.cur.remaining[1:]
+	n.cur.delivered = append(n.cur.delivered, n.cur.remaining[n.cur.idx])
+	n.cur.idx++
 	n.st = stIdle
-	if len(n.cur.remaining) == 0 {
+	if n.cur.idx >= len(n.cur.remaining) {
 		n.completeReliable(false)
 		return
 	}
@@ -282,7 +298,7 @@ func (n *Node) completeReliable(dropped bool) {
 	if dropped {
 		n.stats.Drops++
 		res.Dropped = true
-		res.Failed = append([]frame.Addr(nil), ctx.remaining...)
+		res.Failed = ctx.remaining[ctx.idx:] // loaned; see mac.TxResult
 	} else {
 		n.stats.ReliableDelivered++
 	}
@@ -319,12 +335,12 @@ func (n *Node) OnFrameReceived(f frame.Frame, ok bool, rxStart sim.Time) {
 			if p.haveAny {
 				expect = p.lastSeq + 1
 			}
-			n.respond(&frame.CTS{
-				Duration:    subDuration(g.Duration, phy.SIFS+n.cfg.TxDuration(frame.CTSLen)),
-				Receiver:    g.Transmitter,
-				Transmitter: n.addr,
-				Expect:      expect,
-			})
+			cts := n.frames.CTS()
+			cts.Duration = subDuration(g.Duration, phy.SIFS+n.cfg.TxDuration(frame.CTSLen))
+			cts.Receiver = g.Transmitter
+			cts.Transmitter = n.addr
+			cts.Expect = expect
+			n.respond(cts)
 			return
 		}
 		n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
@@ -338,7 +354,7 @@ func (n *Node) OnFrameReceived(f frame.Frame, ok bool, rxStart sim.Time) {
 				n.visitDelivered()
 				return
 			}
-			n.afterSIFS(n.sendData)
+			n.afterSIFS()
 			return
 		}
 		if g.Receiver != n.addr {
@@ -364,27 +380,53 @@ func (n *Node) OnFrameReceived(f frame.Frame, ok bool, rxStart sim.Time) {
 func (n *Node) sendData() {
 	n.st = stTxData
 	tail := phy.SIFS + n.cfg.TxDuration(frame.ACKLen)
-	f := &frame.Data{
-		Duration:    durationMicros(tail),
-		Receiver:    n.cur.remaining[0],
-		Transmitter: n.addr,
-		Seq:         n.cur.seq,
-		Payload:     n.cur.req.Payload,
-	}
+	f := n.frames.Data()
+	f.Duration = durationMicros(tail)
+	f.Receiver = n.cur.remaining[n.cur.idx]
+	f.Transmitter = n.addr
+	f.Seq = n.cur.seq
+	f.Payload = append(f.Payload, n.cur.req.Payload...)
 	dur := n.startTx(f)
 	n.stats.DataTxTime += dur
 }
 
-func (n *Node) afterSIFS(step func()) {
-	n.st = stGap
-	n.deferred++
-	n.eng.After(phy.SIFS, func() {
+// Tags for the node's sim.Caller dispatch.
+const (
+	tagData int32 = iota // SIFS-deferred data transmission (after CTS)
+	tagResp              // SIFS-deferred CTS/ACK response
+)
+
+// Call implements sim.Caller: the SIFS-deferred continuations, scheduled
+// closure-free through the engine's tagged-event path.
+func (n *Node) Call(tag int32) {
+	switch tag {
+	case tagData:
 		n.deferred--
 		if n.cur == nil || n.radio.Transmitting() {
 			return
 		}
-		step()
-	})
+		n.sendData()
+	case tagResp:
+		n.deferred--
+		f := n.pendingResp
+		n.pendingResp = nil
+		if f == nil {
+			return
+		}
+		if n.st != stIdle || n.radio.Transmitting() {
+			frame.Release(f) // busy with our own exchange; solicitation lost
+			return
+		}
+		n.st = stTxResp
+		dur := n.startTx(f)
+		n.stats.CtrlTxTime += dur
+	}
+}
+
+func (n *Node) afterSIFS() {
+	n.st = stGap
+	n.deferred++
+	n.eng.AfterCall(phy.SIFS, n, tagData)
 }
 
 // onData: reliable (Duration > 0) data frames are cached and delivered by
@@ -399,7 +441,9 @@ func (n *Node) onData(d *frame.Data, rxStart sim.Time) {
 		}
 		n.deliver(d, true, rxStart)
 		if d.Receiver == n.addr {
-			n.respond(&frame.ACK{Receiver: d.Transmitter, Transmitter: n.addr})
+			ack := n.frames.ACK()
+			ack.Receiver, ack.Transmitter = d.Transmitter, n.addr
+			n.respond(ack)
 			return
 		}
 		n.nav.Set(sim.Time(d.Duration) * sim.Microsecond)
@@ -442,17 +486,19 @@ func subDuration(d uint16, sub sim.Time) uint16 {
 	return d - uint16(s)
 }
 
+// respond transmits an acquired CTS or ACK one SIFS after the soliciting
+// frame (via the tagResp tagged event); the frame is released in Call if
+// the response cannot be sent.
 func (n *Node) respond(f frame.Frame) {
+	if n.pendingResp != nil {
+		// A second solicitation within one SIFS cannot happen on a
+		// collision-free channel; drop the new one.
+		frame.Release(f)
+		return
+	}
 	n.deferred++
-	n.eng.After(phy.SIFS, func() {
-		n.deferred--
-		if n.st != stIdle || n.radio.Transmitting() {
-			return
-		}
-		n.st = stTxResp
-		dur := n.startTx(f)
-		n.stats.CtrlTxTime += dur
-	})
+	n.pendingResp = f
+	n.eng.AfterCall(phy.SIFS, n, tagResp)
 }
 
 // OnCarrierChange implements phy.Handler.

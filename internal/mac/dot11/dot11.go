@@ -63,16 +63,22 @@ type Node struct {
 	limits mac.Limits
 	upper  mac.UpperLayer
 
-	st    state
-	queue *mac.Queue
-	dcf   *csma.DCF
-	nav   *csma.NAV
-	stats mac.Stats
+	st     state
+	queue  *mac.Queue
+	dcf    *csma.DCF
+	nav    *csma.NAV
+	stats  mac.Stats
+	frames *frame.Pool
 
 	cur   *txContext
 	timer *sim.Timer
 	peers map[frame.Addr]*peerDedup
 	seq   uint16
+
+	// ctxBuf backs cur (one packet in flight at a time); pendingResp is
+	// an acquired CTS/ACK awaiting its SIFS-deferred transmission.
+	ctxBuf      txContext
+	pendingResp frame.Frame
 
 	// deferred counts scheduled exchange steps (SIFS gaps, pending
 	// responses) not yet fired, so the liveness audit sees them.
@@ -93,6 +99,7 @@ func New(radio *phy.Radio, cfg phy.Config, eng *sim.Engine, limits mac.Limits) *
 		limits: limits,
 		queue:  mac.NewQueue(limits.QueueCap),
 		peers:  make(map[frame.Addr]*peerDedup),
+		frames: radio.Frames(),
 	}
 	n.nav = csma.NewNAV(eng, func() { n.dcf.ChannelMaybeIdle() })
 	n.dcf = csma.NewDCF(eng, eng.Rand(), n.mediumIdle, n.onWin)
@@ -155,7 +162,8 @@ func (n *Node) trySend() {
 			return
 		}
 		n.seq++
-		n.cur = &txContext{req: req, seq: n.seq}
+		n.ctxBuf = txContext{req: req, seq: n.seq}
+		n.cur = &n.ctxBuf
 		if req.Service == mac.Reliable {
 			n.cur.unicast = len(req.Dests) == 1 && !req.Dests[0].IsBroadcast()
 			n.stats.ReliableToTransmit++
@@ -178,11 +186,10 @@ func (n *Node) onWin() {
 		tail := phy.SIFS + n.cfg.TxDuration(frame.CTSLen) +
 			phy.SIFS + n.cfg.TxDuration(frame.Data80211Overhead+len(n.cur.req.Payload)) +
 			phy.SIFS + n.cfg.TxDuration(frame.ACKLen)
-		f := &frame.RTS{
-			Duration:    durationMicros(tail),
-			Receiver:    n.cur.req.Dests[0],
-			Transmitter: n.addr,
-		}
+		f := n.frames.RTS()
+		f.Duration = durationMicros(tail)
+		f.Receiver = n.cur.req.Dests[0]
+		f.Transmitter = n.addr
 		dur := n.startTx(f)
 		n.stats.CtrlTxTime += dur
 		return
@@ -194,7 +201,10 @@ func (n *Node) onWin() {
 		dest = n.cur.req.Dests[0]
 	}
 	n.st = stTxBcast
-	dur := n.startTx(&frame.Data{Receiver: dest, Transmitter: n.addr, Seq: n.cur.seq, Payload: n.cur.req.Payload})
+	f := n.frames.Data()
+	f.Receiver, f.Transmitter, f.Seq = dest, n.addr, n.cur.seq
+	f.Payload = append(f.Payload, n.cur.req.Payload...)
+	dur := n.startTx(f)
 	if n.cur.req.Service == mac.Reliable {
 		n.stats.DataTxTime += dur
 	}
@@ -227,7 +237,7 @@ func (n *Node) OnTxDone(f frame.Frame) {
 			// Best effort: the sender has no way to learn the outcome;
 			// report the attempt.
 			n.stats.ReliableDelivered++
-			res.Delivered = append([]frame.Addr(nil), ctx.req.Dests...)
+			res.Delivered = ctx.req.Dests // loaned; see mac.TxResult
 		} else {
 			n.stats.UnreliableSent++
 		}
@@ -264,27 +274,53 @@ func (n *Node) onTimeout() {
 func (n *Node) sendData() {
 	n.st = stTxData
 	tail := phy.SIFS + n.cfg.TxDuration(frame.ACKLen)
-	f := &frame.Data{
-		Duration:    durationMicros(tail),
-		Receiver:    n.cur.req.Dests[0],
-		Transmitter: n.addr,
-		Seq:         n.cur.seq,
-		Payload:     n.cur.req.Payload,
-	}
+	f := n.frames.Data()
+	f.Duration = durationMicros(tail)
+	f.Receiver = n.cur.req.Dests[0]
+	f.Transmitter = n.addr
+	f.Seq = n.cur.seq
+	f.Payload = append(f.Payload, n.cur.req.Payload...)
 	dur := n.startTx(f)
 	n.stats.DataTxTime += dur
 }
 
-func (n *Node) afterSIFS(step func()) {
-	n.st = stGap
-	n.deferred++
-	n.eng.After(phy.SIFS, func() {
+// Tags for the node's sim.Caller dispatch.
+const (
+	tagData int32 = iota // SIFS-deferred data transmission (after CTS)
+	tagResp              // SIFS-deferred CTS/ACK response
+)
+
+// Call implements sim.Caller: the SIFS-deferred continuations, scheduled
+// closure-free through the engine's tagged-event path.
+func (n *Node) Call(tag int32) {
+	switch tag {
+	case tagData:
 		n.deferred--
 		if n.cur == nil || n.radio.Transmitting() {
 			return
 		}
-		step()
-	})
+		n.sendData()
+	case tagResp:
+		n.deferred--
+		f := n.pendingResp
+		n.pendingResp = nil
+		if f == nil {
+			return
+		}
+		if n.st != stIdle || n.radio.Transmitting() {
+			frame.Release(f) // busy with our own exchange; solicitation lost
+			return
+		}
+		n.st = stTxResp
+		dur := n.startTx(f)
+		n.stats.CtrlTxTime += dur
+	}
+}
+
+func (n *Node) afterSIFS() {
+	n.st = stGap
+	n.deferred++
+	n.eng.AfterCall(phy.SIFS, n, tagData)
 }
 
 func (n *Node) completeUnicast(dropped bool) {
@@ -295,10 +331,10 @@ func (n *Node) completeUnicast(dropped bool) {
 	if dropped {
 		n.stats.Drops++
 		res.Dropped = true
-		res.Failed = append([]frame.Addr(nil), ctx.req.Dests...)
+		res.Failed = ctx.req.Dests // loaned; see mac.TxResult
 	} else {
 		n.stats.ReliableDelivered++
-		res.Delivered = append([]frame.Addr(nil), ctx.req.Dests...)
+		res.Delivered = ctx.req.Dests // loaned; see mac.TxResult
 	}
 	n.dcf.Backoff().Reset()
 	n.dcf.Backoff().Draw()
@@ -319,11 +355,11 @@ func (n *Node) OnFrameReceived(f frame.Frame, ok bool, rxStart sim.Time) {
 	case *frame.RTS:
 		if g.Receiver == n.addr {
 			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
-			n.respond(&frame.CTS{
-				Duration:    subDuration(g.Duration, phy.SIFS+n.cfg.TxDuration(frame.CTSLen)),
-				Receiver:    g.Transmitter,
-				Transmitter: n.addr,
-			})
+			cts := n.frames.CTS()
+			cts.Duration = subDuration(g.Duration, phy.SIFS+n.cfg.TxDuration(frame.CTSLen))
+			cts.Receiver = g.Transmitter
+			cts.Transmitter = n.addr
+			n.respond(cts)
 			return
 		}
 		n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
@@ -332,7 +368,7 @@ func (n *Node) OnFrameReceived(f frame.Frame, ok bool, rxStart sim.Time) {
 		if n.st == stWfCTS && g.Receiver == n.addr {
 			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
 			n.timer.Stop()
-			n.afterSIFS(n.sendData)
+			n.afterSIFS()
 			return
 		}
 		if g.Receiver != n.addr {
@@ -359,7 +395,9 @@ func (n *Node) onData(d *frame.Data, rxStart sim.Time) {
 	if d.Receiver == n.addr && d.Duration > 0 {
 		// Unicast data under reservation: deliver and ACK.
 		n.deliver(d, true, rxStart)
-		n.respond(&frame.ACK{Receiver: d.Transmitter, Transmitter: n.addr})
+		ack := n.frames.ACK()
+		ack.Receiver, ack.Transmitter = d.Transmitter, n.addr
+		n.respond(ack)
 		return
 	}
 	if d.Receiver == n.addr || d.Receiver.IsBroadcast() {
@@ -404,17 +442,19 @@ func subDuration(d uint16, sub sim.Time) uint16 {
 	return d - uint16(s)
 }
 
+// respond transmits an acquired CTS or ACK one SIFS after the soliciting
+// frame (via the tagResp tagged event); the frame is released in Call if
+// the response cannot be sent.
 func (n *Node) respond(f frame.Frame) {
+	if n.pendingResp != nil {
+		// A second solicitation within one SIFS cannot happen on a
+		// collision-free channel; drop the new one.
+		frame.Release(f)
+		return
+	}
 	n.deferred++
-	n.eng.After(phy.SIFS, func() {
-		n.deferred--
-		if n.st != stIdle || n.radio.Transmitting() {
-			return
-		}
-		n.st = stTxResp
-		dur := n.startTx(f)
-		n.stats.CtrlTxTime += dur
-	})
+	n.pendingResp = f
+	n.eng.AfterCall(phy.SIFS, n, tagResp)
 }
 
 // OnCarrierChange implements phy.Handler.

@@ -80,16 +80,22 @@ type Node struct {
 	limits mac.Limits
 	upper  mac.UpperLayer
 
-	st    state
-	queue *mac.Queue
-	dcf   *csma.DCF
-	nav   *csma.NAV
-	stats mac.Stats
+	st     state
+	queue  *mac.Queue
+	dcf    *csma.DCF
+	nav    *csma.NAV
+	stats  mac.Stats
+	frames *frame.Pool
 
 	cur   *txContext
 	timer *sim.Timer
 	peers map[frame.Addr]*peerState
 	seq   uint16
+
+	// ctxBuf backs cur (one packet in flight at a time); pendingResp is
+	// an acquired CTS/ACK/NAK awaiting its SIFS-deferred transmission.
+	ctxBuf      txContext
+	pendingResp frame.Frame
 
 	// deferred counts scheduled exchange steps (SIFS gaps, pending
 	// responses) not yet fired, so the liveness audit sees them.
@@ -110,6 +116,7 @@ func New(radio *phy.Radio, cfg phy.Config, eng *sim.Engine, limits mac.Limits) *
 		limits: limits,
 		queue:  mac.NewQueue(limits.QueueCap),
 		peers:  make(map[frame.Addr]*peerState),
+		frames: radio.Frames(),
 	}
 	n.nav = csma.NewNAV(eng, func() { n.dcf.ChannelMaybeIdle() })
 	n.dcf = csma.NewDCF(eng, eng.Rand(), n.mediumIdle, n.onWin)
@@ -172,7 +179,8 @@ func (n *Node) trySend() {
 			return
 		}
 		n.seq++
-		n.cur = &txContext{req: req, seq: n.seq}
+		n.ctxBuf = txContext{req: req, seq: n.seq}
+		n.cur = &n.ctxBuf
 		if req.Service == mac.Reliable {
 			n.stats.ReliableToTransmit++
 		}
@@ -197,7 +205,10 @@ func (n *Node) onWin() {
 			dest = n.cur.req.Dests[0]
 		}
 		n.st = stTxUData
-		n.startTx(&frame.Data{Receiver: dest, Transmitter: n.addr, Seq: n.cur.seq, Payload: n.cur.req.Payload})
+		f := n.frames.Data()
+		f.Receiver, f.Transmitter, f.Seq = dest, n.addr, n.cur.seq
+		f.Payload = append(f.Payload, n.cur.req.Payload...)
+		n.startTx(f)
 		return
 	}
 	n.st = stTxRTS
@@ -205,11 +216,10 @@ func (n *Node) onWin() {
 	tail := phy.SIFS + c.TxDuration(frame.CTSLen) +
 		phy.SIFS + c.TxDuration(frame.Data80211Overhead+len(n.cur.req.Payload)) +
 		phy.SIFS + c.TxDuration(frame.ACKLen)
-	f := &frame.RTS{
-		Duration:    durationMicros(tail),
-		Receiver:    n.leader(),
-		Transmitter: n.addr,
-	}
+	f := n.frames.RTS()
+	f.Duration = durationMicros(tail)
+	f.Receiver = n.leader()
+	f.Transmitter = n.addr
 	dur := n.startTx(f)
 	n.stats.CtrlTxTime += dur
 }
@@ -263,27 +273,53 @@ func (n *Node) onTimeout() {
 func (n *Node) sendData() {
 	n.st = stTxData
 	tail := phy.SIFS + n.cfg.TxDuration(frame.ACKLen)
-	f := &frame.Data{
-		Duration:    durationMicros(tail),
-		Receiver:    frame.Broadcast,
-		Transmitter: n.addr,
-		Seq:         n.cur.seq,
-		Payload:     n.cur.req.Payload,
-	}
+	f := n.frames.Data()
+	f.Duration = durationMicros(tail)
+	f.Receiver = frame.Broadcast
+	f.Transmitter = n.addr
+	f.Seq = n.cur.seq
+	f.Payload = append(f.Payload, n.cur.req.Payload...)
 	dur := n.startTx(f)
 	n.stats.DataTxTime += dur
 }
 
-func (n *Node) afterSIFS(step func()) {
-	n.st = stGap
-	n.deferred++
-	n.eng.After(phy.SIFS, func() {
+// Tags for the node's sim.Caller dispatch.
+const (
+	tagData int32 = iota // SIFS-deferred data transmission (after CTS)
+	tagResp              // SIFS-deferred CTS/ACK/NAK response
+)
+
+// Call implements sim.Caller: the SIFS-deferred continuations, scheduled
+// closure-free through the engine's tagged-event path.
+func (n *Node) Call(tag int32) {
+	switch tag {
+	case tagData:
 		n.deferred--
 		if n.cur == nil || n.radio.Transmitting() {
 			return
 		}
-		step()
-	})
+		n.sendData()
+	case tagResp:
+		n.deferred--
+		f := n.pendingResp
+		n.pendingResp = nil
+		if f == nil {
+			return
+		}
+		if n.st != stIdle || n.radio.Transmitting() {
+			frame.Release(f) // busy with our own exchange; solicitation lost
+			return
+		}
+		n.st = stTxResp
+		dur := n.startTx(f)
+		n.stats.CtrlTxTime += dur
+	}
+}
+
+func (n *Node) afterSIFS() {
+	n.st = stGap
+	n.deferred++
+	n.eng.AfterCall(phy.SIFS, n, tagData)
 }
 
 func (n *Node) roundFailed() {
@@ -307,13 +343,13 @@ func (n *Node) completeReliable(dropped bool) {
 	if dropped {
 		n.stats.Drops++
 		res.Dropped = true
-		res.Failed = append([]frame.Addr(nil), ctx.req.Dests...)
+		res.Failed = ctx.req.Dests // loaned; see mac.TxResult
 	} else {
 		n.stats.ReliableDelivered++
 		// The sender's belief: a clean leader ACK means everyone got it.
 		// Receivers that missed the RTS never complained — the
 		// reliability gap of leader/negative-feedback schemes.
-		res.Delivered = append([]frame.Addr(nil), ctx.req.Dests...)
+		res.Delivered = ctx.req.Dests // loaned; see mac.TxResult
 	}
 	n.dcf.Backoff().Reset()
 	n.dcf.Backoff().Draw()
@@ -353,7 +389,7 @@ func (n *Node) OnFrameReceived(f frame.Frame, ok bool, rxStart sim.Time) {
 		if n.st == stWfCTS && g.Receiver == n.addr {
 			n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
 			n.timer.Stop()
-			n.afterSIFS(n.sendData)
+			n.afterSIFS()
 			return
 		}
 		if g.Receiver != n.addr {
@@ -388,11 +424,11 @@ func (n *Node) onRTS(g *frame.RTS) {
 	p.leader = g.Receiver == n.addr
 	if p.leader {
 		n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
-		n.respond(&frame.CTS{
-			Duration:    subDuration(g.Duration, phy.SIFS+n.cfg.TxDuration(frame.CTSLen)),
-			Receiver:    g.Transmitter,
-			Transmitter: n.addr,
-		})
+		cts := n.frames.CTS()
+		cts.Duration = subDuration(g.Duration, phy.SIFS+n.cfg.TxDuration(frame.CTSLen))
+		cts.Receiver = g.Transmitter
+		cts.Transmitter = n.addr
+		n.respond(cts)
 		return
 	}
 	if g.Receiver != n.addr {
@@ -412,7 +448,9 @@ func (n *Node) onData(d *frame.Data, rxStart sim.Time) {
 			p.haveSeq = d.Seq
 			n.deliver(d, true, rxStart)
 			if p.leader {
-				n.respond(&frame.ACK{Receiver: d.Transmitter, Transmitter: n.addr})
+				ack := n.frames.ACK()
+				ack.Receiver, ack.Transmitter = d.Transmitter, n.addr
+				n.respond(ack)
 			}
 			return
 		}
@@ -444,7 +482,9 @@ func (n *Node) onCorrupt(sim.Time) {
 		return
 	}
 	// NAK is an ACK-sized control frame (the paper sizes NAK like ACK).
-	n.respond(&frame.ACK{Receiver: frame.Broadcast, Transmitter: n.addr})
+	nak := n.frames.ACK()
+	nak.Receiver, nak.Transmitter = frame.Broadcast, n.addr
+	n.respond(nak)
 }
 
 func (n *Node) deliver(d *frame.Data, reliable bool, rxStart sim.Time) {
@@ -475,17 +515,19 @@ func subDuration(d uint16, sub sim.Time) uint16 {
 	return d - uint16(s)
 }
 
+// respond transmits an acquired CTS/ACK/NAK one SIFS after the soliciting
+// frame (via the tagResp tagged event); the frame is released in Call if
+// the response cannot be sent.
 func (n *Node) respond(f frame.Frame) {
+	if n.pendingResp != nil {
+		// Two solicitations within one SIFS (e.g. a NAK trigger racing a
+		// leader duty): keep the first, drop the newcomer.
+		frame.Release(f)
+		return
+	}
 	n.deferred++
-	n.eng.After(phy.SIFS, func() {
-		n.deferred--
-		if n.st != stIdle || n.radio.Transmitting() {
-			return
-		}
-		n.st = stTxResp
-		dur := n.startTx(f)
-		n.stats.CtrlTxTime += dur
-	})
+	n.pendingResp = f
+	n.eng.AfterCall(phy.SIFS, n, tagResp)
 }
 
 // OnCarrierChange implements phy.Handler.

@@ -21,10 +21,19 @@ type delivery struct {
 	info    mac.RxInfo
 }
 
+// OnDeliver copies the payload out: it aliases pooled frame storage that
+// is recycled after the callback returns.
 func (u *upper) OnDeliver(payload []byte, info mac.RxInfo) {
-	u.delivered = append(u.delivered, delivery{payload, info})
+	u.delivered = append(u.delivered, delivery{append([]byte(nil), payload...), info})
 }
-func (u *upper) OnSendComplete(res mac.TxResult) { u.completes = append(u.completes, res) }
+
+// OnSendComplete copies the loaned Delivered/Failed slices before keeping
+// the result, per the mac.TxResult contract.
+func (u *upper) OnSendComplete(res mac.TxResult) {
+	res.Delivered = append([]frame.Addr(nil), res.Delivered...)
+	res.Failed = append([]frame.Addr(nil), res.Failed...)
+	u.completes = append(u.completes, res)
+}
 
 type world struct {
 	eng    *sim.Engine

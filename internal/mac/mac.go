@@ -48,9 +48,17 @@ type SendRequest struct {
 
 	// EnqueuedAt is stamped by the MAC when accepted.
 	EnqueuedAt sim.Time
+
+	// pool/live back the recycling machinery; see ReqPool.
+	pool *ReqPool
+	live bool
 }
 
-// TxResult reports the outcome of a SendRequest.
+// TxResult reports the outcome of a SendRequest. The Delivered and Failed
+// slices are loaned from the reporting MAC's reusable buffers: they are
+// valid only for the duration of the OnSendComplete call and must be
+// copied out if kept (same copy-out contract as received frames, see
+// DESIGN.md §9).
 type TxResult struct {
 	Req *SendRequest
 	// Delivered lists the receivers that positively acknowledged
@@ -79,9 +87,13 @@ type RxInfo struct {
 // multicast application.
 type UpperLayer interface {
 	// OnDeliver is called once per data frame addressed to (or accepted
-	// by) this node.
+	// by) this node. payload aliases the pooled frame's backing storage
+	// and is valid only for the duration of the call: copy out before
+	// returning (DESIGN.md §9).
 	OnDeliver(payload []byte, info RxInfo)
 	// OnSendComplete is called exactly once per accepted SendRequest.
+	// The upper layer owns the request again when this returns; a pooled
+	// request should be Recycled here.
 	OnSendComplete(res TxResult)
 }
 

@@ -64,12 +64,14 @@ type txContext struct {
 	seq     uint16
 }
 
-// rxArm is the receiver-side armed expectation for one exchange.
+// rxArm is the receiver-side armed expectation for one exchange. A node
+// holds a single arm slot (a later announce supersedes an earlier one, as
+// before), so arming allocates nothing: the slot and its deadline timer
+// are reused across exchanges.
 type rxArm struct {
 	sender   frame.Addr
 	deadline sim.Time // when the data frame must have been decoded
 	got      bool
-	timer    *sim.Timer
 }
 
 // Node is one MX instance bound to a radio.
@@ -81,20 +83,24 @@ type Node struct {
 	limits mac.Limits
 	upper  mac.UpperLayer
 
-	st    state
-	queue *mac.Queue
-	dcf   *csma.DCF
-	nav   *csma.NAV
-	stats mac.Stats
+	st     state
+	queue  *mac.Queue
+	dcf    *csma.DCF
+	nav    *csma.NAV
+	stats  mac.Stats
+	frames *frame.Pool
 
 	cur     *txContext
+	ctxBuf  txContext // backs cur; one packet in flight at a time
 	nakTmr  *sim.Timer
 	dataEnd sim.Time
 
-	arm   *rxArm
-	nakOn bool
-	peers map[frame.Addr]*peerDedup
-	seq   uint16
+	arm    rxArm
+	armed  bool
+	armTmr *sim.Timer
+	nakOn  bool
+	peers  map[frame.Addr]*peerDedup
+	seq    uint16
 
 	// deferred counts scheduled exchange steps (SIFS gaps) not yet
 	// fired, so the liveness audit sees them.
@@ -120,10 +126,12 @@ func New(radio *phy.Radio, cfg phy.Config, eng *sim.Engine, limits mac.Limits) *
 		limits: limits,
 		queue:  mac.NewQueue(limits.QueueCap),
 		peers:  make(map[frame.Addr]*peerDedup),
+		frames: radio.Frames(),
 	}
 	n.nav = csma.NewNAV(eng, func() { n.dcf.ChannelMaybeIdle() })
 	n.dcf = csma.NewDCF(eng, eng.Rand(), n.mediumIdle, n.onWin)
 	n.nakTmr = sim.NewTimer(eng, n.onNAKWindowEnd)
+	n.armTmr = sim.NewTimer(eng, n.onArmDeadline)
 	radio.SetHandler(n)
 	return n
 }
@@ -182,7 +190,8 @@ func (n *Node) trySend() {
 			return
 		}
 		n.seq++
-		n.cur = &txContext{req: req, seq: n.seq}
+		n.ctxBuf = txContext{req: req, seq: n.seq}
+		n.cur = &n.ctxBuf
 		if req.Service == mac.Reliable {
 			n.stats.ReliableToTransmit++
 		}
@@ -205,7 +214,10 @@ func (n *Node) onWin() {
 			dest = n.cur.req.Dests[0]
 		}
 		n.st = stTxUData
-		n.startTx(&frame.Data{Receiver: dest, Transmitter: n.addr, Seq: n.cur.seq, Payload: n.cur.req.Payload})
+		f := n.frames.Data()
+		f.Receiver, f.Transmitter, f.Seq = dest, n.addr, n.cur.seq
+		f.Payload = append(f.Payload, n.cur.req.Payload...)
+		n.startTx(f)
 		return
 	}
 	// Announce: an RTS-sized frame broadcast to the group; Duration
@@ -214,11 +226,10 @@ func (n *Node) onWin() {
 	n.st = stTxAnn
 	dataDur := n.cfg.TxDuration(frame.Data80211Overhead + len(n.cur.req.Payload))
 	tail := phy.SIFS + dataDur + NAKWindow
-	f := &frame.RTS{
-		Duration:    durationMicros(tail),
-		Receiver:    frame.Broadcast,
-		Transmitter: n.addr,
-	}
+	f := n.frames.RTS()
+	f.Duration = durationMicros(tail)
+	f.Receiver = frame.Broadcast
+	f.Transmitter = n.addr
 	dur := n.startTx(f)
 	n.stats.CtrlTxTime += dur
 }
@@ -236,7 +247,7 @@ func (n *Node) OnTxDone(f frame.Frame) {
 	n.dcf.ChannelMaybeIdle()
 	switch n.st {
 	case stTxAnn:
-		n.afterSIFS(n.sendData)
+		n.afterSIFS()
 	case stTxData:
 		n.st = stWfNAK
 		n.dataEnd = n.eng.Now()
@@ -259,27 +270,42 @@ func (n *Node) OnTxDone(f frame.Frame) {
 
 func (n *Node) sendData() {
 	n.st = stTxData
-	f := &frame.Data{
-		Duration:    durationMicros(NAKWindow),
-		Receiver:    frame.Broadcast,
-		Transmitter: n.addr,
-		Seq:         n.cur.seq,
-		Payload:     n.cur.req.Payload,
-	}
+	f := n.frames.Data()
+	f.Duration = durationMicros(NAKWindow)
+	f.Receiver = frame.Broadcast
+	f.Transmitter = n.addr
+	f.Seq = n.cur.seq
+	f.Payload = append(f.Payload, n.cur.req.Payload...)
 	dur := n.startTx(f)
 	n.stats.DataTxTime += dur
 }
 
-func (n *Node) afterSIFS(step func()) {
-	n.st = stGap
-	n.deferred++
-	n.eng.After(phy.SIFS, func() {
+// Tags for the node's sim.Caller dispatch.
+const (
+	tagData   int32 = iota // SIFS-deferred data transmission (after ANN)
+	tagNAKOff              // end of this node's NAK tone emission
+)
+
+// Call implements sim.Caller: the deferred continuations, scheduled
+// closure-free through the engine's tagged-event path.
+func (n *Node) Call(tag int32) {
+	switch tag {
+	case tagData:
 		n.deferred--
 		if n.cur == nil || n.radio.Transmitting() {
 			return
 		}
-		step()
-	})
+		n.sendData()
+	case tagNAKOff:
+		n.nakOn = false
+		n.radio.SetTone(phy.ToneABT, false)
+	}
+}
+
+func (n *Node) afterSIFS() {
+	n.st = stGap
+	n.deferred++
+	n.eng.AfterCall(phy.SIFS, n, tagData)
 }
 
 // onNAKWindowEnd scores the window: tone sensed for λ means at least one
@@ -311,11 +337,11 @@ func (n *Node) completeReliable(dropped bool) {
 	if dropped {
 		n.stats.Drops++
 		res.Dropped = true
-		res.Failed = append([]frame.Addr(nil), ctx.req.Dests...)
+		res.Failed = ctx.req.Dests // loaned; see mac.TxResult
 	} else {
 		n.stats.ReliableDelivered++
 		// Silence is success — the sender's belief, not a guarantee.
-		res.Delivered = append([]frame.Addr(nil), ctx.req.Dests...)
+		res.Delivered = ctx.req.Dests // loaned; see mac.TxResult
 	}
 	n.dcf.Backoff().Reset()
 	n.dcf.Backoff().Draw()
@@ -333,7 +359,7 @@ func (n *Node) OnFrameReceived(f frame.Frame, ok bool, rxStart sim.Time) {
 		// A corrupted frame while armed: complain right away if the
 		// deadline has not passed (the corrupted frame was plausibly our
 		// data).
-		if n.arm != nil && n.eng.Now() <= n.arm.deadline && !n.arm.got {
+		if n.armed && n.eng.Now() <= n.arm.deadline && !n.arm.got {
 			n.raiseNAK()
 		}
 		return
@@ -351,23 +377,13 @@ func (n *Node) onAnnounce(g *frame.RTS) {
 		return
 	}
 	n.stats.CtrlRxTime += n.cfg.TxDuration(g.WireSize())
-	if n.arm != nil {
-		n.arm.timer.Stop()
-	}
-	arm := &rxArm{
+	n.armTmr.Stop()
+	n.arm = rxArm{
 		sender:   g.Transmitter,
 		deadline: n.eng.Now() + sim.Time(g.Duration)*sim.Microsecond - NAKWindow + 2*sim.Microsecond,
 	}
-	arm.timer = sim.NewTimer(n.eng, func() {
-		if !arm.got {
-			n.raiseNAK() // data never arrived
-		}
-		if n.arm == arm {
-			n.arm = nil
-		}
-	})
-	arm.timer.StartAt(arm.deadline)
-	n.arm = arm
+	n.armed = true
+	n.armTmr.StartAt(n.arm.deadline)
 	// Group members also defer for the exchange duration.
 	n.nav.Set(sim.Time(g.Duration) * sim.Microsecond)
 	n.dcf.ChannelBusy()
@@ -378,10 +394,9 @@ func (n *Node) onData(d *frame.Data, rxStart sim.Time) {
 		// Reliable group data: group members always accept a correctly
 		// decoded copy, armed or not (membership is by group address in
 		// real 802.11MX).
-		if n.arm != nil && d.Transmitter == n.arm.sender {
-			n.arm.got = true
-			n.arm.timer.Stop()
-			n.arm = nil
+		if n.armed && d.Transmitter == n.arm.sender {
+			n.armTmr.Stop()
+			n.armed = false
 		}
 		n.deliver(d, true, rxStart)
 		return
@@ -404,10 +419,16 @@ func (n *Node) raiseNAK() {
 	n.nakOn = true
 	n.stats.ABTSent++ // NAK tone emissions share the tone counter
 	n.radio.SetTone(phy.ToneABT, true)
-	n.eng.After(NAKWindow, func() {
-		n.nakOn = false
-		n.radio.SetTone(phy.ToneABT, false)
-	})
+	n.eng.AfterCall(NAKWindow, n, tagNAKOff)
+}
+
+// onArmDeadline fires at the armed exchange's data deadline: if the data
+// frame never arrived, complain on the NAK channel.
+func (n *Node) onArmDeadline() {
+	if n.armed && !n.arm.got {
+		n.raiseNAK()
+	}
+	n.armed = false
 }
 
 func (n *Node) deliver(d *frame.Data, reliable bool, rxStart sim.Time) {

@@ -1,0 +1,47 @@
+package mac
+
+// ReqPool is a free list of SendRequests, the upper-layer analogue of the
+// frame pool: traffic producers (the multicast app, the routing beacons)
+// acquire requests here, the MAC carries them through its queue, and the
+// upper layer recycles them from OnSendComplete once the TxResult has been
+// consumed. A recycled request keeps its Dests and Payload capacity, so a
+// steady-state source allocates no per-packet memory.
+//
+// Each producer owns its own pool (no locking); requests constructed
+// directly — tests, external callers — have no pool and Recycle is a no-op
+// for them.
+type ReqPool struct {
+	free []*SendRequest
+}
+
+// Get acquires a request with empty, capacity-preserving Dests and
+// Payload slices.
+func (p *ReqPool) Get() *SendRequest {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		*r = SendRequest{
+			Dests:   r.Dests[:0],
+			Payload: r.Payload[:0],
+			pool:    p,
+			live:    true,
+		}
+		return r
+	}
+	return &SendRequest{pool: p, live: true}
+}
+
+// Recycle returns a pooled request to its free list. The request and both
+// of its slices must not be touched afterwards. Recycling an unpooled
+// request is a no-op; recycling a pooled request twice panics.
+func (r *SendRequest) Recycle() {
+	if r == nil || r.pool == nil {
+		return
+	}
+	if !r.live {
+		panic("mac: double recycle of SendRequest")
+	}
+	r.live = false
+	r.Meta = nil
+	r.pool.free = append(r.pool.free, r)
+}

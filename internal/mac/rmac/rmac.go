@@ -66,13 +66,14 @@ const GuardTime = 2 * sim.Microsecond
 // Send invocations.
 type txContext struct {
 	req *mac.SendRequest
-	// batches are the §3.4 splits of the destination list; batch 0 is
-	// active.
+	// batches are the §3.4 splits of the destination list; batchIdx
+	// cursors through them (a [1:] reslice would bleed capacity off the
+	// reused backing array and defeat the per-packet buffer reuse).
 	batches   [][]frame.Addr
+	batchIdx  int
 	remaining []frame.Addr // unacked receivers of the active batch
 	delivered []frame.Addr
 	retries   int // failed attempts of the active batch
-	mrts      *frame.MRTS
 }
 
 // rxContext tracks the receiver role (WF_RDATA).
@@ -102,6 +103,7 @@ type Node struct {
 	limits mac.Limits
 	opts   Options
 	upper  mac.UpperLayer
+	frames *frame.Pool
 
 	state   State
 	queue   *mac.Queue
@@ -110,6 +112,12 @@ type Node struct {
 
 	cur *txContext
 	rx  *rxContext
+
+	// ctxBuf and rxBuf back cur and rx: a node runs at most one sender
+	// and one receiver context at a time, so both are reused across
+	// packets instead of allocated per packet.
+	ctxBuf txContext
+	rxBuf  rxContext
 
 	seq uint32
 
@@ -120,6 +128,11 @@ type Node struct {
 	dataEnd  sim.Time
 	abtSlot  int
 	abtAcked []bool
+
+	// stillBuf/failedBuf are scratch receiver lists reused across
+	// attempts (stillBuf swaps with cur.remaining after each ABT round).
+	stillBuf  []frame.Addr
+	failedBuf []frame.Addr
 
 	// Receiver-side timer.
 	wfRData *sim.Timer
@@ -144,6 +157,7 @@ func NewWithOptions(radio *phy.Radio, cfg phy.Config, eng *sim.Engine, limits ma
 		limits: limits,
 		opts:   opts,
 		queue:  mac.NewQueue(limits.QueueCap),
+		frames: radio.Frames(),
 	}
 	n.backoff = mac.NewBackoff(eng, eng.Rand(), phy.SlotTime, n.channelsIdle, n.onBackoffFire)
 	n.wfRBT = sim.NewTimer(eng, n.onWfRBTExpire)
@@ -240,7 +254,13 @@ func (n *Node) trySend() {
 func (n *Node) onBackoffFire() { n.trySend() }
 
 func (n *Node) newContext(req *mac.SendRequest) *txContext {
-	ctx := &txContext{req: req}
+	ctx := &n.ctxBuf
+	*ctx = txContext{
+		req:       req,
+		batches:   ctx.batches[:0],
+		remaining: ctx.remaining[:0],
+		delivered: ctx.delivered[:0],
+	}
 	if req.Service == mac.Unreliable {
 		return ctx
 	}
@@ -256,8 +276,8 @@ func (n *Node) newContext(req *mac.SendRequest) *txContext {
 		dests = dests[limit:]
 	}
 	ctx.batches = append(ctx.batches, dests)
-	ctx.remaining = append([]frame.Addr(nil), ctx.batches[0]...)
-	ctx.batches = ctx.batches[1:]
+	ctx.remaining = append(ctx.remaining, ctx.batches[0]...)
+	ctx.batchIdx = 1
 	n.stats.ReliableToTransmit++
 	return ctx
 }
@@ -279,20 +299,20 @@ func (n *Node) startUnreliable() {
 		dest = req.Dests[0]
 	}
 	n.seq++
-	f := &frame.UData{
-		Transmitter: n.addr,
-		Receiver:    dest,
-		Seq:         n.seq,
-		Payload:     req.Payload,
-	}
+	f := n.frames.UData()
+	f.Transmitter = n.addr
+	f.Receiver = dest
+	f.Seq = n.seq
+	f.Payload = append(f.Payload, req.Payload...)
 	n.state = StateTxUnrData
 	n.radio.StartTx(f)
 }
 
 func (n *Node) startMRTS() {
 	n.radio.PruneToneLog(n.eng.Now() - sim.Second)
-	m := &frame.MRTS{Transmitter: n.addr, Receivers: n.cur.remaining}
-	n.cur.mrts = m
+	m := n.frames.MRTS()
+	m.Transmitter = n.addr
+	m.Receivers = append(m.Receivers, n.cur.remaining...)
 	n.stats.MRTSSent++
 	n.stats.MRTSLens = append(n.stats.MRTSLens, m.WireSize())
 	n.state = StateTxMRTS
@@ -314,7 +334,10 @@ func (n *Node) OnTxDone(f frame.Frame) {
 		n.state = StateWfABT
 		n.dataEnd = n.eng.Now()
 		n.abtSlot = 0
-		n.abtAcked = make([]bool, len(n.cur.remaining))
+		n.abtAcked = n.abtAcked[:0]
+		for range n.cur.remaining {
+			n.abtAcked = append(n.abtAcked, false)
+		}
 		n.wfABT.Start(phy.ABTDuration)
 	case StateTxUnrData:
 		// C5/C2: unreliable transmission done.
@@ -346,12 +369,11 @@ func (n *Node) onWfRBTExpire() {
 		return
 	}
 	n.seq++
-	f := &frame.RData{
-		Transmitter: n.addr,
-		Receiver:    frame.Broadcast, // delivery set governed by the MRTS
-		Seq:         n.seq,
-		Payload:     n.cur.req.Payload,
-	}
+	f := n.frames.RData()
+	f.Transmitter = n.addr
+	f.Receiver = frame.Broadcast // delivery set governed by the MRTS
+	f.Seq = n.seq
+	f.Payload = append(f.Payload, n.cur.req.Payload...)
 	n.state = StateTxRData
 	dur := n.radio.StartTx(f)
 	n.stats.DataTxTime += dur
@@ -373,8 +395,9 @@ func (n *Node) onABTWindow() {
 		n.wfABT.Start(phy.ABTDuration)
 		return
 	}
-	// All windows sensed: split acked / unacked.
-	var still []frame.Addr
+	// All windows sensed: split acked / unacked. still reuses the node's
+	// scratch buffer, which swaps roles with cur.remaining below.
+	still := n.stillBuf[:0]
 	for j, a := range n.cur.remaining {
 		if n.abtAcked[j] {
 			n.cur.delivered = append(n.cur.delivered, a)
@@ -383,9 +406,11 @@ func (n *Node) onABTWindow() {
 		}
 	}
 	if len(still) == 0 {
+		n.stillBuf = still
 		n.batchDone()
 		return
 	}
+	n.stillBuf = n.cur.remaining
 	n.cur.remaining = still
 	n.attemptFailed()
 }
@@ -411,10 +436,11 @@ func (n *Node) dropCurrent() {
 	ctx := n.cur
 	n.cur = nil
 	n.stats.Drops++
-	failed := append([]frame.Addr(nil), ctx.remaining...)
-	for _, b := range ctx.batches {
+	failed := append(n.failedBuf[:0], ctx.remaining...)
+	for _, b := range ctx.batches[ctx.batchIdx:] {
 		failed = append(failed, b...)
 	}
+	n.failedBuf = failed
 	n.postTxBackoff(true)
 	if n.upper != nil {
 		n.upper.OnSendComplete(mac.TxResult{
@@ -433,9 +459,9 @@ func (n *Node) dropCurrent() {
 func (n *Node) batchDone() {
 	n.state = StateIdle
 	ctx := n.cur
-	if len(ctx.batches) > 0 {
-		ctx.remaining = append([]frame.Addr(nil), ctx.batches[0]...)
-		ctx.batches = ctx.batches[1:]
+	if ctx.batchIdx < len(ctx.batches) {
+		ctx.remaining = append(ctx.remaining[:0], ctx.batches[ctx.batchIdx]...)
+		ctx.batchIdx++
 		ctx.retries = 0
 		n.backoff.Reset()
 		n.backoff.Draw()
@@ -502,11 +528,12 @@ func (n *Node) onMRTS(m *frame.MRTS) {
 		return
 	}
 	n.stats.CtrlRxTime += n.cfg.TxDuration(m.WireSize())
-	n.rx = &rxContext{
+	n.rxBuf = rxContext{
 		sender:   m.Transmitter,
 		index:    idx,
 		deadline: n.eng.Now() + phy.ToneWaitTimeout + GuardTime,
 	}
+	n.rx = &n.rxBuf
 	n.state = StateWfRData
 	n.backoff.Suspend()
 	n.radio.SetTone(phy.ToneRBT, true)
@@ -568,17 +595,31 @@ func (n *Node) endReceiverRoleKeepingTimerStopped() {
 	n.trySend()
 }
 
+// Tags for the node's sim.Caller dispatch (ABT emission). The transitions
+// are stateless — the tone itself carries all the state — so overlapping
+// schedules from back-to-back receiver roles stay correct.
+const (
+	tagABTOn int32 = iota
+	tagABTOff
+)
+
+// Call implements sim.Caller: the two halves of an ABT emission, scheduled
+// closure-free through the engine's tagged-event path.
+func (n *Node) Call(tag int32) {
+	switch tag {
+	case tagABTOn:
+		n.stats.ABTSent++
+		n.radio.SetTone(phy.ToneABT, true)
+		n.eng.AfterCall(phy.ABTDuration, n, tagABTOff)
+	case tagABTOff:
+		n.radio.SetTone(phy.ToneABT, false)
+	}
+}
+
 // scheduleABT emits the acknowledgment busy tone for l_abt after waiting
 // index·l_abt (T_tx_abt, §3.3.2).
 func (n *Node) scheduleABT(index int) {
-	start := sim.Time(index) * phy.ABTDuration
-	n.eng.After(start, func() {
-		n.stats.ABTSent++
-		n.radio.SetTone(phy.ToneABT, true)
-		n.eng.After(phy.ABTDuration, func() {
-			n.radio.SetTone(phy.ToneABT, false)
-		})
-	})
+	n.eng.AfterCall(sim.Time(index)*phy.ABTDuration, n, tagABTOn)
 }
 
 // onUData: §3.3.3 step 3 — accept unreliable frames destined to this node

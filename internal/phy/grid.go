@@ -23,7 +23,19 @@ type spatialGrid struct {
 	cell  float64
 	built sim.Time
 	valid bool
-	cells map[gridKey][]gridEntry
+	epoch uint64
+	cells map[gridKey]*gridCell
+}
+
+// gridCell is one bucket. Buckets persist across rebuilds — a rebuild
+// truncates the entry slice and stamps the bucket with the new epoch
+// instead of deleting the map key, so the 100 ms rebuild cadence reuses
+// every backing array. A bucket whose epoch is stale holds no radio this
+// round; lookups skip it. The map itself only ever grows to the number of
+// cells that have ever been occupied, which the field area bounds.
+type gridCell struct {
+	epoch   uint64
+	entries []gridEntry
 }
 
 // gridEntry caches the radio's position at rebuild time. For static radios
@@ -54,17 +66,24 @@ func (m *Medium) rebuildGrid() {
 	if m.grid == nil {
 		m.grid = &spatialGrid{
 			cell:  m.cfg.interferenceRange() * gridSlack,
-			cells: make(map[gridKey][]gridEntry),
+			cells: make(map[gridKey]*gridCell),
 		}
 	}
 	g := m.grid
-	for k := range g.cells {
-		delete(g.cells, k)
-	}
+	g.epoch++
 	for _, r := range m.radios {
 		p := m.PositionOf(r)
 		k := g.keyFor(p)
-		g.cells[k] = append(g.cells[k], gridEntry{r: r, pos: p})
+		c := g.cells[k]
+		if c == nil {
+			c = &gridCell{}
+			g.cells[k] = c
+		}
+		if c.epoch != g.epoch {
+			c.epoch = g.epoch
+			c.entries = c.entries[:0]
+		}
+		c.entries = append(c.entries, gridEntry{r: r, pos: p})
 	}
 	g.built = m.eng.Now()
 	g.valid = true
@@ -98,7 +117,11 @@ func (m *Medium) forEachInRange(src *Radio, pos geom.Point, dist float64, fn fun
 	for dx := -1; dx <= 1; dx++ {
 		for dy := -1; dy <= 1; dy++ {
 			k := gridKey{center.x + dx, center.y + dy}
-			for _, ent := range g.cells[k] {
+			c := g.cells[k]
+			if c == nil || c.epoch != g.epoch {
+				continue
+			}
+			for _, ent := range c.entries {
 				o := ent.r
 				if o == src {
 					continue

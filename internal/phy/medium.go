@@ -42,6 +42,12 @@ type Medium struct {
 	txFree   []*transmission
 	rxFree   []*rxPath
 	sessFree []*toneSession
+
+	// frames is the arena every layer above draws its frames from. StartTx
+	// transfers frame ownership to the medium, which releases the frame
+	// once the sender's OnTxDone and all receptions have completed (see
+	// frame.Release and DESIGN.md §9).
+	frames *frame.Pool
 }
 
 // MediumStats aggregates channel-level counters.
@@ -59,8 +65,13 @@ func NewMedium(eng *sim.Engine, cfg Config) *Medium {
 	if cfg.CommRange <= 0 || cfg.BitRate <= 0 || cfg.PropSpeed <= 0 {
 		panic("phy: invalid Config")
 	}
-	return &Medium{eng: eng, cfg: cfg}
+	return &Medium{eng: eng, cfg: cfg, frames: frame.NewPool()}
 }
+
+// Frames returns the medium's frame pool. All MAC and application layers
+// of one simulation share it; like the medium itself it is confined to the
+// engine's goroutine.
+func (m *Medium) Frames() *frame.Pool { return m.frames }
 
 // Impairment is an extra channel-error model consulted for every frame
 // that is otherwise decodable (collision-free, in range, not aborted, not
@@ -197,7 +208,12 @@ func (m *Medium) newTx() *transmission {
 	return &transmission{}
 }
 
+// freeTx recycles a spent transmission and releases the frame it carried:
+// at this point the sender's OnTxDone and every receiver's OnFrameReceived
+// have returned, so no live reference remains (pool-less frames, e.g.
+// hand-built ones in tests, are untouched by Release).
 func (m *Medium) freeTx(tx *transmission) {
+	frame.Release(tx.f)
 	*tx = transmission{dests: tx.dests[:0]}
 	m.txFree = append(m.txFree, tx)
 }
@@ -324,11 +340,15 @@ func (m *Medium) txDone(tx *transmission) {
 	tx.finished = true
 	h := tx.src.handler
 	f := tx.f
-	if tx.pending == 0 {
-		m.freeTx(tx)
-	}
+	// The handler runs before the transmission (and its frame) is
+	// recycled: OnTxDone may read the frame, but must not keep it.
+	last := tx.pending == 0
 	if h != nil {
+		frame.AssertLive(f)
 		h.OnTxDone(f)
+	}
+	if last {
+		m.freeTx(tx)
 	}
 }
 
@@ -401,16 +421,20 @@ func (m *Medium) rxEnd(p *rxPath) {
 	started := p.started
 	rxStart := tx.start + p.prop
 	f := tx.f
-	// Release the path and, when this was the last outstanding path of a
-	// finished transmission, the transmission — before the handler runs,
-	// so a handler that transmits immediately reuses the warm objects.
-	tx.pending--
-	if tx.finished && tx.pending == 0 {
-		m.freeTx(tx)
-	}
+	// The path is recycled before the handler runs (so a handler that
+	// transmits immediately reuses the warm object), but the transmission
+	// — which owns the frame — is recycled only after the handler returns:
+	// the receiver may read the frame during OnFrameReceived and must
+	// copy out anything it wants to keep.
 	m.freeRx(p)
+	tx.pending--
+	last := tx.finished && tx.pending == 0
 	if r.handler != nil {
+		frame.AssertLive(f)
 		r.handler.OnFrameReceived(f, ok, rxStart)
+	}
+	if last {
+		m.freeTx(tx)
 	}
 	if len(r.active) == 0 && started && r.handler != nil {
 		r.handler.OnCarrierChange(false)

@@ -80,6 +80,9 @@ func (r *Radio) SetHandler(h Handler) { r.handler = h }
 // Mobility returns the node's mobility model.
 func (r *Radio) Mobility() mobility.Model { return r.mob }
 
+// Frames returns the simulation-wide frame pool; see Medium.Frames.
+func (r *Radio) Frames() *frame.Pool { return r.m.Frames() }
+
 // Transmitting reports whether the node is currently transmitting on the
 // data channel.
 func (r *Radio) Transmitting() bool { return r.curTx != nil }
@@ -146,7 +149,11 @@ func (r *Radio) toneDelta(t Tone, d int) {
 	case was && !is:
 		s.log = append(s.log, toneInterval{s.onSince, now})
 		if len(s.log) > maxToneLog {
-			s.log = s.log[len(s.log)-maxToneLog/2:]
+			// Shift the kept half to the front of the backing array. A
+			// tail reslice would keep appending into the array's dwindling
+			// remainder and reallocate on every halving.
+			n := copy(s.log, s.log[len(s.log)-maxToneLog/2:])
+			s.log = s.log[:n]
 		}
 		s.onSince = -1
 		if r.handler != nil {

@@ -42,7 +42,15 @@ type Beacon struct {
 
 // Marshal encodes the beacon with the BeaconMagic prefix.
 func (b Beacon) Marshal() []byte {
-	out := make([]byte, BeaconSize)
+	return b.AppendTo(nil)
+}
+
+// AppendTo appends the encoded beacon to dst (the allocation-free form
+// used by the beacon tick, which encodes into a pooled request payload).
+func (b Beacon) AppendTo(dst []byte) []byte {
+	n := len(dst)
+	dst = append(dst, make([]byte, BeaconSize)...)
+	out := dst[n:]
 	out[0] = BeaconMagic
 	binary.BigEndian.PutUint32(out[1:], uint32(b.ID))
 	h := uint16(hopsInf)
@@ -63,7 +71,7 @@ func (b Beacon) Marshal() []byte {
 		c = 0
 	}
 	out[11] = byte(c)
-	return out
+	return dst
 }
 
 // ParseBeacon decodes a beacon payload; ok is false for non-beacons.
@@ -129,6 +137,11 @@ type Protocol struct {
 	parent    int
 	neighbors map[int]*neighbor
 
+	// reqs pools beacon SendRequests (recycled by the upper layer's
+	// OnSendComplete); childBuf backs the tick's children count.
+	reqs     mac.ReqPool
+	childBuf []int
+
 	// BeaconsSent counts transmission attempts for instrumentation.
 	BeaconsSent uint64
 }
@@ -151,21 +164,27 @@ func New(eng *sim.Engine, m mac.MAC, id int, root bool, cfg Config) *Protocol {
 // do not beacon in lockstep.
 func (p *Protocol) Start() {
 	first := sim.Time(p.eng.Rand().Float64() * float64(p.cfg.Period))
-	p.eng.After(first, p.tick)
+	p.eng.AfterCall(first, p, 0)
 }
+
+// Call implements sim.Caller: the beacon tick, scheduled closure-free.
+func (p *Protocol) Call(int32) { p.tick() }
 
 func (p *Protocol) tick() {
 	p.recompute()
-	b := Beacon{ID: p.id, Hops: p.hops, Parent: p.parent, Children: len(p.Children())}
+	p.childBuf = p.ChildrenInto(p.childBuf[:0])
+	b := Beacon{ID: p.id, Hops: p.hops, Parent: p.parent, Children: len(p.childBuf)}
 	p.BeaconsSent++
-	p.mac.Send(&mac.SendRequest{
-		Service: mac.Unreliable,
-		Dests:   []frame.Addr{frame.Broadcast},
-		Payload: b.Marshal(),
-		Urgent:  true, // topology maintenance must not starve behind data
-	})
+	req := p.reqs.Get()
+	req.Service = mac.Unreliable
+	req.Dests = append(req.Dests, frame.Broadcast)
+	req.Payload = b.AppendTo(req.Payload)
+	req.Urgent = true // topology maintenance must not starve behind data
+	if !p.mac.Send(req) {
+		req.Recycle() // queue full: no OnSendComplete will follow
+	}
 	jitter := 1 + p.cfg.JitterFrac*(2*p.eng.Rand().Float64()-1)
-	p.eng.After(sim.Time(float64(p.cfg.Period)*jitter), p.tick)
+	p.eng.AfterCall(sim.Time(float64(p.cfg.Period)*jitter), p, 0)
 }
 
 // HandleBeacon ingests a received beacon payload; it reports whether the
@@ -239,16 +258,20 @@ func (p *Protocol) Hops() int { return p.hops }
 
 // Children returns the IDs of fresh neighbours currently announcing this
 // node as their parent, in ascending ID order.
-func (p *Protocol) Children() []int {
+func (p *Protocol) Children() []int { return p.ChildrenInto(nil) }
+
+// ChildrenInto appends the current children to buf and returns it, so
+// steady-state callers can reuse one buffer across queries.
+func (p *Protocol) ChildrenInto(buf []int) []int {
 	now := p.eng.Now()
-	var out []int
+	n := len(buf)
 	for id, nb := range p.neighbors {
 		if now-nb.last <= p.cfg.Expiry && nb.parent == p.id {
-			out = append(out, id)
+			buf = append(buf, id)
 		}
 	}
-	sortInts(out)
-	return out
+	sortInts(buf[n:])
+	return buf
 }
 
 // NeighborCount returns the number of fresh neighbours.

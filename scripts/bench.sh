@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # bench.sh — run the kernel/PHY hot-path benchmark suite and record the
-# results in BENCH_kernel.json, then the fault-injection overhead suite
-# into BENCH_fault.json, so every PR leaves a perf trajectory.
+# results in BENCH_kernel.json, the fault-injection overhead suite in
+# BENCH_fault.json, and the per-protocol whole-run suite in BENCH_run.json,
+# so every PR leaves a perf trajectory.
 #
 # Usage:
 #   scripts/bench.sh            # run suites, rewrite BENCH_*.json
@@ -37,16 +38,19 @@ bench_suite() {
     /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
-        ns = ""; bop = ""; allocs = ""
+        ns = ""; bop = ""; allocs = ""; evs = ""
         for (i = 2; i <= NF; i++) {
             if ($(i) == "ns/op")     ns     = $(i - 1)
             if ($(i) == "B/op")      bop    = $(i - 1)
             if ($(i) == "allocs/op") allocs = $(i - 1)
+            if ($(i) == "events/s")  evs    = $(i - 1)
         }
         if (ns == "") next
         if (n++) printf ",\n"
-        printf "  \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
+        printf "  \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s", \
             name, ns, (bop == "" ? "null" : bop), (allocs == "" ? "null" : allocs)
+        if (evs != "") printf ", \"events_s\": %s", evs
+        printf "}"
     }
     END { print "\n}" }
     ' > "$out"
@@ -65,3 +69,8 @@ bench_suite 'BenchmarkEngineSchedule|BenchmarkEngineScheduleCancel|BenchmarkEngi
 # attached (bursty channel) vs attached-but-disabled. The disabled case is
 # the regression gate — a zero fault.Config must stay free.
 bench_suite 'BenchmarkFaultFanout' BENCH_fault.json ./internal/fault
+
+# Whole-run throughput per MAC protocol: the end-to-end engineering metric
+# of the pooled frame lifecycle. allocs_op is the bill for a complete run
+# (network construction included); events_s is the headline number.
+bench_suite 'BenchmarkWholeRun' BENCH_run.json .
