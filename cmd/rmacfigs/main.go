@@ -39,6 +39,7 @@ func main() {
 	resilience := flag.Bool("resilience", false, "run the resilience sweep (delivery vs burst loss and node churn) instead of the paper figures")
 	flag.Uint64Var(&base.MaxEvents, "max-events", 0, "watchdog: abort any single run after this many events (0 disables)")
 	flag.DurationVar(&base.MaxWall, "max-wall", 0, "watchdog: abort any single run after this much wall-clock time (0 disables)")
+	flag.BoolVar(&base.Audit, "audit", base.Audit, "attach the protocol-invariant auditor to every run (passive; disable to benchmark the bare hot path)")
 	flag.Parse()
 
 	base.Packets = *packets
@@ -118,6 +119,13 @@ func main() {
 	points := experiment.RunSweep(sweep)
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "\rcompleted %d runs in %v\n", total, time.Since(start).Round(time.Second))
+	}
+	var totalViolations uint64
+	for _, p := range points {
+		totalViolations += p.Violations
+	}
+	if totalViolations > 0 {
+		fmt.Fprintf(os.Stderr, "AUDIT: %d invariant violation(s) across the sweep — figures below measure a non-conforming stack\n", totalViolations)
 	}
 
 	for _, f := range figs {

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"testing"
+
+	"rmac/internal/fault"
+	"rmac/internal/sim"
+)
+
+// sweepFaults is a fault mix aggressive enough to exercise crash
+// truncation, tone teardown and bursty corruption in every run.
+func sweepFaults() fault.Config {
+	return fault.Config{
+		Burst: fault.BurstConfig{
+			Enabled: true, MeanGood: 200 * sim.Millisecond, MeanBad: 20 * sim.Millisecond,
+			BERGood: 0, BERBad: 2e-4,
+		},
+		Churn: fault.ChurnConfig{
+			Enabled: true, MeanUp: 4 * sim.Second, MeanDown: 300 * sim.Millisecond,
+		},
+	}
+}
+
+// TestAuditCleanAcrossProtocolsAndFaults runs every protocol through a
+// fixed-seed fault-injected run, stationary and mobile, and requires the
+// invariant auditor to stay silent: zero violations and zero deadlocks.
+// This is the acceptance sweep of the auditor at CI scale.
+func TestAuditCleanAcrossProtocolsAndFaults(t *testing.T) {
+	for _, p := range []Protocol{RMAC, BMMM, BMW, LBP, MX, DOT11} {
+		for _, sc := range []Scenario{Stationary, Speed1} {
+			t.Run(p.String()+"/"+sc.String(), func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.Protocol = p
+				cfg.Scenario = sc
+				cfg.Nodes = 20
+				cfg.Packets = 40
+				cfg.Seed = 12345
+				cfg.Fault = sweepFaults()
+				res := Run(cfg)
+				if res.Failed {
+					t.Fatalf("run failed: %s\n%s", res.FailReason, res.Stack)
+				}
+				if res.ViolationCount != 0 {
+					for _, v := range res.Violations {
+						t.Errorf("violation: %v", v)
+					}
+					t.Fatalf("auditor recorded %d violations, want 0", res.ViolationCount)
+				}
+				if len(res.Deadlocks) != 0 {
+					t.Fatalf("liveness audit flagged %v", res.Deadlocks)
+				}
+			})
+		}
+	}
+}
+
+// TestAuditDisabled: with Config.Audit off the run carries no auditor and
+// still completes, reporting no violations.
+func TestAuditDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 10
+	cfg.Packets = 10
+	cfg.Audit = false
+	res := Run(cfg)
+	if res.Failed {
+		t.Fatalf("run failed: %s", res.FailReason)
+	}
+	if res.Violations != nil || res.ViolationCount != 0 {
+		t.Fatalf("disabled auditor reported %d violations", res.ViolationCount)
+	}
+}

@@ -153,6 +153,13 @@ type Config struct {
 	// TraceCap, when positive, records the last TraceCap PHY events
 	// (frames, tones) into RunResult.Trace.
 	TraceCap int
+
+	// Audit attaches the protocol-invariant auditor (internal/audit) to
+	// the medium. The auditor is passive — a run with it enabled is
+	// bit-identical to the same seed without it — so it defaults to on;
+	// the command-line front ends expose a flag to disable it for
+	// benchmarking the bare hot path.
+	Audit bool
 }
 
 // DefaultConfig returns the paper's §4.1 parameters with a scaled-down
@@ -172,6 +179,7 @@ func DefaultConfig() Config {
 		Warmup:     10 * sim.Second,
 		Drain:      10 * sim.Second,
 		Seed:       1,
+		Audit:      true,
 	}
 }
 

@@ -129,10 +129,10 @@ type plainMAC struct{ mac.MAC }
 
 func TestAuditLiveness(t *testing.T) {
 	macs := []mac.MAC{
-		stubMAC{l: mac.Liveness{State: "idle", Idle: true}},                  // healthy idle
-		stubMAC{l: mac.Liveness{State: "wait_cts", Pending: true}},          // busy but armed
-		stubMAC{l: mac.Liveness{State: "wait_ack", Idle: false}},            // deadlocked
-		plainMAC{},                                                          // no reporter: skipped
+		stubMAC{l: mac.Liveness{State: "idle", Idle: true}},        // healthy idle
+		stubMAC{l: mac.Liveness{State: "wait_cts", Pending: true}}, // busy but armed
+		stubMAC{l: mac.Liveness{State: "wait_ack", Idle: false}},   // deadlocked
+		plainMAC{}, // no reporter: skipped
 		stubMAC{l: mac.Liveness{State: "defer", Idle: true, Pending: true}}, // idle wins
 	}
 	got := auditLiveness(macs)

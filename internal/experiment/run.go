@@ -6,7 +6,9 @@ import (
 	"runtime/debug"
 
 	"rmac/internal/app"
+	"rmac/internal/audit"
 	"rmac/internal/fault"
+	"rmac/internal/frame"
 	"rmac/internal/mac"
 	"rmac/internal/mac/bmmm"
 	"rmac/internal/mac/bmw"
@@ -65,6 +67,12 @@ type RunResult struct {
 	// in a non-idle protocol state with nothing armed to advance them.
 	Deadlocks []Deadlock
 
+	// Violations holds the protocol-invariant auditor's findings when
+	// Config.Audit is set (capped with context; ViolationCount is the
+	// uncapped total). A conforming protocol stack reports zero.
+	Violations     []audit.Violation
+	ViolationCount uint64
+
 	// Aborted is set when the engine watchdog stopped the run before its
 	// horizon; the metrics above then cover only the simulated prefix.
 	Aborted     bool
@@ -111,6 +119,7 @@ type network struct {
 	metrics  *app.Metrics
 	source   *app.Source
 	injector *fault.Injector
+	aud      *audit.Auditor
 
 	deadlocks []Deadlock
 }
@@ -127,6 +136,14 @@ func build(cfg Config) *network {
 		medium.Tracer = trace.New(cfg.TraceCap)
 	}
 	n := &network{cfg: cfg, eng: eng, medium: medium, metrics: &app.Metrics{Nodes: cfg.Nodes}}
+	if cfg.Audit {
+		// The airtime bound sizes the legal RBT hold window: the largest
+		// data frame a run can carry is a forwarded source packet (beacons
+		// are far smaller), with a little slack for header variations.
+		n.aud = audit.New(eng, medium, audit.Config{
+			MaxFrameAirtime: cfg.Phy.TxDuration(frame.RMACDataOverhead + cfg.PacketSize + 64),
+		})
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		var mob mobility.Model
 		if cfg.Scenario == Stationary {
@@ -154,6 +171,15 @@ func build(cfg Config) *network {
 		rt := routing.New(eng, m, i, i == 0, cfg.Routing)
 		a := app.NewNode(eng, m, rt, i, n.metrics)
 		rt.Start()
+		if n.aud != nil {
+			n.aud.RegisterMAC(i, m)
+			if s, ok := m.(interface{ SetAuditor(*audit.Auditor) }); ok {
+				s.SetAuditor(n.aud)
+			}
+			// app.NewNode installed itself as the MAC's upper layer;
+			// interpose the at-most-once delivery check in front of it.
+			m.SetUpper(n.aud.WrapUpper(i, a))
+		}
 		n.macs = append(n.macs, m)
 		n.routers = append(n.routers, rt)
 		n.apps = append(n.apps, a)
@@ -164,9 +190,12 @@ func build(cfg Config) *network {
 	// chains are built per registered radio). A zero cfg.Fault leaves the
 	// medium untouched.
 	n.injector = fault.New(eng, medium, cfg.Fault)
-	// The liveness audit runs whenever the engine quiesces — horizon
-	// reached, queue drained, or watchdog abort.
-	eng.QuiesceAudit = func() { n.deadlocks = auditLiveness(n.macs) }
+	// The liveness and invariant audits run whenever the engine quiesces —
+	// horizon reached, queue drained, or watchdog abort.
+	eng.QuiesceAudit = func() {
+		n.deadlocks = auditLiveness(n.macs)
+		n.aud.Quiesce()
+	}
 	return n
 }
 
@@ -217,6 +246,10 @@ func (n *network) collect() RunResult {
 		Fault:       n.injector.Stats,
 		Crashes:     n.medium.Stats.Crashes,
 		Deadlocks:   n.deadlocks,
+		Violations:  n.aud.Violations(),
+	}
+	if n.aud != nil {
+		res.ViolationCount = n.aud.Count
 	}
 	if reason, aborted := n.eng.Aborted(); aborted {
 		res.Aborted = true
@@ -231,7 +264,13 @@ func (n *network) collect() RunResult {
 		res.NonLeafCount++
 		drop.Add(totalDropRatio(s))
 		retx.Add(s.RetxRatio())
-		ovh.Add(s.OverheadRatio())
+		// §4.3.2's R_txoh is control time over data time; a forwarder that
+		// never got to transmit data (crashed early, or all its packets
+		// died in contention) has no defined ratio — its hardwired zero
+		// would bias the average down, so it is excluded.
+		if s.DataTxTime > 0 {
+			ovh.Add(s.OverheadRatio())
+		}
 		res.AbortRatios.Add(s.AbortRatio())
 		for _, l := range s.MRTSLens {
 			res.MRTSLens.Add(float64(l))

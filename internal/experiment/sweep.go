@@ -40,6 +40,10 @@ type Point struct {
 	// a truncated run still measured real protocol behaviour).
 	FailedRuns  int
 	AbortedRuns int
+
+	// Violations sums the invariant auditor's violation counts over the
+	// cell's runs (0 when auditing is off or the stack conforms).
+	Violations uint64
 }
 
 // Sweep describes a grid of runs.
@@ -149,6 +153,7 @@ func (p *Point) aggregate() {
 		if r.Aborted {
 			p.AbortedRuns++
 		}
+		p.Violations += r.ViolationCount
 		deliv.Add(r.Delivery)
 		drop.Add(r.AvgDropRatio)
 		retx.Add(r.AvgRetxRatio)

@@ -28,6 +28,10 @@ type Backoff struct {
 	timer  *sim.Timer
 	cwMin  int
 	cwMax  int
+
+	// BusyTicks counts slot expiries that found the channel busy without
+	// the owner having called Suspend (the self-healing re-poll path).
+	BusyTicks uint64
 }
 
 // NewBackoff creates a backoff entity. idle must report whether the
@@ -104,8 +108,16 @@ func (b *Backoff) Cancel() {
 
 func (b *Backoff) tick() {
 	if !b.idle() {
-		// The channel went busy within the slot without the owner
-		// calling Suspend; treat the slot as not idle.
+		// The channel went busy within the slot without the owner calling
+		// Suspend. Per the paper the slot does not count — but if the busy
+		// episode produces no further channel-state edge (it started and
+		// ended inside this same slot, or the owner's edge callback raced
+		// this tick), no Resume will ever come. Re-arm the slot timer so
+		// the draw keeps polling instead of stalling Active() forever;
+		// Suspend still stops the poll, and a later Resume while the poll
+		// is pending is the usual no-op.
+		b.BusyTicks++
+		b.timer.Start(b.slot)
 		return
 	}
 	b.bi--

@@ -15,6 +15,7 @@ package bmw
 import (
 	"fmt"
 
+	"rmac/internal/audit"
 	"rmac/internal/frame"
 	"rmac/internal/mac"
 	"rmac/internal/mac/csma"
@@ -72,6 +73,7 @@ type Node struct {
 	nav    *csma.NAV
 	stats  mac.Stats
 	frames *frame.Pool
+	aud    *audit.Auditor
 
 	cur   *txContext
 	timer *sim.Timer
@@ -119,6 +121,24 @@ func (n *Node) Stats() *mac.Stats { return &n.stats }
 
 // SetUpper implements mac.MAC.
 func (n *Node) SetUpper(u mac.UpperLayer) { n.upper = u }
+
+// SetAuditor attaches the protocol-invariant auditor; the node declares
+// DCF-won initiations and reliable outcomes to it.
+func (n *Node) SetAuditor(a *audit.Auditor) { n.aud = a }
+
+// AuditContention implements audit.ContentionReporter.
+func (n *Node) AuditContention() (wants, counting, gated, idle bool) {
+	armed, counting, difsPending := n.dcf.AuditState()
+	return armed, counting, difsPending, n.mediumIdle()
+}
+
+// AuditNAVBusy implements audit.NAVReporter.
+func (n *Node) AuditNAVBusy() bool { return n.nav.Busy() }
+
+// AuditPending implements audit.PendingReporter.
+func (n *Node) AuditPending() (queued int, inFlight bool) {
+	return n.queue.Len(), n.cur != nil
+}
 
 // Liveness implements mac.LivenessReporter.
 func (n *Node) Liveness() mac.Liveness {
@@ -190,6 +210,7 @@ func (n *Node) onWin() {
 	if n.cur == nil || n.st != stIdle {
 		return
 	}
+	n.aud.Initiation(n.radio.ID())
 	if n.cur.req.Service == mac.Unreliable {
 		dest := frame.Broadcast
 		if len(n.cur.req.Dests) > 0 {
@@ -304,6 +325,7 @@ func (n *Node) completeReliable(dropped bool) {
 	}
 	n.dcf.Backoff().Reset()
 	n.dcf.Backoff().Draw()
+	n.aud.ReliableOutcome(n.radio.ID(), len(ctx.delivered), len(ctx.req.Dests), dropped)
 	if n.upper != nil {
 		n.upper.OnSendComplete(res)
 	}

@@ -1,0 +1,86 @@
+package bmw
+
+import (
+	"testing"
+
+	"rmac/internal/audit"
+	"rmac/internal/frame"
+	"rmac/internal/geom"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+// dropNth corrupts the nth (0-based) otherwise-decodable frame of the
+// given wire size transmitted by node from — a deterministic single-frame
+// loss, draws no randomness, allocates nothing.
+type dropNth struct {
+	from    int
+	size    int
+	nth     int
+	seen    int
+	dropped int
+}
+
+func (d *dropNth) FrameError(rx, tx *phy.Radio, wireBytes int) bool {
+	if tx.ID() != d.from || wireBytes != d.size {
+		return false
+	}
+	d.seen++
+	if d.seen-1 == d.nth {
+		d.dropped++
+		return true
+	}
+	return false
+}
+
+// TestLostACKSkipsDataOnRetry: the receiver's ACK (its second 14-byte
+// frame, after the CTS) is lost. BMW's retry RTS must be answered with a
+// CTS whose Expect sequence is already past the pending packet, letting
+// the sender mark it delivered WITHOUT retransmitting the data frame —
+// one delivery, one data airtime, success, zero violations.
+func TestLostACKSkipsDataOnRetry(t *testing.T) {
+	w := newWorld(23, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}})
+	aud := audit.New(w.eng, w.medium, audit.Config{})
+	for i, n := range w.nodes {
+		aud.RegisterMAC(i, n)
+		n.SetAuditor(aud)
+		n.SetUpper(aud.WrapUpper(i, w.uppers[i]))
+	}
+	imp := &dropNth{from: 1, size: frame.ACKLen, nth: 1}
+	w.medium.SetImpairment(imp)
+
+	payload := "lost-ack"
+	if !w.nodes[0].Send(reliableReq(payload, 1)) {
+		t.Fatal("Send rejected")
+	}
+	w.eng.Run(5 * sim.Second)
+
+	if imp.dropped != 1 {
+		t.Fatalf("impairment dropped %d frames, want 1", imp.dropped)
+	}
+	if got := len(w.uppers[1].delivered); got != 1 {
+		t.Fatalf("receiver deliveries = %d, want exactly 1", got)
+	}
+	comp := w.uppers[0].completes
+	if len(comp) != 1 || comp[0].Dropped {
+		t.Fatalf("sender completion = %+v, want one success", comp)
+	}
+	st := w.nodes[0].Stats()
+	if st.Retransmissions == 0 {
+		t.Fatal("sender never retried despite the lost ACK")
+	}
+	// The CTS Expect skip-path: the data frame went on the air exactly once.
+	cfg := phy.DefaultConfig()
+	if want := cfg.TxDuration(frame.Data80211Overhead + len(payload)); st.DataTxTime != want {
+		t.Fatalf("DataTxTime = %v, want %v (exactly one data transmission)", st.DataTxTime, want)
+	}
+	if st.ReliableDelivered != 1 {
+		t.Fatalf("ReliableDelivered = %d, want 1", st.ReliableDelivered)
+	}
+	if aud.Count != 0 {
+		for _, v := range aud.Violations() {
+			t.Errorf("violation: %v", v)
+		}
+		t.Fatalf("auditor recorded %d violations, want 0", aud.Count)
+	}
+}

@@ -71,6 +71,14 @@ func NewDCF(eng *sim.Engine, rng *rand.Rand, idle func() bool, fire func()) *DCF
 // Backoff exposes the contention window controls (Draw/Fail/Reset).
 func (d *DCF) Backoff() *mac.Backoff { return d.backoff }
 
+// AuditState exposes the contention internals for the protocol-invariant
+// auditor (internal/audit.ContentionReporter): whether an opportunity is
+// being sought, whether the slot countdown is running, and whether the
+// DIFS gate is armed to restart it.
+func (d *DCF) AuditState() (armed, counting, difsPending bool) {
+	return d.armed, d.backoff.Counting(), d.difs.Pending()
+}
+
 // Armed reports whether a transmission opportunity is being sought.
 func (d *DCF) Armed() bool { return d.armed }
 

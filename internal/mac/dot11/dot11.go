@@ -16,6 +16,7 @@ package dot11
 import (
 	"fmt"
 
+	"rmac/internal/audit"
 	"rmac/internal/frame"
 	"rmac/internal/mac"
 	"rmac/internal/mac/csma"
@@ -69,6 +70,7 @@ type Node struct {
 	nav    *csma.NAV
 	stats  mac.Stats
 	frames *frame.Pool
+	aud    *audit.Auditor
 
 	cur   *txContext
 	timer *sim.Timer
@@ -116,6 +118,26 @@ func (n *Node) Stats() *mac.Stats { return &n.stats }
 
 // SetUpper implements mac.MAC.
 func (n *Node) SetUpper(u mac.UpperLayer) { n.upper = u }
+
+// SetAuditor attaches the protocol-invariant auditor; the node declares
+// DCF-won initiations and unicast reliable outcomes to it. The one-shot
+// reliable broadcast is not declared: it completes on attempt by design
+// (§1), so there is no ACK-complete contract to check.
+func (n *Node) SetAuditor(a *audit.Auditor) { n.aud = a }
+
+// AuditContention implements audit.ContentionReporter.
+func (n *Node) AuditContention() (wants, counting, gated, idle bool) {
+	armed, counting, difsPending := n.dcf.AuditState()
+	return armed, counting, difsPending, n.mediumIdle()
+}
+
+// AuditNAVBusy implements audit.NAVReporter.
+func (n *Node) AuditNAVBusy() bool { return n.nav.Busy() }
+
+// AuditPending implements audit.PendingReporter.
+func (n *Node) AuditPending() (queued int, inFlight bool) {
+	return n.queue.Len(), n.cur != nil
+}
 
 // Liveness implements mac.LivenessReporter.
 func (n *Node) Liveness() mac.Liveness {
@@ -181,6 +203,7 @@ func (n *Node) onWin() {
 	if n.cur == nil || n.st != stIdle {
 		return
 	}
+	n.aud.Initiation(n.radio.ID())
 	if n.cur.req.Service == mac.Reliable && n.cur.unicast {
 		n.st = stTxRTS
 		tail := phy.SIFS + n.cfg.TxDuration(frame.CTSLen) +
@@ -336,6 +359,7 @@ func (n *Node) completeUnicast(dropped bool) {
 		n.stats.ReliableDelivered++
 		res.Delivered = ctx.req.Dests // loaned; see mac.TxResult
 	}
+	n.aud.ReliableOutcome(n.radio.ID(), len(res.Delivered), 1, dropped)
 	n.dcf.Backoff().Reset()
 	n.dcf.Backoff().Draw()
 	if n.upper != nil {

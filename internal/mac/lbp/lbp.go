@@ -25,6 +25,7 @@ package lbp
 import (
 	"fmt"
 
+	"rmac/internal/audit"
 	"rmac/internal/frame"
 	"rmac/internal/mac"
 	"rmac/internal/mac/csma"
@@ -86,6 +87,7 @@ type Node struct {
 	nav    *csma.NAV
 	stats  mac.Stats
 	frames *frame.Pool
+	aud    *audit.Auditor
 
 	cur   *txContext
 	timer *sim.Timer
@@ -133,6 +135,26 @@ func (n *Node) Stats() *mac.Stats { return &n.stats }
 
 // SetUpper implements mac.MAC.
 func (n *Node) SetUpper(u mac.UpperLayer) { n.upper = u }
+
+// SetAuditor attaches the protocol-invariant auditor. LBP declares no
+// ReliableOutcome: a clean leader ACK proves only the leader's reception,
+// so the sender's "all delivered" belief is protocol semantics, not an
+// ACK-complete contract the auditor could hold it to.
+func (n *Node) SetAuditor(a *audit.Auditor) { n.aud = a }
+
+// AuditContention implements audit.ContentionReporter.
+func (n *Node) AuditContention() (wants, counting, gated, idle bool) {
+	armed, counting, difsPending := n.dcf.AuditState()
+	return armed, counting, difsPending, n.mediumIdle()
+}
+
+// AuditNAVBusy implements audit.NAVReporter.
+func (n *Node) AuditNAVBusy() bool { return n.nav.Busy() }
+
+// AuditPending implements audit.PendingReporter.
+func (n *Node) AuditPending() (queued int, inFlight bool) {
+	return n.queue.Len(), n.cur != nil
+}
 
 // Liveness implements mac.LivenessReporter.
 func (n *Node) Liveness() mac.Liveness {
@@ -199,6 +221,7 @@ func (n *Node) onWin() {
 	if n.cur == nil || n.st != stIdle {
 		return
 	}
+	n.aud.Initiation(n.radio.ID())
 	if n.cur.req.Service == mac.Unreliable {
 		dest := frame.Broadcast
 		if len(n.cur.req.Dests) > 0 {

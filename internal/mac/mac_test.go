@@ -190,14 +190,49 @@ func TestBackoffBusyTickDoesNotDecrement(t *testing.T) {
 	h.b.bi = 2
 	h.b.Resume()
 	// Channel goes busy just before the first tick without Suspend being
-	// called; the tick must not decrement.
+	// called; the tick must not decrement, but must keep polling (see
+	// TestBackoffBusySlotSelfHeals for why).
 	h.eng.Schedule(phy.SlotTime-1, func() { h.idle = false })
-	h.eng.RunAll()
+	h.eng.Run(phy.SlotTime)
 	if h.b.BI() != 2 {
 		t.Fatalf("BI = %d, want 2 (busy slot must not count)", h.b.BI())
 	}
-	if h.b.Counting() {
-		t.Fatal("timer still pending after busy tick")
+	if !h.b.Counting() {
+		t.Fatal("busy tick dropped the slot timer instead of re-polling")
+	}
+	if h.b.BusyTicks == 0 {
+		t.Fatal("busy tick not counted")
+	}
+}
+
+// TestBackoffBusySlotSelfHeals reproduces the stalled-countdown bug: the
+// channel goes busy and idle again entirely inside one slot, so the owner
+// — who drives Resume only from channel-state edges it observes — never
+// calls Resume after the tick finds the channel busy. The old tick
+// returned without re-arming its timer, leaving the draw stuck
+// Active() && !Counting() forever; it must instead keep polling and
+// complete the countdown once the channel stays idle.
+func TestBackoffBusySlotSelfHeals(t *testing.T) {
+	h := newBackoffHarness(7)
+	h.b.Draw()
+	h.b.bi = 3
+	h.b.Resume()
+	// Busy episode contained within the first slot: no Suspend, no Resume.
+	h.eng.Schedule(phy.SlotTime/2, func() { h.idle = false })
+	h.eng.Schedule(phy.SlotTime+phy.SlotTime/2, func() { h.idle = true })
+	h.eng.RunAll()
+	if h.fired != 1 {
+		t.Fatalf("fired = %d, want 1: the draw stalled without a Resume edge", h.fired)
+	}
+	if h.b.Active() || h.b.Counting() {
+		t.Fatal("backoff still active after completing")
+	}
+	if h.b.BusyTicks != 1 {
+		t.Fatalf("BusyTicks = %d, want 1", h.b.BusyTicks)
+	}
+	// One busy poll slot plus the remaining three idle slots.
+	if want := 4 * phy.SlotTime; h.eng.Now() != want {
+		t.Fatalf("completed at %v, want %v", h.eng.Now(), want)
 	}
 }
 

@@ -28,6 +28,7 @@ package mx
 import (
 	"fmt"
 
+	"rmac/internal/audit"
 	"rmac/internal/frame"
 	"rmac/internal/mac"
 	"rmac/internal/mac/csma"
@@ -89,6 +90,7 @@ type Node struct {
 	nav    *csma.NAV
 	stats  mac.Stats
 	frames *frame.Pool
+	aud    *audit.Auditor
 
 	cur     *txContext
 	ctxBuf  txContext // backs cur; one packet in flight at a time
@@ -144,6 +146,26 @@ func (n *Node) Stats() *mac.Stats { return &n.stats }
 
 // SetUpper implements mac.MAC.
 func (n *Node) SetUpper(u mac.UpperLayer) { n.upper = u }
+
+// SetAuditor attaches the protocol-invariant auditor; the node declares
+// DCF-won initiations and its NAK tone windows to it. MX declares no
+// ReliableOutcome: silence-is-success is the sender's belief (§2), not an
+// ACK-complete contract.
+func (n *Node) SetAuditor(a *audit.Auditor) { n.aud = a }
+
+// AuditContention implements audit.ContentionReporter.
+func (n *Node) AuditContention() (wants, counting, gated, idle bool) {
+	armed, counting, difsPending := n.dcf.AuditState()
+	return armed, counting, difsPending, n.mediumIdle()
+}
+
+// AuditNAVBusy implements audit.NAVReporter.
+func (n *Node) AuditNAVBusy() bool { return n.nav.Busy() }
+
+// AuditPending implements audit.PendingReporter.
+func (n *Node) AuditPending() (queued int, inFlight bool) {
+	return n.queue.Len(), n.cur != nil
+}
 
 // Liveness implements mac.LivenessReporter.
 func (n *Node) Liveness() mac.Liveness {
@@ -208,6 +230,7 @@ func (n *Node) onWin() {
 	if n.cur == nil || n.st != stIdle {
 		return
 	}
+	n.aud.Initiation(n.radio.ID())
 	if n.cur.req.Service == mac.Unreliable {
 		dest := frame.Broadcast
 		if len(n.cur.req.Dests) > 0 {
@@ -418,6 +441,7 @@ func (n *Node) raiseNAK() {
 	}
 	n.nakOn = true
 	n.stats.ABTSent++ // NAK tone emissions share the tone counter
+	n.aud.ExpectTone(n.radio.ID(), phy.ToneABT, n.eng.Now(), NAKWindow)
 	n.radio.SetTone(phy.ToneABT, true)
 	n.eng.AfterCall(NAKWindow, n, tagNAKOff)
 }

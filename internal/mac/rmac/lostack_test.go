@@ -1,0 +1,79 @@
+package rmac
+
+import (
+	"testing"
+
+	"rmac/internal/audit"
+	"rmac/internal/geom"
+	"rmac/internal/mac"
+	"rmac/internal/phy"
+	"rmac/internal/sim"
+)
+
+// crashAfterDeliver crashes the receiver's radio 3 µs after its first
+// delivery — inside its own ABT pulse, so the tone drops at the sender
+// before the λ-overlap detection threshold is reached. The sender sees a
+// lost acknowledgment for a packet that WAS delivered: the canonical
+// lost-ACK race.
+type crashAfterDeliver struct {
+	*upper
+	eng   *sim.Engine
+	radio *phy.Radio
+	armed bool
+}
+
+func (c *crashAfterDeliver) OnDeliver(p []byte, info mac.RxInfo) {
+	c.upper.OnDeliver(p, info)
+	if !c.armed {
+		c.armed = true
+		now := c.eng.Now()
+		c.eng.Schedule(now+3*sim.Microsecond, func() { c.radio.SetDown(true) })
+		c.eng.Schedule(now+100*sim.Microsecond, func() { c.radio.SetDown(false) })
+	}
+}
+
+// TestLostABTRedeliversOnce: the receiver delivers, but its ABT never
+// reaches the sender (the radio crashes mid-pulse). The sender must
+// retransmit; the receiver must suppress the duplicate delivery on the
+// repeated (src, seq) and acknowledge again; the exchange must end in
+// success with exactly one delivery and zero invariant violations.
+func TestLostABTRedeliversOnce(t *testing.T) {
+	w := newWorld(21, []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 0}})
+	aud := audit.New(w.eng, w.medium, audit.Config{})
+	cu := &crashAfterDeliver{upper: w.uppers[1], eng: w.eng, radio: w.medium.Radios()[1]}
+	for i, n := range w.nodes {
+		aud.RegisterMAC(i, n)
+		n.SetAuditor(aud)
+	}
+	w.nodes[0].SetUpper(aud.WrapUpper(0, w.uppers[0]))
+	w.nodes[1].SetUpper(aud.WrapUpper(1, cu))
+
+	if !w.nodes[0].Send(reliableReq("dup-probe", 1)) {
+		t.Fatal("Send rejected")
+	}
+	w.eng.Run(5 * sim.Second)
+
+	if got := len(w.uppers[1].delivered); got != 1 {
+		t.Fatalf("receiver deliveries = %d, want exactly 1 (duplicate must be suppressed)", got)
+	}
+	comp := w.uppers[0].completes
+	if len(comp) != 1 || comp[0].Dropped {
+		t.Fatalf("sender completion = %+v, want one success", comp)
+	}
+	st := w.nodes[0].Stats()
+	if st.Retransmissions == 0 {
+		t.Fatal("sender never retransmitted despite the lost ABT")
+	}
+	if st.ReliableDelivered != 1 {
+		t.Fatalf("ReliableDelivered = %d, want 1", st.ReliableDelivered)
+	}
+	if w.medium.Stats.Crashes != 1 {
+		t.Fatalf("Crashes = %d, want 1", w.medium.Stats.Crashes)
+	}
+	if aud.Count != 0 {
+		for _, v := range aud.Violations() {
+			t.Errorf("violation: %v", v)
+		}
+		t.Fatalf("auditor recorded %d violations, want 0", aud.Count)
+	}
+}

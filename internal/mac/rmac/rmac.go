@@ -18,6 +18,7 @@ package rmac
 import (
 	"fmt"
 
+	"rmac/internal/audit"
 	"rmac/internal/frame"
 	"rmac/internal/mac"
 	"rmac/internal/phy"
@@ -66,6 +67,10 @@ const GuardTime = 2 * sim.Microsecond
 // Send invocations.
 type txContext struct {
 	req *mac.SendRequest
+	// seq is the packet's MAC sequence number, assigned once per packet so
+	// every retransmission (and every §3.4 batch) carries the same value —
+	// receivers dedup retransmitted data on (sender, seq).
+	seq uint32
 	// batches are the §3.4 splits of the destination list; batchIdx
 	// cursors through them (a [1:] reslice would bleed capacity off the
 	// reused backing array and defeat the per-packet buffer reuse).
@@ -109,6 +114,7 @@ type Node struct {
 	queue   *mac.Queue
 	backoff *mac.Backoff
 	stats   mac.Stats
+	aud     *audit.Auditor
 
 	cur *txContext
 	rx  *rxContext
@@ -120,6 +126,13 @@ type Node struct {
 	rxBuf  rxContext
 
 	seq uint32
+
+	// lastSeq dedups the receiver role: the last (sender, seq) delivered
+	// upward. A retransmitted data frame (the sender missed our ABT) is
+	// re-acknowledged but not re-delivered. Last-value tracking suffices:
+	// a sender transmits packets strictly one at a time, so a receiver
+	// sees each sender's sequence numbers in non-decreasing order.
+	lastSeq map[frame.Addr]uint32
 
 	// Sender-side timers.
 	wfRBT    *sim.Timer
@@ -150,14 +163,15 @@ func New(radio *phy.Radio, cfg phy.Config, eng *sim.Engine, limits mac.Limits) *
 // NewWithOptions is New with ablation options.
 func NewWithOptions(radio *phy.Radio, cfg phy.Config, eng *sim.Engine, limits mac.Limits, opts Options) *Node {
 	n := &Node{
-		eng:    eng,
-		radio:  radio,
-		cfg:    cfg,
-		addr:   frame.AddrFromID(radio.ID()),
-		limits: limits,
-		opts:   opts,
-		queue:  mac.NewQueue(limits.QueueCap),
-		frames: radio.Frames(),
+		eng:     eng,
+		radio:   radio,
+		cfg:     cfg,
+		addr:    frame.AddrFromID(radio.ID()),
+		limits:  limits,
+		opts:    opts,
+		queue:   mac.NewQueue(limits.QueueCap),
+		frames:  radio.Frames(),
+		lastSeq: make(map[frame.Addr]uint32),
 	}
 	n.backoff = mac.NewBackoff(eng, eng.Rand(), phy.SlotTime, n.channelsIdle, n.onBackoffFire)
 	n.wfRBT = sim.NewTimer(eng, n.onWfRBTExpire)
@@ -175,6 +189,24 @@ func (n *Node) Stats() *mac.Stats { return &n.stats }
 
 // SetUpper implements mac.MAC.
 func (n *Node) SetUpper(u mac.UpperLayer) { n.upper = u }
+
+// SetAuditor attaches the protocol-invariant auditor; the node declares
+// its legal tone windows and reliable-send outcomes to it. A nil auditor
+// (the default) costs a nil check per declaration.
+func (n *Node) SetAuditor(a *audit.Auditor) { n.aud = a }
+
+// AuditContention implements audit.ContentionReporter. The backoff is
+// gated (not stuck) whenever the state machine or a protocol timer will
+// advance the node regardless of the countdown.
+func (n *Node) AuditContention() (wants, counting, gated, idle bool) {
+	gated = n.state != StateIdle || n.wfRBT.Pending() || n.wfABT.Pending() || n.wfRData.Pending()
+	return n.backoff.Active(), n.backoff.Counting(), gated, n.channelsIdle()
+}
+
+// AuditPending implements audit.PendingReporter.
+func (n *Node) AuditPending() (queued int, inFlight bool) {
+	return n.queue.Len(), n.cur != nil
+}
 
 // State returns the node's current protocol state (for tests/tracing).
 func (n *Node) State() State { return n.state }
@@ -255,8 +287,10 @@ func (n *Node) onBackoffFire() { n.trySend() }
 
 func (n *Node) newContext(req *mac.SendRequest) *txContext {
 	ctx := &n.ctxBuf
+	n.seq++
 	*ctx = txContext{
 		req:       req,
+		seq:       n.seq,
 		batches:   ctx.batches[:0],
 		remaining: ctx.remaining[:0],
 		delivered: ctx.delivered[:0],
@@ -298,11 +332,10 @@ func (n *Node) startUnreliable() {
 	if len(req.Dests) > 0 {
 		dest = req.Dests[0]
 	}
-	n.seq++
 	f := n.frames.UData()
 	f.Transmitter = n.addr
 	f.Receiver = dest
-	f.Seq = n.seq
+	f.Seq = n.cur.seq
 	f.Payload = append(f.Payload, req.Payload...)
 	n.state = StateTxUnrData
 	n.radio.StartTx(f)
@@ -368,11 +401,14 @@ func (n *Node) onWfRBTExpire() {
 		n.attemptFailed()
 		return
 	}
-	n.seq++
+	// The packet's sequence number was fixed at newContext time:
+	// retransmissions and later §3.4 batches repeat it, so receivers can
+	// recognise (and re-acknowledge without re-delivering) a data frame
+	// whose ABT the sender missed.
 	f := n.frames.RData()
 	f.Transmitter = n.addr
 	f.Receiver = frame.Broadcast // delivery set governed by the MRTS
-	f.Seq = n.seq
+	f.Seq = n.cur.seq
 	f.Payload = append(f.Payload, n.cur.req.Payload...)
 	n.state = StateTxRData
 	dur := n.radio.StartTx(f)
@@ -442,6 +478,7 @@ func (n *Node) dropCurrent() {
 	}
 	n.failedBuf = failed
 	n.postTxBackoff(true)
+	n.aud.ReliableOutcome(n.radio.ID(), len(ctx.delivered), len(ctx.req.Dests), true)
 	if n.upper != nil {
 		n.upper.OnSendComplete(mac.TxResult{
 			Req:       ctx.req,
@@ -471,6 +508,7 @@ func (n *Node) batchDone() {
 	n.cur = nil
 	n.stats.ReliableDelivered++
 	n.postTxBackoff(true)
+	n.aud.ReliableOutcome(n.radio.ID(), len(ctx.delivered), len(ctx.req.Dests), false)
 	if n.upper != nil {
 		n.upper.OnSendComplete(mac.TxResult{
 			Req:       ctx.req,
@@ -536,6 +574,7 @@ func (n *Node) onMRTS(m *frame.MRTS) {
 	n.rx = &n.rxBuf
 	n.state = StateWfRData
 	n.backoff.Suspend()
+	n.aud.ExpectTone(n.radio.ID(), phy.ToneRBT, n.eng.Now(), 0)
 	n.radio.SetTone(phy.ToneRBT, true)
 	if n.radio.CarrierSensed() {
 		// A signal is already arriving; treat it as the data candidate.
@@ -561,7 +600,12 @@ func (n *Node) receiverFrameEnd(f frame.Frame, ok bool) {
 			n.wfRData.Stop()
 			n.endReceiverRoleKeepingTimerStopped()
 			n.scheduleABT(idx)
-			if n.upper != nil {
+			// Retransmission of an already-delivered packet (the sender
+			// missed this receiver's ABT): acknowledge again, deliver once.
+			last, seen := n.lastSeq[d.Transmitter]
+			dup := seen && last == d.Seq
+			n.lastSeq[d.Transmitter] = d.Seq
+			if !dup && n.upper != nil {
 				n.upper.OnDeliver(d.Payload, mac.RxInfo{
 					From:     d.Transmitter,
 					Reliable: true,
@@ -619,6 +663,8 @@ func (n *Node) Call(tag int32) {
 // scheduleABT emits the acknowledgment busy tone for l_abt after waiting
 // index·l_abt (T_tx_abt, §3.3.2).
 func (n *Node) scheduleABT(index int) {
+	n.aud.ExpectTone(n.radio.ID(), phy.ToneABT,
+		n.eng.Now()+sim.Time(index)*phy.ABTDuration, phy.ABTDuration)
 	n.eng.AfterCall(sim.Time(index)*phy.ABTDuration, n, tagABTOn)
 }
 

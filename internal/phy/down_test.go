@@ -25,9 +25,9 @@ func (h *recHandler) OnFrameReceived(f frame.Frame, ok bool, _ sim.Time) {
 		h.rxBad++
 	}
 }
-func (h *recHandler) OnCarrierChange(busy bool)       { h.carrier = append(h.carrier, busy) }
-func (h *recHandler) OnToneChange(t Tone, on bool)    { h.tone = append(h.tone, on) }
-func (h *recHandler) OnTxDone(f frame.Frame)          { h.txDone++ }
+func (h *recHandler) OnCarrierChange(busy bool)    { h.carrier = append(h.carrier, busy) }
+func (h *recHandler) OnToneChange(t Tone, on bool) { h.tone = append(h.tone, on) }
+func (h *recHandler) OnTxDone(f frame.Frame)       { h.txDone++ }
 
 func downPair(t *testing.T) (*sim.Engine, *Medium, *Radio, *Radio, *recHandler, *recHandler) {
 	t.Helper()
@@ -237,4 +237,34 @@ func TestChurnPreservesQuiescence(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestRecoveryDoesNotReraiseTone: a tone dropped by a crash stays down at
+// every listener across recovery — the revived power stage must not
+// replay MAC intent it never saw — until the MAC's own next off→on
+// transition re-raises it for real.
+func TestRecoveryDoesNotReraiseTone(t *testing.T) {
+	eng, m, a, b, _, hb := downPair(t)
+	eng.Schedule(0, func() { a.SetTone(ToneRBT, true) })
+	eng.Schedule(sim.Millisecond, func() { m.SetDown(a, true) })
+	eng.Schedule(2*sim.Millisecond, func() { m.SetDown(a, false) })
+	eng.RunAll()
+	if b.ToneSensed(ToneRBT) {
+		t.Fatal("recovery re-raised the crashed-away RBT at the listener")
+	}
+	if !a.OwnTone(ToneRBT) {
+		t.Fatal("ownTone must keep tracking MAC intent across the crash")
+	}
+	if len(hb.tone) != 2 || hb.tone[0] != true || hb.tone[1] != false {
+		t.Fatalf("listener tone transitions = %v, want [on off]", hb.tone)
+	}
+	// The MAC's own off→on cycle restores the tone at the listener.
+	a.SetTone(ToneRBT, false)
+	a.SetTone(ToneRBT, true)
+	eng.RunAll()
+	if !b.ToneSensed(ToneRBT) {
+		t.Fatal("listener missed the genuinely re-raised RBT")
+	}
+	a.SetTone(ToneRBT, false)
+	eng.RunAll()
 }

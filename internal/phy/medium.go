@@ -35,6 +35,11 @@ type Medium struct {
 	// and its Detail formatting behind a nil check.
 	Tracer *trace.Trace
 
+	// Obs, when non-nil, receives pre-transition callbacks for every
+	// observable medium event (see Observer). Nil costs one branch per
+	// hook site.
+	Obs Observer
+
 	grid *spatialGrid
 
 	// Object pools. A released object keeps its slice capacity, so a
@@ -251,6 +256,11 @@ func (m *Medium) freeSess(s *toneSession) {
 // The radio's handler receives OnTxDone when the transmission completes
 // naturally; an aborted transmission (AbortTx) does not call OnTxDone.
 func (m *Medium) StartTx(r *Radio, f frame.Frame) sim.Time {
+	if m.Obs != nil {
+		// Before the double-TX panic below, so the auditor records the
+		// violation even when the medium refuses the transmission.
+		m.Obs.ObsTxStart(r, f)
+	}
 	if r.curTx != nil {
 		panic(fmt.Sprintf("phy: node %d StartTx while already transmitting", r.id))
 	}
@@ -309,6 +319,9 @@ func (m *Medium) AbortTx(r *Radio) {
 	if tx == nil {
 		panic(fmt.Sprintf("phy: node %d AbortTx with no transmission", r.id))
 	}
+	if m.Obs != nil {
+		m.Obs.ObsTxAbort(r, tx.f)
+	}
 	now := m.eng.Now()
 	truncated := tx.aborted // SetDown already cut the signal at every receiver
 	tx.aborted = true
@@ -336,6 +349,9 @@ func (m *Medium) AbortTx(r *Radio) {
 }
 
 func (m *Medium) txDone(tx *transmission) {
+	if m.Obs != nil {
+		m.Obs.ObsTxEnd(tx.src, tx.f)
+	}
 	tx.src.curTx = nil
 	tx.finished = true
 	h := tx.src.handler
@@ -418,6 +434,9 @@ func (m *Medium) rxEnd(p *rxPath) {
 		m.Tracer.Add(trace.Event{At: m.eng.Now(), Node: r.id, Kind: k, What: tx.f.Kind().String(),
 			Detail: "from node " + fmt.Sprint(tx.src.id)})
 	}
+	if m.Obs != nil {
+		m.Obs.ObsRxEnd(r, tx.src, tx.f, ok, p.started)
+	}
 	started := p.started
 	rxStart := tx.start + p.prop
 	f := tx.f
@@ -446,6 +465,10 @@ func (m *Medium) rxEnd(p *rxPath) {
 // own tone. Turning a tone on twice (or off while off) panics — protocol
 // state machines must track their own tone state.
 func (m *Medium) SetTone(r *Radio, t Tone, on bool) {
+	if m.Obs != nil {
+		// Before the double-transition panic, mirroring StartTx.
+		m.Obs.ObsToneSet(r, t, on)
+	}
 	if r.ownTone[t] == on {
 		panic(fmt.Sprintf("phy: node %d tone %v already %v", r.id, t, on))
 	}
@@ -518,6 +541,9 @@ func (m *Medium) SetTone(r *Radio, t Tone, on bool) {
 func (m *Medium) SetDown(r *Radio, down bool) {
 	if r.down == down {
 		return
+	}
+	if m.Obs != nil {
+		m.Obs.ObsDown(r, down)
 	}
 	r.down = down
 	if m.Tracer != nil {

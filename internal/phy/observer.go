@@ -1,0 +1,37 @@
+package phy
+
+import "rmac/internal/frame"
+
+// Observer receives a callback for every observable medium transition, in
+// event order, before the medium mutates its own state for that
+// transition. It exists for the protocol-invariant auditor
+// (internal/audit): unlike Tracer — which records what happened — an
+// Observer is called early enough to see the pre-transition radio state,
+// so it can judge whether the transition was legal (a TxStart while
+// r.Transmitting(), a tone raised twice, a decode while down).
+//
+// The hooks run on the simulation goroutine and must not schedule events,
+// transmit, or mutate radio state; they are a read-only tap. A nil
+// Medium.Obs costs one predictable branch per hook site, preserving the
+// allocation-free hot path.
+type Observer interface {
+	// ObsTxStart fires when r starts transmitting f, before the medium
+	// checks or installs the transmission (r.Transmitting() still reflects
+	// any previous, conflicting transmission).
+	ObsTxStart(r *Radio, f frame.Frame)
+	// ObsTxEnd fires when r's transmission of f completes naturally.
+	ObsTxEnd(r *Radio, f frame.Frame)
+	// ObsTxAbort fires when r aborts its in-flight transmission of f.
+	ObsTxAbort(r *Radio, f frame.Frame)
+	// ObsRxEnd fires when a signal from src finishes arriving at r; ok is
+	// the decode verdict and sensed reports whether the receiver ever
+	// registered the signal's energy (false for fragments a crash
+	// truncated before their first bit arrived). It fires before the
+	// receiver's OnFrameReceived handler runs.
+	ObsRxEnd(r, src *Radio, f frame.Frame, ok, sensed bool)
+	// ObsToneSet fires on every tone transition r requests, before the
+	// medium validates it (r.OwnTone(t) still holds the previous level).
+	ObsToneSet(r *Radio, t Tone, on bool)
+	// ObsDown fires on every effective crash/recovery transition of r.
+	ObsDown(r *Radio, down bool)
+}
