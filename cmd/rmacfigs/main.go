@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -40,7 +42,37 @@ func main() {
 	flag.Uint64Var(&base.MaxEvents, "max-events", 0, "watchdog: abort any single run after this many events (0 disables)")
 	flag.DurationVar(&base.MaxWall, "max-wall", 0, "watchdog: abort any single run after this much wall-clock time (0 disables)")
 	flag.BoolVar(&base.Audit, "audit", base.Audit, "attach the protocol-invariant auditor to every run (passive; disable to benchmark the bare hot path)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			mf, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC() // materialize the post-sweep live set
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			mf.Close()
+		}()
+	}
 
 	base.Packets = *packets
 	base.Nodes = *nodes

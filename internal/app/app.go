@@ -99,7 +99,11 @@ type Node struct {
 	id      int
 	metrics *Metrics
 
-	seen map[uint64]struct{}
+	// seen holds one reception bitset per packet source, indexed by the
+	// origin node ID and then by sequence number. Sequence numbers are
+	// dense per source (they count up from 1), so a bitset replaces the
+	// old hash map on the per-delivery hot path with two indexed loads.
+	seen [][]uint64
 
 	// reqs pools forwarding SendRequests; childBuf backs the per-forward
 	// children query. Both are recycled/reused in steady state.
@@ -115,12 +119,30 @@ type Node struct {
 // NewNode wires the application for one node and installs itself as the
 // MAC's upper layer.
 func NewNode(eng *sim.Engine, m mac.MAC, rt *routing.Protocol, id int, metrics *Metrics) *Node {
-	n := &Node{eng: eng, mac: m, rt: rt, id: id, metrics: metrics, seen: make(map[uint64]struct{})}
+	n := &Node{eng: eng, mac: m, rt: rt, id: id, metrics: metrics}
 	m.SetUpper(n)
 	return n
 }
 
-func key(src int, seq uint32) uint64 { return uint64(uint32(src))<<32 | uint64(seq) }
+// markSeen records (src, seq) and reports whether it was new. The bitsets
+// grow on demand; steady state makes no allocations once every source's
+// set has caught up with its sequence counter.
+func (n *Node) markSeen(src int, seq uint32) bool {
+	for src >= len(n.seen) {
+		n.seen = append(n.seen, nil)
+	}
+	w, bit := int(seq>>6), uint64(1)<<(seq&63)
+	bs := n.seen[src]
+	for w >= len(bs) {
+		bs = append(bs, 0)
+	}
+	n.seen[src] = bs
+	if bs[w]&bit != 0 {
+		return false
+	}
+	bs[w] |= bit
+	return true
+}
 
 // OnDeliver implements mac.UpperLayer: beacons go to routing, data to the
 // forwarder.
@@ -147,12 +169,10 @@ func (n *Node) onData(payload []byte) {
 	if !ok {
 		return
 	}
-	k := key(src, seq)
-	if _, dup := n.seen[k]; dup {
+	if !n.markSeen(src, seq) {
 		n.metrics.Duplicates++
 		return
 	}
-	n.seen[k] = struct{}{}
 	d := n.eng.Now() - gen
 	n.metrics.Receptions++
 	n.metrics.DelaySum += d
@@ -222,7 +242,7 @@ func (s *Source) generate() {
 	seq := uint32(s.sent)
 	s.buf = AppendPacket(s.buf[:0], n.id, seq, n.eng.Now(), s.packetSize)
 	n.metrics.Generated++
-	n.seen[key(n.id, seq)] = struct{}{} // the source never re-forwards its own packet
+	n.markSeen(n.id, seq) // the source never re-forwards its own packet
 	n.forward(s.buf)
 	interval := sim.Time(float64(sim.Second) / s.rate)
 	n.eng.AfterCall(interval, s, 0)

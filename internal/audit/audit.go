@@ -155,12 +155,48 @@ type nodeState struct {
 	tonePulse [phy.NumTones]sim.Time
 	expects   [phy.NumTones][4]toneExpect
 
-	seen map[dedupKey]struct{} // reliable deliveries, lazily allocated
+	// seen tracks reliable deliveries for the duplicate-delivery invariant:
+	// one sequence-number bitset per source node (sequence numbers are
+	// dense per source), plus a rare map fallback for frames whose source
+	// address does not decode to a node ID. Lazily grown.
+	seen        [][]uint64
+	seenForeign map[dedupKey]struct{}
 }
 
 type dedupKey struct {
 	src frame.Addr
 	seq uint32
+}
+
+// markSeen records a reliable delivery of (src, seq) at this node and
+// reports whether it was new.
+func (ns *nodeState) markSeen(src frame.Addr, seq uint32) bool {
+	id := src.NodeID()
+	if id < 0 {
+		if ns.seenForeign == nil {
+			ns.seenForeign = make(map[dedupKey]struct{})
+		}
+		k := dedupKey{src: src, seq: seq}
+		if _, dup := ns.seenForeign[k]; dup {
+			return false
+		}
+		ns.seenForeign[k] = struct{}{}
+		return true
+	}
+	for id >= len(ns.seen) {
+		ns.seen = append(ns.seen, nil)
+	}
+	w, bit := int(seq>>6), uint64(1)<<(seq&63)
+	bs := ns.seen[id]
+	for w >= len(bs) {
+		bs = append(bs, 0)
+	}
+	ns.seen[id] = bs
+	if bs[w]&bit != 0 {
+		return false
+	}
+	bs[w] |= bit
+	return true
 }
 
 // Auditor holds the run-wide audit state. The zero value is not usable;
@@ -177,7 +213,13 @@ type Auditor struct {
 	navs       []NAVReporter
 	pendings   []PendingReporter
 
-	ring *trace.Trace
+	// Context ring of compact, pointer-free records: the per-event hot
+	// path is a small copy with no write barrier and no string lookups;
+	// the trace.Event form (with its What string) is materialised only
+	// when a violation snapshots the ring.
+	ring     []ringEvt
+	ringNext int
+	ringFull bool
 
 	violations []Violation
 	// Count is the total number of violations detected, including any
@@ -202,7 +244,7 @@ func New(eng *sim.Engine, medium *phy.Medium, cfg Config) *Auditor {
 		eng:    eng,
 		medium: medium,
 		cfg:    cfg,
-		ring:   trace.New(cfg.ContextEvents),
+		ring:   make([]ringEvt, cfg.ContextEvents),
 	}
 	medium.Obs = a
 	return a
@@ -251,6 +293,53 @@ func (a *Auditor) RegisterMAC(id int, m mac.MAC) {
 	}
 }
 
+// ringEvt is one compact context-ring record. The subject octet holds a
+// frame.Kind or a phy.Tone (disambiguated by isTone); subjNone means the
+// event has no subject (node up/down).
+type ringEvt struct {
+	at     sim.Time
+	node   int32
+	kind   trace.Kind
+	isTone bool
+	subj   uint8
+}
+
+const subjNone = 0xFF
+
+// record appends one compact event to the context ring.
+func (a *Auditor) record(ev ringEvt) {
+	a.ring[a.ringNext] = ev
+	a.ringNext++
+	if a.ringNext == len(a.ring) {
+		a.ringNext = 0
+		a.ringFull = true
+	}
+}
+
+// ringEvents materialises the ring as chronological trace.Events,
+// reconstructing each What string from the subject octet.
+func (a *Auditor) ringEvents() []trace.Event {
+	var out []trace.Event
+	expand := func(evs []ringEvt) {
+		for _, e := range evs {
+			what := ""
+			switch {
+			case e.isTone:
+				what = phy.Tone(e.subj).String()
+			case e.subj != subjNone:
+				what = frame.Kind(e.subj).String()
+			}
+			out = append(out, trace.Event{At: e.at, Node: int(e.node), Kind: e.kind, What: what})
+		}
+	}
+	if a.ringFull {
+		out = make([]trace.Event, 0, len(a.ring))
+		expand(a.ring[a.ringNext:])
+	}
+	expand(a.ring[:a.ringNext])
+	return out
+}
+
 // violate records one violation with the current event ring as context.
 func (a *Auditor) violate(node int, class Class, format string, args ...any) {
 	a.Count++
@@ -262,7 +351,7 @@ func (a *Auditor) violate(node int, class Class, format string, args ...any) {
 		Node:    node,
 		Class:   class,
 		Detail:  fmt.Sprintf(format, args...),
-		Context: a.ring.Events(),
+		Context: a.ringEvents(),
 	})
 }
 
@@ -348,15 +437,10 @@ type upperShim struct {
 func (s *upperShim) OnDeliver(payload []byte, info mac.RxInfo) {
 	if info.Reliable {
 		ns := s.a.node(s.node)
-		if ns.seen == nil {
-			ns.seen = make(map[dedupKey]struct{})
-		}
-		k := dedupKey{src: info.From, seq: info.Seq}
-		if _, dup := ns.seen[k]; dup {
+		if !ns.markSeen(info.From, info.Seq) {
 			s.a.violate(s.node, ReliableSemantics,
 				"duplicate reliable delivery of seq %d from %v", info.Seq, info.From)
 		}
-		ns.seen[k] = struct{}{}
 	}
 	s.inner.OnDeliver(payload, info)
 }
@@ -387,7 +471,7 @@ func frameDuration(f frame.Frame) int {
 func (a *Auditor) ObsTxStart(r *phy.Radio, f frame.Frame) {
 	now := a.eng.Now()
 	id := r.ID()
-	a.ring.Add(trace.Event{At: now, Node: id, Kind: trace.TxStart, What: f.Kind().String()})
+	a.record(ringEvt{at: now, node: int32(id), kind: trace.TxStart, subj: uint8(f.Kind())})
 	ns := a.node(id)
 	win := ns.dcfWin
 	ns.dcfWin = false // any transmission consumes the declaration
@@ -461,7 +545,7 @@ func (a *Auditor) navOf(id int) NAVReporter {
 func (a *Auditor) ObsTxEnd(r *phy.Radio, f frame.Frame) {
 	now := a.eng.Now()
 	id := r.ID()
-	a.ring.Add(trace.Event{At: now, Node: id, Kind: trace.TxEnd, What: f.Kind().String()})
+	a.record(ringEvt{at: now, node: int32(id), kind: trace.TxEnd, subj: uint8(f.Kind())})
 	a.node(id).lastTxEnd = now
 }
 
@@ -469,7 +553,7 @@ func (a *Auditor) ObsTxEnd(r *phy.Radio, f frame.Frame) {
 func (a *Auditor) ObsTxAbort(r *phy.Radio, f frame.Frame) {
 	now := a.eng.Now()
 	id := r.ID()
-	a.ring.Add(trace.Event{At: now, Node: id, Kind: trace.TxAbort, What: f.Kind().String()})
+	a.record(ringEvt{at: now, node: int32(id), kind: trace.TxAbort, subj: uint8(f.Kind())})
 	a.node(id).lastTxEnd = now
 }
 
@@ -481,7 +565,7 @@ func (a *Auditor) ObsRxEnd(r, src *phy.Radio, f frame.Frame, ok, sensed bool) {
 	if ok {
 		k = trace.RxOK
 	}
-	a.ring.Add(trace.Event{At: now, Node: id, Kind: k, What: f.Kind().String()})
+	a.record(ringEvt{at: now, node: int32(id), kind: k, subj: uint8(f.Kind())})
 	ns := a.node(id)
 	if sensed {
 		ns.lastSensedEnd = now
@@ -505,7 +589,7 @@ func (a *Auditor) ObsToneSet(r *phy.Radio, t phy.Tone, on bool) {
 	if on {
 		k = trace.ToneOn
 	}
-	a.ring.Add(trace.Event{At: now, Node: id, Kind: k, What: t.String()})
+	a.record(ringEvt{at: now, node: int32(id), kind: k, isTone: true, subj: uint8(t)})
 	ns := a.node(id)
 	if r.OwnTone(t) == on {
 		a.violate(id, ToneLifecycle, "tone %v set %v twice", t, on)
@@ -553,7 +637,7 @@ func (a *Auditor) ObsDown(r *phy.Radio, down bool) {
 	if down {
 		k = trace.NodeDown
 	}
-	a.ring.Add(trace.Event{At: now, Node: id, Kind: k})
+	a.record(ringEvt{at: now, node: int32(id), kind: k, subj: subjNone})
 }
 
 // ---- quiesce checks ----

@@ -160,6 +160,11 @@ type Config struct {
 	// the command-line front ends expose a flag to disable it for
 	// benchmarking the bare hot path.
 	Audit bool
+
+	// TimerStats attaches the engine's per-horizon timer census
+	// (sim.TimerStats) and reports it in RunResult.TimerStats. Purely
+	// observational: event order is unchanged.
+	TimerStats bool
 }
 
 // DefaultConfig returns the paper's §4.1 parameters with a scaled-down

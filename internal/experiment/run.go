@@ -55,6 +55,9 @@ type RunResult struct {
 
 	// Simulator instrumentation.
 	Events uint64
+	// TimerStats is the engine's per-horizon timer census when
+	// Config.TimerStats is set (nil otherwise).
+	TimerStats *sim.TimerStats
 	// Trace holds the PHY event timeline when Config.TraceCap > 0.
 	Trace *trace.Trace
 
@@ -120,6 +123,7 @@ type network struct {
 	source   *app.Source
 	injector *fault.Injector
 	aud      *audit.Auditor
+	tstats   *sim.TimerStats
 
 	deadlocks []Deadlock
 }
@@ -136,6 +140,9 @@ func build(cfg Config) *network {
 		medium.Tracer = trace.New(cfg.TraceCap)
 	}
 	n := &network{cfg: cfg, eng: eng, medium: medium, metrics: &app.Metrics{Nodes: cfg.Nodes}}
+	if cfg.TimerStats {
+		n.tstats = eng.EnableTimerStats()
+	}
 	if cfg.Audit {
 		// The airtime bound sizes the legal RBT hold window: the largest
 		// data frame a run can carry is a forwarded source packet (beacons
@@ -242,6 +249,7 @@ func (n *network) collect() RunResult {
 		MRTSLens:    &stats.Sample{},
 		AbortRatios: &stats.Sample{},
 		Events:      n.eng.Processed,
+		TimerStats:  n.tstats,
 		Trace:       n.medium.Tracer,
 		Fault:       n.injector.Stats,
 		Crashes:     n.medium.Stats.Crashes,

@@ -31,14 +31,16 @@ const (
 	KindData
 )
 
-var kindNames = map[Kind]string{
+// kindNames is indexed by Kind; a dense array, not a map, because the
+// auditor stringifies the kind of every transmitted frame.
+var kindNames = [...]string{
 	KindMRTS: "MRTS", KindRData: "RDATA", KindUData: "UDATA",
 	KindRTS: "RTS", KindCTS: "CTS", KindACK: "ACK", KindRAK: "RAK", KindData: "DATA",
 }
 
 func (k Kind) String() string {
-	if s, ok := kindNames[k]; ok {
-		return s
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

@@ -195,11 +195,38 @@ type rxPath struct {
 }
 
 // Call implements sim.Caller: arrival of the signal's first or last bit.
+//
+// Last-bit arrivals batch: propagation delays are quantized to whole
+// nanoseconds, so in a dense neighborhood several receivers' rxEnd events
+// share one tick. After running one, the drain loop consumes every
+// immediately-following rxEnd at the same instant straight off the
+// engine's due list (PeekCall/TakeNext) without re-entering the dispatch
+// loop. PeekCall only ever yields the provably-next event, so dispatch
+// order — and with it every RNG draw in channelError — is bit-identical
+// to the unbatched path.
 func (p *rxPath) Call(tag int32) {
+	m := p.r.m // rxEnd recycles p; grab the medium first
 	if tag == tagRxStart {
-		p.r.m.rxStart(p)
+		m.rxStart(p)
 	} else {
-		p.r.m.rxEnd(p)
+		m.rxEnd(p)
+	}
+	now := m.eng.Now()
+	for {
+		c, t, ok := m.eng.PeekCall(now)
+		if !ok || t != tag {
+			return
+		}
+		q, isRx := c.(*rxPath)
+		if !isRx {
+			return // a tone or tx-done tag can collide numerically
+		}
+		m.eng.TakeNext()
+		if t == tagRxStart {
+			m.rxStart(q)
+		} else {
+			m.rxEnd(q)
+		}
 	}
 }
 

@@ -414,8 +414,11 @@ func TestPropertyOverlapExcludesDecode(t *testing.T) {
 		eng.Schedule(0, func() { a.StartTx(fr) })
 		eng.Schedule(gap, func() { c.StartTx(testFrame(2, 100)) })
 		eng.RunAll()
-		prop := m.propDelay(70)
-		overlapping := gap < dur+prop // second rxStart before first rxEnd at B
+		// Both senders are 70 m from B, so both signals shift by the same
+		// propagation delay and overlap at B iff gap < dur (strict: at
+		// gap == dur the first frame's last bit is delivered in the same
+		// instant the second's first bit arrives, and both decode).
+		overlapping := gap < dur
 		okA, okC := false, false
 		for _, g := range rb.rec.frames {
 			if g.f.Src() == frame.AddrFromID(0) && g.ok {

@@ -147,6 +147,14 @@ func (r *Radio) toneDelta(t Tone, d int) {
 			r.handler.OnToneChange(t, true)
 		}
 	case was && !is:
+		if s.log == nil {
+			// One-time full-capacity grab: the log halves in place once it
+			// reaches maxToneLog (below), so with room for the transient
+			// maxToneLog+1th entry this is the only allocation it ever
+			// makes — append-doubling churn would otherwise dominate a
+			// tone-heavy run's allocation profile.
+			s.log = make([]toneInterval, 0, maxToneLog+1)
+		}
 		s.log = append(s.log, toneInterval{s.onSince, now})
 		if len(s.log) > maxToneLog {
 			// Shift the kept half to the front of the backing array. A

@@ -116,10 +116,17 @@ func DefaultConfig() Config {
 	return Config{Period: 500 * sim.Millisecond, Expiry: 3 * sim.Second, JitterFrac: 0.1}
 }
 
+// neighbor is one entry of the dense per-ID neighbour table. present
+// distinguishes live entries from never-heard or expired IDs; the table is
+// a slice, not a map, because node IDs are small dense integers and the
+// per-beacon recompute sweep dominates the routing layer's cost — a linear
+// scan over a few dozen inline structs beats a map iteration several-fold,
+// and parent selection is order-independent, so the result is unchanged.
 type neighbor struct {
-	hops     int
-	parent   int
-	children int
+	hops     int32
+	parent   int32
+	children int32
+	present  bool
 	last     sim.Time
 }
 
@@ -135,7 +142,13 @@ type Protocol struct {
 
 	hops      int
 	parent    int
-	neighbors map[int]*neighbor
+	neighbors []neighbor // indexed by node ID, grown on demand
+
+	// nextExpiry is a conservative lower bound on the earliest instant any
+	// present neighbour could expire (refreshed by every full recompute).
+	// While now < nextExpiry, a beacon from a non-parent neighbour only
+	// needs comparing against the incumbent parent — see HandleBeacon.
+	nextExpiry sim.Time
 
 	// reqs pools beacon SendRequests (recycled by the upper layer's
 	// OnSendComplete); childBuf backs the tick's children count.
@@ -152,7 +165,6 @@ func New(eng *sim.Engine, m mac.MAC, id int, root bool, cfg Config) *Protocol {
 	p := &Protocol{
 		eng: eng, mac: m, id: id, root: root, cfg: cfg,
 		hops: -1, parent: -1,
-		neighbors: make(map[int]*neighbor),
 	}
 	if root {
 		p.hops = 0
@@ -197,49 +209,86 @@ func (p *Protocol) HandleBeacon(payload []byte) bool {
 	if b.ID == p.id {
 		return true
 	}
-	nb := p.neighbors[b.ID]
-	if nb == nil {
-		nb = &neighbor{}
-		p.neighbors[b.ID] = nb
+	if b.ID >= len(p.neighbors) {
+		p.neighbors = append(p.neighbors, make([]neighbor, b.ID+1-len(p.neighbors))...)
 	}
-	nb.hops = b.Hops
-	nb.parent = b.Parent
-	nb.children = b.Children
-	nb.last = p.eng.Now()
-	p.recompute()
+	now := p.eng.Now()
+	nb := &p.neighbors[b.ID]
+	nb.hops = int32(b.Hops)
+	nb.parent = int32(b.Parent)
+	nb.children = int32(b.Children)
+	nb.present = true
+	nb.last = now
+
+	// Parent re-selection. The full scan is only needed when the incumbent
+	// itself changed (its score moved, possibly down — a max cannot be
+	// patched), when there is no incumbent, or when an entry may have
+	// expired since the last scan. Otherwise the stored parent still beats
+	// every unchanged entry — scores only change with beacons, which all
+	// pass through here — so comparing the one updated entry against the
+	// incumbent reproduces the full scan's result exactly. (If the update
+	// wins it also keeps winning after inheriting the incumbent's hysteresis
+	// bonus, so the invariant is preserved across the switch.)
+	if p.root {
+		return true
+	}
+	if p.parent < 0 || b.ID == p.parent || now >= p.nextExpiry {
+		p.recompute()
+		return true
+	}
+	if b.Hops < 0 {
+		return true
+	}
+	inc := &p.neighbors[p.parent]
+	incHops, incKids := int(inc.hops), int(inc.children)+1
+	if b.Hops < incHops || (b.Hops == incHops &&
+		(b.Children > incKids || (b.Children == incKids && b.ID < p.parent))) {
+		p.parent = b.ID
+		p.hops = b.Hops + 1
+	}
 	return true
 }
 
-// recompute expires stale neighbours and re-selects the parent.
+// recompute expires stale neighbours and re-selects the parent, in one
+// pass over the dense neighbour table.
 func (p *Protocol) recompute() {
 	now := p.eng.Now()
-	for id, nb := range p.neighbors {
-		if now-nb.last > p.cfg.Expiry {
-			delete(p.neighbors, id)
-		}
-	}
-	if p.root {
-		p.hops = 0
-		p.parent = -1
-		return
-	}
+	minLast := sim.Time(1<<62 - 1)
 	bestID, bestHops, bestKids := -1, -1, -1
-	for id, nb := range p.neighbors {
+	for id := range p.neighbors {
+		nb := &p.neighbors[id]
+		if !nb.present {
+			continue
+		}
+		if now-nb.last > p.cfg.Expiry {
+			nb.present = false
+			continue
+		}
+		if nb.last < minLast {
+			minLast = nb.last
+		}
 		if nb.hops < 0 {
 			continue
 		}
-		kids := nb.children
+		kids := int(nb.children)
 		if id == p.parent {
 			// Hysteresis: our advertised membership counts toward the
 			// incumbent, so an equally-loaded alternative does not win.
 			kids++
 		}
-		better := bestID < 0 || nb.hops < bestHops ||
-			(nb.hops == bestHops && kids > bestKids) ||
-			(nb.hops == bestHops && kids == bestKids && id < bestID)
+		hops := int(nb.hops)
+		better := bestID < 0 || hops < bestHops ||
+			(hops == bestHops && kids > bestKids) ||
+			(hops == bestHops && kids == bestKids && id < bestID)
 		if better {
-			bestID, bestHops, bestKids = id, nb.hops, kids
+			bestID, bestHops, bestKids = id, hops, kids
 		}
+	}
+	p.nextExpiry = minLast + p.cfg.Expiry
+	if p.root {
+		p.hops = 0
+		p.parent = -1
+		return
 	}
 	if bestID < 0 {
 		p.hops = -1
@@ -261,16 +310,17 @@ func (p *Protocol) Hops() int { return p.hops }
 func (p *Protocol) Children() []int { return p.ChildrenInto(nil) }
 
 // ChildrenInto appends the current children to buf and returns it, so
-// steady-state callers can reuse one buffer across queries.
+// steady-state callers can reuse one buffer across queries. The table is
+// indexed by ID, so the appended IDs are ascending by construction.
 func (p *Protocol) ChildrenInto(buf []int) []int {
 	now := p.eng.Now()
-	n := len(buf)
-	for id, nb := range p.neighbors {
-		if now-nb.last <= p.cfg.Expiry && nb.parent == p.id {
+	pid := int32(p.id)
+	for id := range p.neighbors {
+		nb := &p.neighbors[id]
+		if nb.present && now-nb.last <= p.cfg.Expiry && nb.parent == pid {
 			buf = append(buf, id)
 		}
 	}
-	sortInts(buf[n:])
 	return buf
 }
 
@@ -278,19 +328,11 @@ func (p *Protocol) ChildrenInto(buf []int) []int {
 func (p *Protocol) NeighborCount() int {
 	now := p.eng.Now()
 	c := 0
-	for _, nb := range p.neighbors {
-		if now-nb.last <= p.cfg.Expiry {
+	for i := range p.neighbors {
+		nb := &p.neighbors[i]
+		if nb.present && now-nb.last <= p.cfg.Expiry {
 			c++
 		}
 	}
 	return c
-}
-
-func sortInts(xs []int) {
-	// Insertion sort: children lists are tiny (≤ ~10).
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

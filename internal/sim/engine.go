@@ -8,13 +8,19 @@
 // number and by deriving all randomness from the engine's seeded source.
 //
 // The kernel is allocation-free in steady state: events live in a per-engine
-// arena recycled through a free list, the priority queue is a hand-rolled
-// indexed 4-ary min-heap of arena indices (no container/heap interface
-// boxing), and hot callers can schedule closure-free callbacks through the
-// Caller interface instead of func() closures. Recycled slots carry a
-// generation counter, so an Event handle that outlives its slot's lifetime
-// (a cancel after the event fired, for example) is detected and ignored
-// rather than corrupting an unrelated event.
+// arena recycled through a free list, and hot callers can schedule
+// closure-free callbacks through the Caller interface instead of func()
+// closures. Recycled slots carry a generation counter, so an Event handle
+// that outlives its slot's lifetime (a cancel after the event fired, for
+// example) is detected and ignored rather than corrupting an unrelated
+// event.
+//
+// The queue itself is a hierarchical timing wheel (wheel.go) in front of a
+// hand-rolled indexed 4-ary min-heap: short-horizon events — the dominant,
+// cancel-heavy MAC timer traffic — sit in O(1) wheel slots until due, then
+// flush in sorted bursts onto an O(1)-pop due list; only long-horizon
+// overflow events pay heap comparisons. Dispatch merges the two sources
+// under the same exact (time, seq) total order as a pure heap.
 package sim
 
 import (
@@ -58,14 +64,29 @@ type Caller interface {
 
 // eventNode is one pooled event slot in the engine's arena. Slots are
 // addressed by index, never by long-lived pointer, so the arena can grow.
+// The struct is exactly one 64-byte cache line; fields are ordered by
+// dispatch heat: the (at, seq) ordering key, then the callback, then the
+// wheel links and bookkeeping.
 type eventNode struct {
 	at     Time
 	seq    uint64
-	fn     func() // closure form; nil when target is used
 	target Caller // tagged form; nil when fn is used
+	fn     func() // closure form; nil when target is used
+	next   int32  // wheel-slot / due-list links (intrusive, by arena index)
+	prev   int32
+	slot   int32  // wheel slot: index | slotL1 level flag
+	pos    int32  // heap position; posWheel/posDue in the wheel; -1 when free
 	gen    uint32 // incremented on every release; stale-handle detection
-	pos    int32  // position in the heap order, -1 when free
 	tag    int32
+}
+
+// heapEnt is one heap entry. It carries the (at, seq) ordering key next to
+// the arena index, so sift comparisons read the (hot, contiguous) heap
+// array instead of chasing a cache line per compared node in the arena.
+type heapEnt struct {
+	at  Time
+	seq uint64
+	id  int32
 }
 
 // Event is a cancellable handle to a scheduled callback, returned by
@@ -95,13 +116,15 @@ func (e Event) node() *eventNode {
 	return n
 }
 
-// At reports the simulated time the event fires at; 0 if the event is no
-// longer pending.
-func (e Event) At() Time {
+// At reports the simulated time the event fires at. ok is false if the
+// event is no longer pending (fired, cancelled, or zero handle) — t=0 is a
+// legal fire time at the start of a run, so absence is reported explicitly
+// rather than through a sentinel.
+func (e Event) At() (t Time, ok bool) {
 	if n := e.node(); n != nil {
-		return n.at
+		return n.at, true
 	}
-	return 0
+	return 0, false
 }
 
 // Pending reports whether the event is still queued to fire.
@@ -112,9 +135,26 @@ func (e Event) Pending() bool { return e.node() != nil }
 // no-op: generation counters detect stale handles, so a late Cancel can
 // never affect an unrelated event that recycled the same slot. Cancel must
 // only be called from the simulation goroutine.
+//
+// An event still sitting in a wheel slot or on the due list (the common
+// cases for MAC timer churn) is unlinked in O(1); only events in the heap
+// pay the O(log n) heap removal.
 func (e *Event) Cancel() {
 	if n := e.node(); n != nil {
-		e.eng.removeAt(n.pos)
+		eng := e.eng
+		if eng.tstats != nil {
+			eng.tstats.cancel(n.pos, n.at-eng.now)
+		}
+		switch n.pos {
+		case posWheel:
+			eng.wheelRemove(e.id)
+			eng.release(e.id)
+		case posDue:
+			eng.dueRemove(e.id)
+			eng.release(e.id)
+		default:
+			eng.removeAt(n.pos)
+		}
 	}
 	if e.eng != nil {
 		e.id = canceledID
@@ -127,15 +167,48 @@ func (e Event) Canceled() bool { return e.eng != nil && e.id == canceledID }
 // Engine is a discrete-event simulator instance. It is not safe for
 // concurrent use; one engine belongs to one goroutine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	nodes   []eventNode // arena of event slots
-	free    []int32     // released slot indices
-	order   []int32     // 4-ary min-heap of slot indices, by (at, seq)
-	rng     *rand.Rand
-	stopped bool
+	// Hot scalars first: the dispatch loop touches these every event.
+	now Time
+	seq uint64
 	// Processed counts events executed, for instrumentation.
 	Processed uint64
+
+	order []heapEnt   // 4-ary min-heap by (at, seq); the dispatch arbiter
+	nodes []eventNode // arena of event slots
+	free  []int32     // released slot indices
+
+	// Timing-wheel frontier (see wheel.go). wheelCount counts events in
+	// wheel slots (count1 those in level 1), dueCount those flushed onto
+	// the sorted due list headed by dueHead. wheelMin is a lower bound on
+	// the earliest in-slot event; the dispatch fast path compares it
+	// against the due head and heap top and skips the bitmap scans
+	// entirely when either wins.
+	wheelCount int
+	dueCount   int
+	count1     int
+	wheelMin   Time
+	cur0, cur1 uint64
+	dueHead    int32
+	dueTail    int32
+
+	// Scan cache (see wheel.go): the first occupied slot of each level
+	// (ns0/ns1, absolute) and its start time (nb0/nb1), valid while
+	// scanValid holds. Pushes min-update it in place; only a cancel that
+	// empties the cached frontier slot invalidates it, so repeated
+	// syncWheel calls rarely rescan the bitmaps.
+	ns0, ns1  uint64
+	nb0, nb1  Time
+	scanValid bool
+
+	// flushBuf and flushScratch are the reusable collect/scatter buffers
+	// of flushDue's large-cohort sort path (see sortCohortLarge); each
+	// grows once to the largest cohort.
+	flushBuf     []flushEnt
+	flushScratch []flushEnt
+
+	rng     *rand.Rand
+	stopped bool
+	tstats  *TimerStats
 
 	// QuiesceAudit, when non-nil, runs once every time Run or RunAll
 	// returns (horizon reached, queue drained, Stop, or watchdog abort).
@@ -145,11 +218,18 @@ type Engine struct {
 	// silently skewed metrics.
 	QuiesceAudit func()
 
-	// Watchdog state (SetWatchdog).
+	// Watchdog state (SetWatchdog). wdArmed lets the dispatch loop skip
+	// the check entirely when no budget is set.
+	wdArmed     bool
 	wdEvents    uint64
 	wdWall      time.Duration
 	wdStart     time.Time
 	abortReason string
+
+	// tw holds the wheel's slot lists and occupancy bitmaps (a few cold
+	// KiB, touched sparsely; kept last so the hot scalars above share
+	// cache lines).
+	tw wheel
 }
 
 // wallCheckMask throttles the wall-clock watchdog check to one time.Since
@@ -158,7 +238,13 @@ const wallCheckMask = 8191
 
 // NewEngine creates an engine whose random source is seeded with seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	e := &Engine{
+		rng:      rand.New(rand.NewSource(seed)),
+		wheelMin: maxTime, dueHead: -1, dueTail: -1,
+		nb0: maxTime, nb1: maxTime, scanValid: true,
+	}
+	e.tw.init()
+	return e
 }
 
 // Now returns the current simulated time.
@@ -167,24 +253,41 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// alloc takes a slot from the free list (or grows the arena) and queues it.
-func (e *Engine) alloc(at Time) int32 {
+// alloc takes a slot from the free list (or grows the arena), stamps it
+// with the next sequence number and queues it (wheel or heap). The
+// free-list pop stays in the fast path; arena growth is outlined so the
+// common case carries no append machinery.
+func (e *Engine) alloc(at Time) (int32, *eventNode) {
 	var id int32
 	if n := len(e.free); n > 0 {
 		id = e.free[n-1]
 		e.free = e.free[:n-1]
 	} else {
-		e.nodes = append(e.nodes, eventNode{gen: 1})
-		id = int32(len(e.nodes) - 1)
+		id = e.grow()
 	}
 	n := &e.nodes[id]
 	n.at = at
 	n.seq = e.seq
 	e.seq++
+	e.enqueue(id, n, at)
+	return id, n
+}
+
+// grow extends the arena by one slot; split out of alloc to keep the
+// free-list path small.
+//
+//go:noinline
+func (e *Engine) grow() int32 {
+	e.nodes = append(e.nodes, eventNode{gen: 1})
+	return int32(len(e.nodes) - 1)
+}
+
+// heapPush appends a slot to the heap and restores heap order.
+func (e *Engine) heapPush(id int32, at Time) {
+	n := &e.nodes[id]
 	n.pos = int32(len(e.order))
-	e.order = append(e.order, id)
+	e.order = append(e.order, heapEnt{at: at, seq: n.seq, id: id})
 	e.siftUp(len(e.order) - 1)
-	return id
 }
 
 // release returns a slot to the free list and invalidates outstanding
@@ -198,15 +301,28 @@ func (e *Engine) release(id int32) {
 	e.free = append(e.free, id)
 }
 
+// panicPast and panicNeg are outlined so the schedule entry points carry
+// only a compare on their hot path, not fmt machinery.
+//
+//go:noinline
+func (e *Engine) panicPast(at Time) {
+	panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+}
+
+//go:noinline
+func panicNeg(d Time) {
+	panic(fmt.Sprintf("sim: negative delay %v", d))
+}
+
 // Schedule runs fn at absolute time at. Scheduling into the past panics:
 // that is always a logic error in a protocol implementation.
 func (e *Engine) Schedule(at Time, fn func()) Event {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+		e.panicPast(at)
 	}
-	id := e.alloc(at)
-	e.nodes[id].fn = fn
-	return Event{eng: e, id: id, gen: e.nodes[id].gen}
+	id, n := e.alloc(at)
+	n.fn = fn
+	return Event{eng: e, id: id, gen: n.gen}
 }
 
 // ScheduleCall runs c.Call(tag) at absolute time at without allocating a
@@ -214,29 +330,35 @@ func (e *Engine) Schedule(at Time, fn func()) Event {
 // that schedule the same few callbacks on pooled objects millions of times.
 func (e *Engine) ScheduleCall(at Time, c Caller, tag int32) Event {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+		e.panicPast(at)
 	}
-	id := e.alloc(at)
-	n := &e.nodes[id]
+	id, n := e.alloc(at)
 	n.target = c
 	n.tag = tag
 	return Event{eng: e, id: id, gen: n.gen}
 }
 
-// After runs fn after delay d from the current time.
+// After runs fn after delay d from the current time. The delta check
+// subsumes Schedule's past check (now+d >= now for d >= 0), so the
+// allocation is reached through a single compare.
 func (e *Engine) After(d Time, fn func()) Event {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", d))
+		panicNeg(d)
 	}
-	return e.Schedule(e.now+d, fn)
+	id, n := e.alloc(e.now + d)
+	n.fn = fn
+	return Event{eng: e, id: id, gen: n.gen}
 }
 
 // AfterCall runs c.Call(tag) after delay d; see ScheduleCall.
 func (e *Engine) AfterCall(d Time, c Caller, tag int32) Event {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %v", d))
+		panicNeg(d)
 	}
-	return e.ScheduleCall(e.now+d, c, tag)
+	id, n := e.alloc(e.now + d)
+	n.target = c
+	n.tag = tag
+	return Event{eng: e, id: id, gen: n.gen}
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -255,6 +377,7 @@ func (e *Engine) SetWatchdog(maxEvents uint64, maxWall time.Duration) {
 	e.wdWall = maxWall
 	e.wdStart = time.Now()
 	e.abortReason = ""
+	e.wdArmed = maxEvents > 0 || maxWall > 0
 }
 
 // Aborted reports whether the watchdog stopped the run, and why.
@@ -282,13 +405,71 @@ func (e *Engine) watchdogTripped() bool {
 	return false
 }
 
-// dispatch pops the minimum event, releases its slot, and runs it. The
-// callback is copied out before release so the slot can be reused (and the
-// arena can grow) while the callback schedules new events.
-func (e *Engine) dispatch() {
-	id := e.order[0]
+// takeMin pops the globally-minimum event under (time, seq) and returns
+// its arena id, without releasing it. The caller must have run syncWheel,
+// which guarantees the minimum is either the due-list head (O(1) pop) or
+// the heap top.
+func (e *Engine) takeMin() int32 {
+	if d := e.dueHead; d >= 0 {
+		n := &e.nodes[d]
+		if len(e.order) == 0 || n.at < e.order[0].at ||
+			(n.at == e.order[0].at && n.seq < e.order[0].seq) {
+			e.dueHead = n.next
+			if n.next >= 0 {
+				e.nodes[n.next].prev = -1
+			} else {
+				e.dueTail = -1
+			}
+			e.dueCount--
+			return d
+		}
+	}
+	id := e.order[0].id
 	e.popTop()
-	n := &e.nodes[id]
+	return id
+}
+
+// dispatch releases the popped event's slot and runs its callback. The
+// dispatchNext pops and runs the globally-minimum event — pop and dispatch
+// fused so the hot loop touches the event node exactly once — unless that
+// event fires after horizon, in which case it is left queued and
+// dispatchNext reports false. The callback is copied out before release so
+// the slot can be reused (and the arena can grow) while the callback
+// schedules new events. The caller must have run syncWheel.
+func (e *Engine) dispatchNext(horizon Time) bool {
+	var id int32
+	var n *eventNode
+	if d := e.dueHead; d >= 0 {
+		n = &e.nodes[d]
+		if len(e.order) == 0 || n.at < e.order[0].at ||
+			(n.at == e.order[0].at && n.seq < e.order[0].seq) {
+			if n.at > horizon {
+				return false
+			}
+			id = d
+			e.dueHead = n.next
+			if n.next >= 0 {
+				e.nodes[n.next].prev = -1
+			} else {
+				e.dueTail = -1
+			}
+			e.dueCount--
+		} else {
+			if e.order[0].at > horizon {
+				return false
+			}
+			id = e.order[0].id
+			e.popTop()
+			n = &e.nodes[id]
+		}
+	} else {
+		if e.order[0].at > horizon {
+			return false
+		}
+		id = e.order[0].id
+		e.popTop()
+		n = &e.nodes[id]
+	}
 	at, fn, target, tag := n.at, n.fn, n.target, n.tag
 	e.release(id)
 	e.now = at
@@ -298,6 +479,52 @@ func (e *Engine) dispatch() {
 	} else {
 		target.Call(tag)
 	}
+	return true
+}
+
+// PeekCall reports the target and tag of the next pending event, provided
+// that event is a tagged (ScheduleCall) event due at exactly time at and
+// the engine may legally run it now (not stopped, event budget not
+// exhausted). It is the peek half of the same-tick batch-dispatch fast
+// path: a callback that knows how to run its peers inline (e.g. the PHY's
+// rx-end drain) can consume provably-next events without re-entering the
+// dispatch loop. A successful PeekCall must be followed by TakeNext before
+// any other engine call.
+func (e *Engine) PeekCall(at Time) (Caller, int32, bool) {
+	if e.stopped || (e.wdEvents > 0 && e.Processed >= e.wdEvents) {
+		return nil, 0, false
+	}
+	if e.dueHead < 0 {
+		e.syncWheel()
+	}
+	if d := e.dueHead; d >= 0 {
+		n := &e.nodes[d]
+		if len(e.order) == 0 || n.at < e.order[0].at ||
+			(n.at == e.order[0].at && n.seq < e.order[0].seq) {
+			if n.at != at || n.target == nil {
+				return nil, 0, false
+			}
+			return n.target, n.tag, true
+		}
+	}
+	if len(e.order) == 0 || e.order[0].at != at {
+		return nil, 0, false
+	}
+	n := &e.nodes[e.order[0].id]
+	if n.target == nil {
+		return nil, 0, false
+	}
+	return n.target, n.tag, true
+}
+
+// TakeNext consumes the event a successful PeekCall just reported —
+// popping it, releasing its slot and counting it as processed — without
+// running it; the caller invokes the callback itself.
+func (e *Engine) TakeNext() {
+	id := e.takeMin()
+	e.now = e.nodes[id].at
+	e.release(id)
+	e.Processed++
 }
 
 // Run executes events until the queue empties, the horizon is passed,
@@ -307,19 +534,21 @@ func (e *Engine) dispatch() {
 func (e *Engine) Run(horizon Time) {
 	defer e.quiesce()
 	e.stopped = false
-	for len(e.order) > 0 && !e.stopped {
-		if e.watchdogTripped() {
+	for len(e.order)+e.wheelCount+e.dueCount > 0 && !e.stopped {
+		if e.wdArmed && e.watchdogTripped() {
 			return
 		}
-		if e.nodes[e.order[0]].at > horizon {
+		if e.dueHead < 0 {
+			e.syncWheel()
+		}
+		if !e.dispatchNext(horizon) {
 			// Leave future events queued; advance clock to horizon so
 			// callers observe a consistent end time.
 			e.now = horizon
 			return
 		}
-		e.dispatch()
 	}
-	if len(e.order) == 0 && e.now < horizon {
+	if len(e.order)+e.wheelCount+e.dueCount == 0 && e.now < horizon {
 		e.now = horizon
 	}
 }
@@ -329,11 +558,14 @@ func (e *Engine) Run(horizon Time) {
 func (e *Engine) RunAll() {
 	defer e.quiesce()
 	e.stopped = false
-	for len(e.order) > 0 && !e.stopped {
-		if e.watchdogTripped() {
+	for len(e.order)+e.wheelCount+e.dueCount > 0 && !e.stopped {
+		if e.wdArmed && e.watchdogTripped() {
 			return
 		}
-		e.dispatch()
+		if e.dueHead < 0 {
+			e.syncWheel()
+		}
+		e.dispatchNext(maxTime)
 	}
 }
 
@@ -343,46 +575,45 @@ func (e *Engine) quiesce() {
 	}
 }
 
-// Pending reports the number of queued events. Cancelled events are
-// removed eagerly and never counted.
-func (e *Engine) Pending() int { return len(e.order) }
+// Pending reports the number of queued events (wheel slots, due list and
+// heap together). Cancelled events are removed eagerly and never counted.
+func (e *Engine) Pending() int { return len(e.order) + e.wheelCount + e.dueCount }
 
 // PoolInUse reports the number of event slots currently queued or
 // executing, for leak checks in tests: after a full drain it must be 0.
 func (e *Engine) PoolInUse() int { return len(e.nodes) - len(e.free) }
 
-// less orders slots by (at, seq): strict total order, so runs are
-// reproducible regardless of heap shape.
-func (e *Engine) less(a, b int32) bool {
-	na, nb := &e.nodes[a], &e.nodes[b]
-	if na.at != nb.at {
-		return na.at < nb.at
+// The priority queue behind the wheel is a 4-ary min-heap of heapEnt
+// entries: children of i are 4i+1..4i+4. Compared to a binary heap it
+// halves the tree depth, trading slightly more comparisons per level for
+// fewer cache-missing levels — a win for the sift-down-heavy pop/push mix
+// of a simulation queue. Entries embed their (at, seq) key, so sifting
+// never touches the arena except to update the moved node's position.
+
+func (ha *heapEnt) less(hb *heapEnt) bool {
+	if ha.at != hb.at {
+		return ha.at < hb.at
 	}
-	return na.seq < nb.seq
+	return ha.seq < hb.seq
 }
 
-// The priority queue is a 4-ary min-heap: children of i are 4i+1..4i+4.
-// Compared to a binary heap it halves the tree depth, trading slightly
-// more comparisons per level for fewer cache-missing levels — a win for
-// the sift-down-heavy pop/push mix of a simulation queue.
-
 func (e *Engine) siftUp(i int) {
-	id := e.order[i]
+	ent := e.order[i]
 	for i > 0 {
 		parent := (i - 1) / 4
-		if !e.less(id, e.order[parent]) {
+		if !ent.less(&e.order[parent]) {
 			break
 		}
 		e.order[i] = e.order[parent]
-		e.nodes[e.order[i]].pos = int32(i)
+		e.nodes[e.order[i].id].pos = int32(i)
 		i = parent
 	}
-	e.order[i] = id
-	e.nodes[id].pos = int32(i)
+	e.order[i] = ent
+	e.nodes[ent.id].pos = int32(i)
 }
 
 func (e *Engine) siftDown(i int) {
-	id := e.order[i]
+	ent := e.order[i]
 	n := len(e.order)
 	for {
 		first := 4*i + 1
@@ -395,45 +626,45 @@ func (e *Engine) siftDown(i int) {
 			end = n
 		}
 		for c := first + 1; c < end; c++ {
-			if e.less(e.order[c], e.order[best]) {
+			if e.order[c].less(&e.order[best]) {
 				best = c
 			}
 		}
-		if !e.less(e.order[best], id) {
+		if !e.order[best].less(&ent) {
 			break
 		}
 		e.order[i] = e.order[best]
-		e.nodes[e.order[i]].pos = int32(i)
+		e.nodes[e.order[i].id].pos = int32(i)
 		i = best
 	}
-	e.order[i] = id
-	e.nodes[id].pos = int32(i)
+	e.order[i] = ent
+	e.nodes[ent.id].pos = int32(i)
 }
 
-// popTop removes the minimum slot from the heap (without releasing it).
+// popTop removes the minimum entry from the heap (without releasing it).
 func (e *Engine) popTop() {
 	last := len(e.order) - 1
 	moved := e.order[last]
 	e.order = e.order[:last]
 	if last > 0 {
 		e.order[0] = moved
-		e.nodes[moved].pos = 0
+		e.nodes[moved.id].pos = 0
 		e.siftDown(0)
 	}
 }
 
-// removeAt removes the slot at heap position pos and releases it.
+// removeAt removes the entry at heap position pos and releases its slot.
 func (e *Engine) removeAt(pos int32) {
 	i := int(pos)
-	id := e.order[i]
+	id := e.order[i].id
 	last := len(e.order) - 1
 	moved := e.order[last]
 	e.order = e.order[:last]
 	if i != last {
 		e.order[i] = moved
-		e.nodes[moved].pos = pos
+		e.nodes[moved.id].pos = pos
 		e.siftDown(i)
-		if e.nodes[moved].pos == pos {
+		if e.nodes[moved.id].pos == pos {
 			e.siftUp(i)
 		}
 	}

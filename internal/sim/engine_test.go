@@ -257,8 +257,8 @@ func TestTimerStop(t *testing.T) {
 	if !tm.Pending() {
 		t.Fatal("timer not pending after Start")
 	}
-	if tm.Deadline() != Microsecond {
-		t.Fatalf("deadline = %v, want 1µs", tm.Deadline())
+	if at, ok := tm.Deadline(); !ok || at != Microsecond {
+		t.Fatalf("deadline = %v,%v, want 1µs,true", at, ok)
 	}
 	tm.Stop()
 	if tm.Pending() {
@@ -281,8 +281,8 @@ func TestTimerPendingClearsOnFire(t *testing.T) {
 	})
 	tm.Start(Microsecond)
 	e.RunAll()
-	if tm.Deadline() != 0 {
-		t.Fatalf("deadline of idle timer = %v, want 0", tm.Deadline())
+	if at, ok := tm.Deadline(); ok {
+		t.Fatalf("idle timer reports a deadline: %v,%v, want ok=false", at, ok)
 	}
 }
 

@@ -76,8 +76,11 @@ func TestCancelGenerationSafety(t *testing.T) {
 
 	fired := false
 	fresh := e.After(Microsecond, func() { fired = true }) // reuses the slot
-	if fresh.At() != e.Now()+Microsecond {
-		t.Fatalf("fresh event At = %v", fresh.At())
+	if at, ok := fresh.At(); !ok || at != e.Now()+Microsecond {
+		t.Fatalf("fresh event At = %v,%v", at, ok)
+	}
+	if _, ok := stale.At(); ok {
+		t.Fatal("stale handle to a recycled slot still reports a fire time")
 	}
 	stale.Cancel() // stale handle: must be a no-op on the recycled slot
 	if !fresh.Pending() {

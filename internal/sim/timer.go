@@ -47,5 +47,7 @@ func (t *Timer) Stop() {
 // Pending reports whether the timer is armed and has not fired.
 func (t *Timer) Pending() bool { return t.ev.Pending() }
 
-// Deadline returns the absolute expiration time; valid only when Pending.
-func (t *Timer) Deadline() Time { return t.ev.At() }
+// Deadline returns the absolute expiration time; ok is false when the
+// timer is not pending (a fire time of 0 is legal at the start of a run,
+// so absence is explicit rather than a sentinel).
+func (t *Timer) Deadline() (at Time, ok bool) { return t.ev.At() }

@@ -1,0 +1,645 @@
+package sim
+
+import (
+	"math/bits"
+	"slices"
+)
+
+// Hierarchical timing wheel — the scheduler front-end.
+//
+// The dominant timer traffic of a MAC simulation is short-horizon and
+// cancel-heavy: SIFS/DIFS gaps, backoff slots, per-neighbor propagation
+// events and RMAC's T_wf_rbt/T_wf_rdata/T_wf_abt tone windows are armed
+// microseconds-to-milliseconds ahead and very often cancelled (a restart,
+// a response arriving, an abort) before they fire. A comparison-based heap
+// charges O(log n) with cache-missing sift chains for every one of those;
+// a timing wheel charges O(1).
+//
+// The engine therefore routes every Schedule/ScheduleCall by
+// delta-to-now into one of
+//
+//	level 0:  128 ns × 512 slots ≈ 65.5 µs  (propagation, SIFS, slots, tones)
+//	level 1: 65.5 µs × 1024 slots ≈ 67 ms   (backoff, data airtime, retries)
+//	overflow: the indexed 4-ary min-heap     (beacons, app timers, horizon)
+//
+// The level-0 slot width is deliberately smaller than the largest
+// propagation delay (75 m range → 250 ns): per-neighbor rx-start events —
+// the most frequent event class in a dense network — must land at or
+// ahead of the frontier slot to take the wheel path instead of falling
+// through to the heap.
+//
+// Slots are intrusive doubly-linked lists threaded through the eventNode
+// arena (fields next/prev/slot), so the wheel allocates nothing. Slot
+// widths and counts are powers of two: slot numbers are shifts of the
+// absolute fire time, and occupancy bitmaps (one bit per slot) let the
+// frontier jump over empty ranges in a few word scans.
+//
+// Dispatch path. When the frontier reaches an occupied level-0 slot, the
+// slot's handful of events is insertion-sorted by (time, seq) and appended
+// to the engine's "due list" (level-1 slots first cascade into level-0).
+// Slots flush in strictly increasing slot-start order and every event in a
+// slot fires before the next slot starts, so appending sorted slot bursts
+// yields the exact global (time, seq) order — the due list is consumed
+// from its head in O(1) per event, no comparisons. Only two event classes
+// ever touch the heap: long-horizon overflow, and events scheduled inside
+// the already-flushed frontier window. The dispatcher takes whichever of
+// due-list head and heap top orders first under (time, seq).
+//
+// Determinism. (time, seq) is a total order — seq is unique — so any
+// mechanism that dispatches in that order is bit-identical to any other.
+// The due list realises it by sorted construction, the heap by
+// comparison, and the dispatcher's two-way merge preserves it across the
+// two. Flush and cascade order therefore cannot affect behaviour, which
+// the golden determinism tests pin against the heap-only kernel. The
+// payoff is cost: an event cancelled while still in a wheel slot or on
+// the due list is unlinked in O(1) and never touches the heap at all, and
+// a fired short-horizon event costs two O(1) list splices plus a bounded
+// insertion sort over its (typically single-digit) slot cohort instead of
+// an O(log n) sift chain.
+//
+// Invariants (checked informally throughout):
+//
+//   - cur1 == cur0 >> l0Bits, and cur0 only advances (advance0).
+//   - Every occupied level-0 slot has absolute number in [cur0, cur0+512);
+//     every occupied level-1 slot in (cur1, cur1+1024). Slot cur1 itself is
+//     always empty: it cascades the moment the frontier enters it, and an
+//     insert whose level-1 slot equals cur1 always fits the level-0 window.
+//   - wheelMin is a lower bound on the earliest in-slot event's fire time
+//     (its slot's start). Cancels may leave it stale-low, which costs at
+//     most one redundant bitmap scan, never a missed event.
+//   - Every due-list event precedes (in (time, seq)) every in-slot event,
+//     and the due list itself is (time, seq)-sorted.
+const (
+	l0Shift = 7                // level-0 slot width: 128 ns
+	l0Bits  = 9                // 512 slots
+	l0Slots = 1 << l0Bits      //
+	l1Shift = l0Shift + l0Bits // level-1 slot width: 65.536 µs
+	l1Bits  = 10               // 1024 slots
+	l1Slots = 1 << l1Bits      //
+	l0Words = l0Slots / 64     //
+	l1Words = l1Slots / 64     //
+	l0Mask  = l0Slots - 1      //
+	l1Mask  = l1Slots - 1      //
+	maxTime = Time(1<<63 - 1)  //
+	slotL1  = int32(1) << 16   // level flag in eventNode.slot
+)
+
+// posWheel marks an eventNode that lives in a wheel slot; posDue one on
+// the due list (pos is its heap position otherwise, or -1 when free).
+const (
+	posWheel int32 = -2
+	posDue   int32 = -3
+)
+
+// wheel is the two-level front-end state embedded in Engine. The arrays
+// are a few KiB and are touched sparsely; all hot scalars live in Engine
+// itself (wheelCount, wheelMin, cur0, cur1, dueHead, dueTail).
+type wheel struct {
+	occ0         [l0Words]uint64
+	occ1         [l1Words]uint64
+	head0, tail0 [l0Slots]int32
+	head1, tail1 [l1Slots]int32
+}
+
+func (w *wheel) init() {
+	for i := range w.head0 {
+		w.head0[i], w.tail0[i] = -1, -1
+	}
+	for i := range w.head1 {
+		w.head1[i], w.tail1[i] = -1, -1
+	}
+}
+
+// enqueue routes a freshly allocated slot id (node n, fire time at) to a
+// wheel level or the heap. Called by alloc with at >= e.now.
+func (e *Engine) enqueue(id int32, n *eventNode, at Time) {
+	if e.wheelCount == 0 {
+		// With the wheel's slots empty nothing can cascade or flush, so the
+		// frontier may lag far behind after an idle stretch; snap it to
+		// now so the windows cover [now, now+65µs) and [.., now+67ms).
+		if c := uint64(e.now) >> l0Shift; c > e.cur0 {
+			e.cur0 = c
+			e.cur1 = c >> l0Bits
+		}
+	}
+	s0 := uint64(at) >> l0Shift
+	if s0 < e.cur0 {
+		// Due inside the already-flushed frontier slot: straight to the
+		// heap, it fires within the current 128 ns window.
+		e.heapPush(id, at)
+		if e.tstats != nil {
+			e.tstats.place(placeDue, at-e.now)
+		}
+		return
+	}
+	if s0-e.cur0 < l0Slots {
+		// Level-0 tail append, inlined: this is the hottest placement.
+		idx := s0 & l0Mask
+		t := e.tw.tail0[idx]
+		n.pos = posWheel
+		n.slot = int32(idx)
+		n.prev = t
+		n.next = -1
+		if t >= 0 {
+			e.nodes[t].next = id
+		} else {
+			e.tw.head0[idx] = id
+			e.tw.occ0[idx>>6] |= 1 << (idx & 63)
+		}
+		e.tw.tail0[idx] = id
+		e.wheelCount++
+		// wheelMin == min(nb0, nb1), so a start that does not lower nb0
+		// cannot lower wheelMin either: one compare decides both updates.
+		if start := Time(s0 << l0Shift); start < e.nb0 {
+			e.ns0, e.nb0 = s0, start
+			if start < e.wheelMin {
+				e.wheelMin = start
+			}
+		}
+		if e.tstats != nil {
+			e.tstats.place(placeL0, at-e.now)
+		}
+		return
+	}
+	s1 := uint64(at) >> l1Shift
+	if s1-e.cur1 < l1Slots {
+		idx := s1 & l1Mask
+		t := e.tw.tail1[idx]
+		n.pos = posWheel
+		n.slot = int32(idx) | slotL1
+		n.prev = t
+		n.next = -1
+		if t >= 0 {
+			e.nodes[t].next = id
+		} else {
+			e.tw.head1[idx] = id
+			e.tw.occ1[idx>>6] |= 1 << (idx & 63)
+		}
+		e.tw.tail1[idx] = id
+		e.wheelCount++
+		e.count1++
+		if start := Time(s1 << l1Shift); start < e.nb1 {
+			e.ns1, e.nb1 = s1, start
+			if start < e.wheelMin {
+				e.wheelMin = start
+			}
+		}
+		if e.tstats != nil {
+			e.tstats.place(placeL1, at-e.now)
+		}
+		return
+	}
+	e.heapPush(id, at)
+	if e.tstats != nil {
+		e.tstats.place(placeOverflow, at-e.now)
+	}
+}
+
+// wheelRemove unlinks a cancelled event from its slot in O(1). The caller
+// releases the arena slot. The scan cache survives unless the removal
+// empties the very slot it points at; wheelMin may be left stale-low,
+// which is safe (see invariants).
+func (e *Engine) wheelRemove(id int32) {
+	n := &e.nodes[id]
+	if n.slot&slotL1 == 0 {
+		idx := uint64(n.slot) & l0Mask
+		if n.prev >= 0 {
+			e.nodes[n.prev].next = n.next
+		} else {
+			e.tw.head0[idx] = n.next
+		}
+		if n.next >= 0 {
+			e.nodes[n.next].prev = n.prev
+		} else {
+			e.tw.tail0[idx] = n.prev
+		}
+		if n.prev < 0 && n.next < 0 { // slot now empty
+			e.tw.occ0[idx>>6] &^= 1 << (idx & 63)
+			if idx == e.ns0&l0Mask {
+				e.scanValid = false
+			}
+		}
+	} else {
+		idx := uint64(n.slot&^slotL1) & l1Mask
+		e.count1--
+		if n.prev >= 0 {
+			e.nodes[n.prev].next = n.next
+		} else {
+			e.tw.head1[idx] = n.next
+		}
+		if n.next >= 0 {
+			e.nodes[n.next].prev = n.prev
+		} else {
+			e.tw.tail1[idx] = n.prev
+		}
+		if n.prev < 0 && n.next < 0 { // slot now empty
+			e.tw.occ1[idx>>6] &^= 1 << (idx & 63)
+			if idx == e.ns1&l1Mask {
+				e.scanValid = false
+			}
+		}
+	}
+	e.wheelCount--
+	if e.wheelCount == 0 {
+		e.resetScan()
+	}
+}
+
+// resetScan restores the exact-empty scan cache: with no in-slot events
+// the cache is trivially exact, and the min-updates in enqueue keep it
+// exact from there without ever rescanning.
+func (e *Engine) resetScan() {
+	e.nb0, e.nb1 = maxTime, maxTime
+	e.wheelMin = maxTime
+	e.scanValid = true
+}
+
+// dueRemove unlinks a cancelled event from the due list in O(1). The
+// caller releases the arena slot.
+func (e *Engine) dueRemove(id int32) {
+	n := &e.nodes[id]
+	if n.prev >= 0 {
+		e.nodes[n.prev].next = n.next
+	} else {
+		e.dueHead = n.next
+	}
+	if n.next >= 0 {
+		e.nodes[n.next].prev = n.prev
+	} else {
+		e.dueTail = n.prev
+	}
+	e.dueCount--
+}
+
+// firstOcc scans an occupancy bitmap circularly from absolute slot cur,
+// returning the absolute number of the first occupied slot and its start
+// time, or maxTime when the level is empty. All set bits are within the
+// level's window by invariant, so circular distance recovers the absolute
+// slot number. len(occ) is a power of two, so the wrap is a mask, not a
+// divide.
+func firstOcc(occ []uint64, cur uint64, mask uint64, shift uint) (uint64, Time) {
+	wordMask := uint64(len(occ)) - 1
+	base := cur & mask
+	w := base >> 6
+	word := occ[w] &^ (1<<(base&63) - 1)
+	for i := uint64(0); ; i++ {
+		if word != 0 {
+			idx := w<<6 + uint64(bits.TrailingZeros64(word))
+			abs := cur + ((idx - base) & mask)
+			return abs, Time(abs << shift)
+		}
+		if i == wordMask+1 {
+			return 0, maxTime
+		}
+		w = (w + 1) & wordMask
+		word = occ[w]
+		if w == base>>6 {
+			word &= 1<<(base&63) - 1 // wrapped: only bits below the start
+		}
+	}
+}
+
+// advance0 moves the level-0 frontier forward to absolute slot `to`,
+// cascading every level-1 slot it enters. Cascaded events land in level-0
+// slots at or after the new frontier by construction (a level-1 slot
+// spans exactly one full level-0 window).
+func (e *Engine) advance0(to uint64) {
+	if to>>l0Bits == e.cur1 {
+		// No level-1 boundary crossed: just move the level-0 frontier.
+		if to > e.cur0 {
+			e.cur0 = to
+		}
+		return
+	}
+	for next1 := e.cur1 + 1; next1 <= to>>l0Bits; next1++ {
+		e.cur0 = next1 << l0Bits
+		e.cur1 = next1
+		idx := next1 & l1Mask
+		if e.tw.occ1[idx>>6]&(1<<(idx&63)) != 0 {
+			e.cascade(int32(idx))
+		}
+	}
+	if to > e.cur0 {
+		e.cur0 = to
+	}
+}
+
+// cascade redistributes one due level-1 slot into level-0 slots.
+func (e *Engine) cascade(idx int32) {
+	id := e.tw.head1[idx]
+	e.tw.head1[idx], e.tw.tail1[idx] = -1, -1
+	e.tw.occ1[idx>>6] &^= 1 << (uint(idx) & 63)
+	for id >= 0 {
+		n := &e.nodes[id]
+		next := n.next
+		e.count1--
+		s0 := uint64(n.at) >> l0Shift
+		i0 := int32(s0 & l0Mask)
+		n.slot = i0
+		n.prev = e.tw.tail0[i0]
+		n.next = -1
+		if t := e.tw.tail0[i0]; t >= 0 {
+			e.nodes[t].next = id
+		} else {
+			e.tw.head0[i0] = id
+			e.tw.occ0[i0>>6] |= 1 << (uint(i0) & 63)
+		}
+		e.tw.tail0[i0] = id
+		id = next
+	}
+}
+
+// flushDue empties one due level-0 slot onto the tail of the due list in
+// (time, seq) order. A slot spans 128 ns and slots flush in increasing
+// start order, so everything already on the due list precedes everything
+// in this slot: sorting the slot's own burst (insertion sort from the
+// chain tail — bursts are small and near-sorted, cascades permitting) and
+// appending preserves the global total order.
+func (e *Engine) flushDue(abs uint64) {
+	idx := abs & l0Mask
+	id := e.tw.head0[idx]
+	if e.tw.tail0[idx] == id {
+		// Single-event slot — the overwhelmingly common case: a bare
+		// append, no sort pass.
+		e.tw.head0[idx], e.tw.tail0[idx] = -1, -1
+		e.tw.occ0[idx>>6] &^= 1 << (idx & 63)
+		n := &e.nodes[id]
+		n.pos = posDue
+		n.next = -1
+		n.prev = e.dueTail
+		if e.dueTail >= 0 {
+			e.nodes[e.dueTail].next = id
+		} else {
+			e.dueHead = id
+		}
+		e.dueTail = id
+		e.wheelCount--
+		e.dueCount++
+		return
+	}
+	e.tw.head0[idx], e.tw.tail0[idx] = -1, -1
+	e.tw.occ0[idx>>6] &^= 1 << (idx & 63)
+	start := Time(abs << l0Shift)
+	h, t, k := e.sortCohort(id, start)
+	if k < 0 {
+		h, t = e.sortCohortLarge(id, start)
+		k = len(e.flushBuf)
+	}
+	e.wheelCount -= k
+	e.dueCount += k
+	if e.dueTail >= 0 {
+		e.nodes[e.dueTail].next = h
+		e.nodes[h].prev = e.dueTail
+	} else {
+		e.dueHead = h
+	}
+	e.dueTail = t
+}
+
+// flushSortCap bounds the insertion-sorted cohort size; larger bursts —
+// far outside the simulator's own profile, but reachable through the
+// public Schedule API — divert to the O(k log k) path so a same-window
+// pile-up cannot go quadratic.
+const flushSortCap = 32
+
+// flushEnt is one key extracted for the cohort sorts: sorting a compact
+// array and relinking once beats insertion-sorting the intrusive list,
+// which chases a 64-byte node line per comparison. key packs the event's
+// offset within its 1<<l0Shift ns slot (top bits) over the low
+// seqKeyBits of its sequence number, so (time, seq) order within one
+// cohort collapses to a single uint64 compare. Two cohort members can
+// only collide in the truncated seq after 2^seqKeyBits intervening
+// events — unreachable in any run.
+type flushEnt struct {
+	key uint64
+	id  int32
+}
+
+const seqKeyBits = 64 - l0Shift
+
+// packKey builds a flushEnt key for a node in the slot starting at start.
+func packKey(at Time, seq uint64, start Time) uint64 {
+	return uint64(at-start)<<seqKeyBits | seq&(1<<seqKeyBits-1)
+}
+
+// sortCohort insertion-sorts a flushed slot chain by (time, seq) —
+// bursts are small and near-sorted, cascades permitting — and returns
+// the sorted chain's head, tail and length. k = -1 means the cohort
+// exceeded flushSortCap and the caller must divert to sortCohortLarge
+// (the chain's links are still intact in that case).
+func (e *Engine) sortCohort(id int32, start Time) (h, t int32, k int) {
+	var a [flushSortCap]flushEnt
+	n := 0
+	for p := id; p >= 0; {
+		nd := &e.nodes[p]
+		if n == flushSortCap {
+			return -1, -1, -1
+		}
+		nd.pos = posDue
+		key := packKey(nd.at, nd.seq, start)
+		i := n
+		for i > 0 && a[i-1].key > key {
+			a[i] = a[i-1]
+			i--
+		}
+		a[i] = flushEnt{key: key, id: p}
+		n++
+		p = nd.next
+	}
+	for i := 0; i < n; i++ {
+		nd := &e.nodes[a[i].id]
+		if i > 0 {
+			nd.prev = a[i-1].id
+		} else {
+			nd.prev = -1
+		}
+		if i+1 < n {
+			nd.next = a[i+1].id
+		} else {
+			nd.next = -1
+		}
+	}
+	return a[0].id, a[n-1].id, n
+}
+
+// sortCohortLarge handles large slot cohorts (dense rx fan-outs land
+// hundreds of deliveries in a 128 ns window). The chain's append order
+// is already sequence-ascending within each segment (direct pushes, one
+// cascaded block), so a stable counting sort on the 1<<l0Shift possible
+// slot offsets does nearly all the work in two linear passes; each
+// same-offset group then only needs a comparison sort when a cascade
+// seam actually inverted it, which the ascending check detects. Only
+// the one-time growth of the two reusable buffers can allocate.
+func (e *Engine) sortCohortLarge(id int32, start Time) (int32, int32) {
+	buf := e.flushBuf[:0]
+	for p := id; p >= 0; {
+		n := &e.nodes[p]
+		n.pos = posDue
+		buf = append(buf, flushEnt{key: packKey(n.at, n.seq, start), id: p})
+		p = n.next
+	}
+	e.flushBuf = buf
+	if cap(e.flushScratch) < len(buf) {
+		e.flushScratch = make([]flushEnt, len(buf))
+	}
+	out := e.flushScratch[:len(buf)]
+
+	// Stable counting sort by offset: count, prefix-sum, scatter.
+	var cnt [1 << l0Shift]int32
+	for i := range buf {
+		cnt[buf[i].key>>seqKeyBits]++
+	}
+	var sum int32
+	for i := range cnt {
+		cnt[i], sum = sum, sum+cnt[i]
+	}
+	for i := range buf {
+		o := buf[i].key >> seqKeyBits
+		out[cnt[o]] = buf[i]
+		cnt[o]++
+	}
+
+	// Groups that a cascade seam left out of sequence order get a real
+	// sort; the scatter was stable, so an untouched group is a couple of
+	// ascending runs at most.
+	for lo := 0; lo < len(out); {
+		hi := lo + 1
+		sorted := true
+		for hi < len(out) && out[hi].key>>seqKeyBits == out[lo].key>>seqKeyBits {
+			sorted = sorted && out[hi-1].key < out[hi].key
+			hi++
+		}
+		if !sorted {
+			slices.SortFunc(out[lo:hi], func(a, b flushEnt) int {
+				if a.key < b.key {
+					return -1
+				}
+				return 1
+			})
+		}
+		lo = hi
+	}
+
+	for i := range out {
+		n := &e.nodes[out[i].id]
+		if i > 0 {
+			n.prev = out[i-1].id
+		} else {
+			n.prev = -1
+		}
+		if i+1 < len(out) {
+			n.next = out[i+1].id
+		} else {
+			n.next = -1
+		}
+	}
+	return out[0].id, out[len(out)-1].id
+}
+
+// syncWheel establishes the dispatch invariant: after it returns, the
+// (time, seq)-smaller of due-list head and heap top — takeMin's choice —
+// is the global minimum. It flushes (cascading as needed) exactly the
+// slots whose start time does not exceed that bound: any of those could
+// hold an event ordered before it; any slot starting strictly later
+// cannot.
+//
+// Callers may skip the call entirely while the due list is non-empty:
+// due events come from flushed slots strictly below the frontier, so
+// every one of them precedes every in-slot event, and heap interleavings
+// are arbitrated by takeMin's comparison.
+func (e *Engine) syncWheel() {
+	for e.wheelCount > 0 {
+		lim := maxTime
+		if e.dueHead >= 0 {
+			lim = e.nodes[e.dueHead].at
+		}
+		if len(e.order) > 0 && e.order[0].at < lim {
+			lim = e.order[0].at
+		}
+		if e.wheelMin > lim {
+			return // fast path: no in-slot event can precede the bound
+		}
+		if !e.scanValid {
+			e.rescan()
+			if e.wheelMin > lim {
+				return
+			}
+		}
+		if e.nb1 < e.nb0 {
+			// The earliest in-slot event hides in a level-1 slot strictly
+			// before any level-0 one: enter it, which cascades it, and
+			// rescan at level-0 resolution.
+			e.advance0(e.ns1 << l0Bits)
+			e.rescan()
+			continue
+		}
+		s0 := e.ns0
+		if (s0+1)>>l0Bits == e.cur1 {
+			// Fast path: the slot and its successor sit inside the current
+			// level-1 window, so neither advance can cascade — the frontier
+			// move is a single store.
+			e.flushDue(s0)
+			e.cur0 = s0 + 1
+			if e.wheelCount == 0 {
+				e.resetScan()
+			} else {
+				e.rescan0()
+			}
+			return
+		}
+		pre1 := e.cur1
+		e.advance0(s0)
+		e.flushDue(s0)
+		e.advance0(s0 + 1)
+		if e.wheelCount == 0 {
+			e.resetScan()
+		} else if e.cur1 != pre1 {
+			// advance0 crossed a level-1 boundary and may have cascaded:
+			// both levels changed.
+			e.rescan()
+		} else {
+			e.rescan0()
+		}
+		// The flush moved at least one event to the due list, so the next
+		// bound check would return anyway: every due event precedes every
+		// in-slot event.
+		return
+	}
+	e.wheelMin = maxTime
+}
+
+// rescan recomputes the scan cache for both levels and the exact wheelMin.
+func (e *Engine) rescan() {
+	e.nb1 = maxTime
+	if e.count1 > 0 {
+		e.ns1, e.nb1 = firstOcc(e.tw.occ1[:], e.cur1, l1Mask, l1Shift)
+	}
+	e.rescan0()
+}
+
+// rescan0 recomputes the level-0 half of the scan cache (level 1 must be
+// current) and the exact wheelMin. The first word is probed inline: the
+// frontier usually sits within a word of the next occupied slot.
+func (e *Engine) rescan0() {
+	base := e.cur0 & l0Mask
+	if word := e.tw.occ0[base>>6] &^ (1<<(base&63) - 1); word != 0 {
+		idx := base>>6<<6 + uint64(bits.TrailingZeros64(word))
+		e.ns0 = e.cur0 + ((idx - base) & l0Mask)
+		e.nb0 = Time(e.ns0 << l0Shift)
+	} else if w := (base>>6 + 1) & (l0Words - 1); e.tw.occ0[w] != 0 {
+		// Second-word probe: timer gaps of a few µs routinely straddle a
+		// 64-slot word boundary, and the circular-distance recovery below
+		// stays valid for any word other than the frontier's own.
+		idx := w<<6 + uint64(bits.TrailingZeros64(e.tw.occ0[w]))
+		e.ns0 = e.cur0 + ((idx - base) & l0Mask)
+		e.nb0 = Time(e.ns0 << l0Shift)
+	} else {
+		e.ns0, e.nb0 = firstOcc(e.tw.occ0[:], e.cur0, l0Mask, l0Shift)
+	}
+	if e.nb0 < e.nb1 {
+		e.wheelMin = e.nb0
+	} else {
+		e.wheelMin = e.nb1
+	}
+	e.scanValid = true
+}

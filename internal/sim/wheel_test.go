@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWheelDispatchOrder pins the core wheel contract: any mix of deltas —
+// level 0, level 1, heap overflow, and below-frontier placements — fires in
+// exact (time, seq) order.
+func TestWheelDispatchOrder(t *testing.T) {
+	e := NewEngine(1)
+	rng := rand.New(rand.NewSource(7))
+	const n = 5000
+	type fired struct {
+		at  Time
+		seq int
+	}
+	var got []fired
+	for i := 0; i < n; i++ {
+		// Deltas spanning every placement class: sub-slot, level-0,
+		// level-1, and beyond the 67 ms horizon.
+		var d Time
+		switch rng.Intn(4) {
+		case 0:
+			d = Time(rng.Int63n(200)) // sub-slot / frontier
+		case 1:
+			d = Time(rng.Int63n(60_000)) // level 0
+		case 2:
+			d = Time(rng.Int63n(60_000_000)) // level 1
+		default:
+			d = Time(rng.Int63n(10_000_000_000)) // overflow
+		}
+		i := i
+		at := d
+		e.Schedule(at, func() { got = append(got, fired{at, i}) })
+	}
+	e.RunAll()
+	if len(got) != n {
+		t.Fatalf("fired %d events, want %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("order violation at %d: %v after %v", i, got[i].at, got[i-1].at)
+		}
+		if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+			t.Fatalf("seq violation at %d: schedule #%d after #%d at t=%v",
+				i, got[i].seq, got[i-1].seq, got[i].at)
+		}
+	}
+}
+
+// TestWheelCancelRescheduleAcrossCascade cancels an event that sits in a
+// level-1 slot, advances the clock across the cascade boundary, and
+// reschedules into the same window — the stale handle must stay dead and
+// the new one fire exactly once.
+func TestWheelCancelRescheduleAcrossCascade(t *testing.T) {
+	e := NewEngine(1)
+	var fired []string
+	// Place an event deep in level 1 (10 ms out).
+	ev := e.Schedule(10*Millisecond, func() { fired = append(fired, "old") })
+	// A marker just before the level-1 boundary of the first event.
+	e.Schedule(9*Millisecond, func() {
+		ev.Cancel()
+		// Reschedule into the already-entered window: 1 ms out lands in
+		// level 0 or level 1 depending on the frontier — both must work.
+		e.After(1*Millisecond, func() { fired = append(fired, "new") })
+	})
+	e.RunAll()
+	if len(fired) != 1 || fired[0] != "new" {
+		t.Fatalf("fired = %v, want [new]", fired)
+	}
+	if ev.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+}
+
+// TestWheelTimerRestartAcrossLevels restarts one Timer through every
+// horizon class: level 0, level 1, overflow, and back. Each restart must
+// cancel the previous arming (generation check) and the timer must fire
+// exactly once, at the final deadline.
+func TestWheelTimerRestartAcrossLevels(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	tm := NewTimer(e, func() { count++ })
+	tm.Start(10 * Microsecond)  // level 0
+	tm.Start(10 * Millisecond)  // level 1
+	tm.Start(500 * Millisecond) // heap overflow
+	tm.Start(20 * Microsecond)  // back to level 0
+	if at, ok := tm.Deadline(); !ok || at != 20*Microsecond {
+		t.Fatalf("Deadline = %v,%v; want 20µs,true", at, ok)
+	}
+	e.RunAll()
+	if count != 1 {
+		t.Fatalf("timer fired %d times, want 1", count)
+	}
+	if e.Now() != 20*Microsecond {
+		t.Fatalf("clock = %v, want 20µs", e.Now())
+	}
+}
+
+// TestWheelLevelRolloverTicks schedules events exactly on level-boundary
+// instants: multiples of the level-0 window (a level-1 slot start) and of
+// the full level-1 horizon, including off-by-one neighbours.
+func TestWheelLevelRolloverTicks(t *testing.T) {
+	e := NewEngine(1)
+	l0Window := Time(l0Slots << l0Shift) // 65.536 µs
+	l1Window := Time(l1Slots << l1Shift) // ≈ 67 ms
+	var ats []Time
+	for _, base := range []Time{l0Window, 2 * l0Window, l1Window, l1Window + l0Window} {
+		ats = append(ats, base-1, base, base+1)
+	}
+	var got []Time
+	for _, at := range ats {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.RunAll()
+	if len(got) != len(ats) {
+		t.Fatalf("fired %d, want %d", len(got), len(ats))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("rollover order violation: %v after %v", got[i], got[i-1])
+		}
+	}
+	if e.Now() != ats[len(ats)-1] {
+		t.Fatalf("clock = %v, want %v", e.Now(), ats[len(ats)-1])
+	}
+}
+
+// TestWheelMillionEventStress pushes a million events with the full delta
+// spread through the arena — schedules, cancels, restarts, cascades — and
+// cross-checks the survivor count. This is the pool-reuse soak for the
+// wheel path: generation counters must keep every stale handle inert.
+func TestWheelMillionEventStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-event soak")
+	}
+	e := NewEngine(42)
+	rng := rand.New(rand.NewSource(99))
+	const n = 1_000_000
+	fired := 0
+	var evs []Event
+	deltas := []int64{100, 5_000, 70_000, 3_000_000, 80_000_000, 400_000_000}
+	for i := 0; i < n; i++ {
+		d := Time(rng.Int63n(deltas[rng.Intn(len(deltas))]))
+		ev := e.Schedule(d, func() { fired++ })
+		// Cancel ~every third, re-arming half of those at a new horizon —
+		// handle churn across every wheel level.
+		switch rng.Intn(6) {
+		case 0:
+			ev.Cancel()
+		case 1:
+			ev.Cancel()
+			evs = append(evs, e.Schedule(d/2, func() { fired++ }))
+		default:
+			evs = append(evs, ev)
+		}
+	}
+	e.RunAll()
+	for _, ev := range evs {
+		if ev.Pending() {
+			t.Fatal("event still pending after RunAll")
+		}
+		ev.Cancel() // stale handles must be no-ops
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after RunAll", e.Pending())
+	}
+	if fired == 0 || fired > n {
+		t.Fatalf("fired = %d, implausible", fired)
+	}
+	// Rerun with the same seed: the count must be bit-identical.
+	e2 := NewEngine(42)
+	rng2 := rand.New(rand.NewSource(99))
+	fired2 := 0
+	for i := 0; i < n; i++ {
+		d := Time(rng2.Int63n(deltas[rng2.Intn(len(deltas))]))
+		ev := e2.Schedule(d, func() { fired2++ })
+		switch rng2.Intn(6) {
+		case 0:
+			ev.Cancel()
+		case 1:
+			ev.Cancel()
+			e2.Schedule(d/2, func() { fired2++ })
+		}
+	}
+	e2.RunAll()
+	if fired2 != fired {
+		t.Fatalf("same-seed rerun fired %d, first run %d", fired2, fired)
+	}
+}
+
+// TestWheelFrontierSnapAfterIdle exercises the lazy frontier snap: after
+// the wheel drains and the clock advances far via heap-only events, a new
+// short-delta schedule must land in the wheel (not the heap) and fire at
+// the right instant.
+func TestWheelFrontierSnapAfterIdle(t *testing.T) {
+	e := NewEngine(1)
+	var trace []Time
+	e.Schedule(5*Second, func() {
+		// The wheel has been empty for 5 simulated seconds; its frontier
+		// is far behind. This must snap it to now.
+		e.After(256, func() { trace = append(trace, e.Now()) })
+	})
+	e.RunAll()
+	if len(trace) != 1 || trace[0] != 5*Second+256 {
+		t.Fatalf("trace = %v, want [5s+256ns]", trace)
+	}
+}

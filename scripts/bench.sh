@@ -7,28 +7,49 @@
 # Usage:
 #   scripts/bench.sh            # run suites, rewrite BENCH_*.json
 #   scripts/bench.sh -quick     # single iteration smoke (CI)
+#   scripts/bench.sh -check     # short run, gate against committed JSONs
 #
 # Each JSON maps a benchmark to {ns_op, b_op, allocs_op}. Commit the
 # refreshed files together with any change that moves these numbers, and
 # quote the before/after in the PR description.
+#
+# -check compares a short (1s benchtime) run against the committed numbers
+# and fails on any allocs/op increase or on an ns/op regression beyond the
+# noise tolerance: 75% for the kernel microbenchmarks, 50% for the
+# whole-run suite. The committed numbers are best-of-N quiet-window
+# samples, and same-binary noise on shared runners reaches +50% on the
+# sub-2µs microbenchmarks, so the ns/op edge of this gate only catches
+# structural (multi-x) slowdowns — the sharp edge is allocs/op: exact for
+# the kernel suite (committed at zero), 5% for the whole-run suite whose
+# per-run totals wobble ±1% with data-dependent retries. It never
+# rewrites the JSONs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="2s"
 QUICK=0
-if [[ "${1:-}" == "-quick" ]]; then
+CHECK=0
+case "${1:-}" in
+-quick)
     # Smoke mode: single iteration, and keep the committed numbers — a 1x
     # sample is a liveness check, not a measurement.
     BENCHTIME="1x"
     QUICK=1
-fi
+    ;;
+-check)
+    BENCHTIME="1s"
+    CHECK=1
+    ;;
+esac
 
 # bench_suite PATTERN OUT PKGS... — run one benchmark suite and render the
-# results as JSON into OUT (/dev/null in smoke mode).
+# results as JSON into OUT (/dev/null in smoke mode, a temp file in check
+# mode).
 bench_suite() {
     local pattern=$1 out=$2
     shift 2
     [[ "$QUICK" == 1 ]] && out=/dev/null
+    [[ "$CHECK" == 1 ]] && out="${TMPDIR:-/tmp}/bench_check_$(basename "$out")"
     local raw
     raw=$(go test -run '^$' -bench "$pattern" -benchtime "$BENCHTIME" -benchmem "$@")
     echo "$raw"
@@ -55,22 +76,78 @@ bench_suite() {
     END { print "\n}" }
     ' > "$out"
 
-    if [[ "$out" != /dev/null ]]; then
+    if [[ "$CHECK" == 0 && "$out" != /dev/null ]]; then
         echo
         echo "wrote $out:"
         cat "$out"
     fi
 }
 
+# bench_rows FILE — flatten a BENCH_*.json into "name ns_op allocs_op"
+# rows for the comparison below.
+bench_rows() {
+    sed -n 's/^  "\([^"]*\)": {"ns_op": \([0-9.e+]*\), "b_op": [^,]*, "allocs_op": \([0-9.e+null]*\).*/\1 \2 \3/p' "$1"
+}
+
+# check_suite REF TOL ATOL — compare the current run (the temp file
+# bench_suite left for REF) against the committed REF. Fails the script on
+# an allocs/op increase beyond ATOL (0 = exact) or an ns/op regression
+# beyond TOL.
+CHECK_FAILED=0
+check_suite() {
+    local ref=$1 tol=$2 atol=${3:-0}
+    local cur="${TMPDIR:-/tmp}/bench_check_${ref}"
+    local refrows currows
+    refrows=$(mktemp) currows=$(mktemp)
+    bench_rows "$ref" > "$refrows"
+    bench_rows "$cur" > "$currows"
+    if ! awk -v tol="$tol" -v atol="$atol" -v ref="$ref" '
+    NR == FNR { ns[$1] = $2; al[$1] = $3; next }
+    $1 in ns {
+        bad_ns = ($2 > ns[$1] * (1 + tol))
+        bad_al = (al[$1] != "null" && $3 != "null" && $3 + 0 > al[$1] * (1 + atol))
+        if (bad_ns)
+            printf "REGRESSION %s: %.0f ns/op vs committed %.0f (+%.0f%%, tolerance %.0f%%)\n",
+                $1, $2, ns[$1], 100 * ($2 / ns[$1] - 1), 100 * tol > "/dev/stderr"
+        if (bad_al)
+            printf "REGRESSION %s: %d allocs/op vs committed %d\n",
+                $1, $3, al[$1] > "/dev/stderr"
+        if (bad_ns || bad_al) bad = 1
+        else ok++
+        seen++
+    }
+    END {
+        printf "%s: %d/%d benchmarks within tolerance\n", ref, ok, seen
+        if (seen == 0) { print ref ": no overlapping benchmarks — stale reference?" > "/dev/stderr"; bad = 1 }
+        exit bad
+    }
+    ' "$refrows" "$currows"; then
+        CHECK_FAILED=1
+    fi
+    rm -f "$refrows" "$currows"
+}
+
 bench_suite 'BenchmarkEngineSchedule|BenchmarkEngineScheduleCancel|BenchmarkEngineTimerChurn|BenchmarkMediumFanout|BenchmarkToneStorm' \
     BENCH_kernel.json ./internal/sim ./internal/phy
+[[ "$CHECK" == 1 ]] && check_suite BENCH_kernel.json 0.75
 
-# Impairment overhead: the same 200-radio fanout with the fault layer
-# attached (bursty channel) vs attached-but-disabled. The disabled case is
-# the regression gate — a zero fault.Config must stay free.
-bench_suite 'BenchmarkFaultFanout' BENCH_fault.json ./internal/fault
+if [[ "$CHECK" == 0 ]]; then
+    # Impairment overhead: the same 200-radio fanout with the fault layer
+    # attached (bursty channel) vs attached-but-disabled. The disabled case
+    # is the regression gate — a zero fault.Config must stay free.
+    bench_suite 'BenchmarkFaultFanout' BENCH_fault.json ./internal/fault
+fi
 
 # Whole-run throughput per MAC protocol: the end-to-end engineering metric
 # of the pooled frame lifecycle. allocs_op is the bill for a complete run
 # (network construction included); events_s is the headline number.
 bench_suite 'BenchmarkWholeRun' BENCH_run.json .
+[[ "$CHECK" == 1 ]] && check_suite BENCH_run.json 0.50 0.05
+
+if [[ "$CHECK" == 1 ]]; then
+    if [[ "$CHECK_FAILED" == 1 ]]; then
+        echo "bench check FAILED" 1>&2
+        exit 1
+    fi
+    echo "bench check passed"
+fi
