@@ -11,12 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 	"time"
 
@@ -24,7 +24,11 @@ import (
 	"rmac/internal/experiment"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main with an exit code, so deferred cleanup (profiles, signal
+// handler teardown) executes before the process exits.
+func run() int {
 	base := experiment.DefaultConfig()
 	figsFlag := flag.String("figures", "all", "comma-separated figure IDs (fig7..fig13) or 'all'")
 	ratesFlag := flag.String("rates", "", "comma-separated source rates in pkt/s (default: the paper's 5,10,20,40,60,80,100,120)")
@@ -44,18 +48,19 @@ func main() {
 	flag.BoolVar(&base.Audit, "audit", base.Audit, "attach the protocol-invariant auditor to every run (passive; disable to benchmark the bare hot path)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
+	strict := flag.Bool("strict", true, "exit non-zero when any run fails or is aborted, or the auditor reports violations (-strict=false restores advisory behaviour)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
 		pf, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer pf.Close()
 		if err := pprof.StartCPUProfile(pf); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -79,27 +84,33 @@ func main() {
 
 	if err := base.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "rmacfigs:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	figs, err := selectFigures(*figsFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 	rates := experiment.PaperRates
 	if *ratesFlag != "" {
 		rates, err = cli.ParseRates(*ratesFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 	}
 	scenarios, err := cli.ParseScenarios(*scenariosFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
+
+	// ^C stops dispatching further runs and aborts in-flight engines
+	// cooperatively; completed points still aggregate, tables and files
+	// are still written.
+	ctx, stopSignals := cli.SignalContext()
+	defer stopSignals()
 
 	if *resilience {
 		protocols := []experiment.Protocol{experiment.RMAC, experiment.BMMM, experiment.BMW}
@@ -107,11 +118,10 @@ func main() {
 			protocols, err = cli.ParseProtocols(*protoFlag)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return 2
 			}
 		}
-		runResilience(base, protocols, *seeds, *parallel, *csvPath, *quiet)
-		return
+		return runResilience(ctx, base, protocols, *seeds, *parallel, *csvPath, *quiet, *strict)
 	}
 
 	// One sweep covers every requested figure: figures differ only in
@@ -127,7 +137,7 @@ func main() {
 		protocols, err = cli.ParseProtocols(*protoFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 	}
 
@@ -148,13 +158,16 @@ func main() {
 		}
 	}
 	start := time.Now()
-	points := experiment.RunSweep(sweep)
+	points := experiment.RunSweepCtx(ctx, sweep)
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "\rcompleted %d runs in %v\n", total, time.Since(start).Round(time.Second))
 	}
 	var totalViolations uint64
+	failedRuns, abortedRuns := 0, 0
 	for _, p := range points {
 		totalViolations += p.Violations
+		failedRuns += p.FailedRuns
+		abortedRuns += p.AbortedRuns
 	}
 	if totalViolations > 0 {
 		fmt.Fprintf(os.Stderr, "AUDIT: %d invariant violation(s) across the sweep — figures below measure a non-conforming stack\n", totalViolations)
@@ -172,24 +185,30 @@ func main() {
 	if *csvPath != "" {
 		if err := writeFile(*csvPath, func(w *os.File) error { return experiment.WriteCSV(w, points) }); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
 	}
 	if *jsonPath != "" {
 		if err := writeFile(*jsonPath, func(w *os.File) error { return experiment.WriteJSON(w, points) }); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
+	if *strict && (totalViolations > 0 || failedRuns > 0 || abortedRuns > 0) {
+		fmt.Fprintf(os.Stderr, "rmacfigs: strict: %d failed, %d aborted, %d violation(s)\n",
+			failedRuns, abortedRuns, totalViolations)
+		return 1
+	}
+	return 0
 }
 
 // runResilience executes the burst-loss and churn ladders for the given
 // protocols and renders one table per impairment level (plus CSV when
 // requested). Failed runs are reported per cell rather than poisoning the
 // sweep, so a crash in one configuration still yields the other curves.
-func runResilience(base experiment.Config, protocols []experiment.Protocol, seeds, parallel int, csvPath string, quiet bool) {
+func runResilience(ctx context.Context, base experiment.Config, protocols []experiment.Protocol, seeds, parallel int, csvPath string, quiet, strict bool) int {
 	levels := append(experiment.DefaultBurstLevels(), experiment.DefaultChurnLevels()...)
 	sweep := experiment.ResilienceSweep{
 		Base:        base,
@@ -207,15 +226,16 @@ func runResilience(base experiment.Config, protocols []experiment.Protocol, seed
 		}
 	}
 	start := time.Now()
-	points := experiment.RunResilienceSweep(sweep)
+	points := experiment.RunResilienceSweepCtx(ctx, sweep)
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "\rcompleted %d runs in %v\n", total, time.Since(start).Round(time.Second))
 	}
 
 	experiment.WriteResilienceTable(os.Stdout, points)
-	failed := 0
+	failed, aborted := 0, 0
 	for _, p := range points {
 		failed += p.FailedRuns
+		aborted += p.AbortedRuns
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "rmacfigs: %d run(s) failed and were excluded from the averages\n", failed)
@@ -224,13 +244,14 @@ func runResilience(base experiment.Config, protocols []experiment.Protocol, seed
 	if csvPath != "" {
 		if err := writeFile(csvPath, func(w *os.File) error { return experiment.WriteResilienceCSV(w, points) }); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", csvPath)
 	}
-	if failed > 0 {
-		os.Exit(1)
+	if failed > 0 || (strict && aborted > 0) {
+		return 1
 	}
+	return 0
 }
 
 func writeFile(path string, fn func(*os.File) error) error {
@@ -256,18 +277,6 @@ func selectFigures(spec string) ([]experiment.Figure, error) {
 			return nil, err
 		}
 		out = append(out, f)
-	}
-	return out, nil
-}
-
-func parseRates(spec string) ([]float64, error) {
-	var out []float64
-	for _, s := range strings.Split(spec, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("rmacfigs: bad rate %q", s)
-		}
-		out = append(out, v)
 	}
 	return out, nil
 }

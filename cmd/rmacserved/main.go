@@ -1,0 +1,90 @@
+// Command rmacserved serves long-running sweep campaigns over HTTP/JSON:
+// clients POST sweep grids, the service fans grid points to a worker pool
+// with retries, per-point deadlines, and a poison quarantine, streams
+// progress and partial results, and journals every outcome so a sweep
+// survives a crash or restart of the server itself.
+//
+// Start it, submit a sweep, watch it:
+//
+//	rmacserved -addr :8080 -journal sweeps.jsonl
+//	curl -d '{"protocols":["rmac","bmmm"],"rates":[10,40],"seeds":3}' localhost:8080/sweeps
+//	curl localhost:8080/jobs/j1
+//
+// SIGINT/SIGTERM drains gracefully: no new submissions are admitted,
+// in-flight points finish (bounded by -drain-timeout), then the journal
+// is closed. Whatever did not finish is resumed by the next start with
+// the same -journal path.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"rmac/internal/cli"
+	"rmac/internal/experiment"
+	"rmac/internal/server"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var cfg server.Config
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.IntVar(&cfg.Workers, "workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.QueueCap, "queue", 0, "max admitted-but-unfinished grid points before submissions get 429 (0 = 1024)")
+	flag.IntVar(&cfg.MaxAttempts, "attempts", 0, "quarantine a grid point after this many failed attempts (0 = 3)")
+	flag.DurationVar(&cfg.RetryBase, "retry-base", 0, "base retry backoff (0 = 100ms; doubled per failure, capped, jittered)")
+	flag.DurationVar(&cfg.RetryCap, "retry-cap", 0, "max retry backoff (0 = 5s)")
+	flag.DurationVar(&cfg.PointDeadline, "deadline", 0, "wall-clock budget per grid point (0 = 2m, negative disables)")
+	flag.StringVar(&cfg.JournalPath, "journal", "", "crash-recovery journal path; on start, unfinished work found here is resumed (empty disables)")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for in-flight points on SIGTERM before hard stop (journaled work resumes on restart)")
+	flag.Parse()
+
+	srv, err := server.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmacserved:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmacserved:", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("rmacserved: listening on %s (%s)\n", ln.Addr(), experiment.CodeVersion())
+
+	ctx, stopSignals := cli.SignalContext()
+	defer stopSignals()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		srv.Close()
+		fmt.Fprintln(os.Stderr, "rmacserved:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Println("rmacserved: draining (second signal kills immediately)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then let in-flight work finish.
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "rmacserved: shutdown:", err)
+	}
+	if err := srv.Drain(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "rmacserved:", err)
+		return 1
+	}
+	fmt.Println("rmacserved: drained cleanly")
+	return 0
+}

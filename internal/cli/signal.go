@@ -1,0 +1,23 @@
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context canceled on the first SIGINT or
+// SIGTERM, letting a command wind down cooperatively — in-flight engines
+// abort at their next periodic check, partial results are still written,
+// files are closed — instead of dying mid-write. After the first signal
+// the handler is removed, so a second ^C falls through to the runtime's
+// default behaviour and kills the process immediately.
+func SignalContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ctx.Done()
+		stop() // restore default handling: second signal is fatal
+	}()
+	return ctx, stop
+}

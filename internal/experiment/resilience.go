@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -90,6 +91,14 @@ type ResilienceSweep struct {
 // level) cell. Failed runs are reported, not averaged; watchdog-aborted
 // runs contribute their partial metrics.
 func RunResilienceSweep(s ResilienceSweep) []ResiliencePoint {
+	return RunResilienceSweepCtx(context.Background(), s)
+}
+
+// RunResilienceSweepCtx is RunResilienceSweep with cooperative
+// cancellation, with the same semantics as RunSweepCtx: no new points are
+// dispatched once ctx is done, in-flight runs abort at their engines'
+// next periodic check, and completed results are aggregated as usual.
+func RunResilienceSweepCtx(ctx context.Context, s ResilienceSweep) []ResiliencePoint {
 	type job struct {
 		cell int
 		cfg  Config
@@ -131,7 +140,10 @@ func RunResilienceSweep(s ResilienceSweep) []ResiliencePoint {
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				res := Run(j.cfg)
+				if ctx.Err() != nil {
+					continue // drain without dispatching
+				}
+				res := RunCtx(ctx, j.cfg)
 				mu.Lock()
 				results[j.cell] = append(results[j.cell], res)
 				done++
@@ -143,8 +155,13 @@ func RunResilienceSweep(s ResilienceSweep) []ResiliencePoint {
 			}
 		}()
 	}
+feed:
 	for _, j := range jobs {
-		jobCh <- j
+		select {
+		case jobCh <- j:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobCh)
 	wg.Wait()

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime/debug"
@@ -215,7 +216,15 @@ var testHookPreRun func(Config)
 // panics: an invalid configuration or a panicking protocol stack yields a
 // RunResult with Failed set (and the captured stack), so one poisoned
 // seed cannot take down a whole sweep.
-func Run(cfg Config) (res RunResult) {
+func Run(cfg Config) RunResult { return RunCtx(context.Background(), cfg) }
+
+// RunCtx is Run with cooperative cancellation: once ctx is done the
+// engine aborts at its next periodic check and the result carries the
+// metrics of the simulated prefix with Aborted set — exactly like a
+// watchdog trip. A run whose context is never canceled is bit-identical
+// to Run with the same Config, so callers (signal-wired CLIs, the sweep
+// service's per-job deadlines) pay nothing for the hook.
+func RunCtx(ctx context.Context, cfg Config) (res RunResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			res = RunResult{
@@ -236,6 +245,7 @@ func Run(cfg Config) (res RunResult) {
 	if cfg.MaxEvents > 0 || cfg.MaxWall > 0 {
 		n.eng.SetWatchdog(cfg.MaxEvents, cfg.MaxWall)
 	}
+	n.eng.SetContext(ctx)
 	n.eng.Run(cfg.Horizon())
 	return n.collect()
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -69,7 +70,14 @@ func (s Sweep) Cells() int { return len(s.Protocols) * len(s.Scenarios) * len(s.
 // simulation, each with its own engine (simulations share nothing) — and
 // aggregates per cell. Results are ordered by (protocol, scenario, rate)
 // in the order given.
-func RunSweep(s Sweep) []Point {
+func RunSweep(s Sweep) []Point { return RunSweepCtx(context.Background(), s) }
+
+// RunSweepCtx is RunSweep with cooperative cancellation: once ctx is done,
+// no further grid points are dispatched, in-flight simulations abort at
+// their engines' next periodic check (their partial results are recorded
+// as Aborted), and the points aggregate whatever completed. A sweep whose
+// context is never canceled is bit-identical to RunSweep.
+func RunSweepCtx(ctx context.Context, s Sweep) []Point {
 	type job struct {
 		cell int
 		cfg  Config
@@ -114,7 +122,10 @@ func RunSweep(s Sweep) []Point {
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				res := Run(j.cfg)
+				if ctx.Err() != nil {
+					continue // canceled: drain without running
+				}
+				res := RunCtx(ctx, j.cfg)
 				mu.Lock()
 				results[j.cell] = append(results[j.cell], res)
 				done++
@@ -128,8 +139,13 @@ func RunSweep(s Sweep) []Point {
 			}
 		}()
 	}
+feed:
 	for _, j := range jobs {
-		jobCh <- j
+		select {
+		case jobCh <- j:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobCh)
 	wg.Wait()

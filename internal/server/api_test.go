@@ -1,0 +1,320 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"rmac/internal/experiment"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postSweep(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeSubmit(t *testing.T, resp *http.Response) SubmitResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+func TestAPISubmitStatusStream(t *testing.T) {
+	sc := newScript()
+	sc.delay = 2 * time.Millisecond
+	_, ts := newTestServer(t, testConfig(sc))
+
+	resp := postSweep(t, ts, `{"protocols":["rmac","bmmm"],"rates":[10,20],"seeds":2}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	sr := decodeSubmit(t, resp)
+	if sr.Points != 8 || sr.Job == "" {
+		t.Fatalf("submit response = %+v", sr)
+	}
+
+	// The stream must end with a terminal snapshot containing all results.
+	streamResp, err := http.Get(ts.URL + "/jobs/" + sr.Job + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer streamResp.Body.Close()
+	if ct := streamResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content-type = %q", ct)
+	}
+	var last JobStatus
+	frames := 0
+	scanner := bufio.NewScanner(streamResp.Body)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for scanner.Scan() {
+		if err := json.Unmarshal(scanner.Bytes(), &last); err != nil {
+			t.Fatalf("bad stream frame: %v", err)
+		}
+		frames++
+	}
+	if frames == 0 {
+		t.Fatal("stream produced no frames")
+	}
+	if last.State != JobCompleted || last.Done != 8 || len(last.Results) != 8 {
+		t.Fatalf("final frame: state=%v done=%d results=%d", last.State, last.Done, len(last.Results))
+	}
+
+	// GET /jobs/{id} agrees with the final stream frame.
+	jr, err := http.Get(ts.URL + "/jobs/" + sr.Job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(jr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobCompleted || len(st.Results) != 8 {
+		t.Fatalf("job status: %+v", st)
+	}
+
+	// And the listing includes the job without payloads.
+	lr, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Body.Close()
+	var list []JobStatus
+	if err := json.NewDecoder(lr.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != sr.Job || len(list[0].Results) != 0 {
+		t.Fatalf("job list: %+v", list)
+	}
+}
+
+func TestAPIRejectsBadRequests(t *testing.T) {
+	sc := newScript()
+	_, ts := newTestServer(t, testConfig(sc))
+	for _, body := range []string{
+		`{not json`,
+		`{}`,                                  // no protocols
+		`{"protocols":["warpdrive"]}`,         // unknown protocol
+		`{"protocols":["rmac"],"rates":[-4]}`, // invalid rate
+		`{"protocols":["rmac"],"bogus":1}`,    // unknown field
+	} {
+		resp := postSweep(t, ts, body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/jobs/j999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestAPIBackpressure fills the queue past QueueCap: the overflow
+// submission must bounce with 429 + Retry-After instead of buffering, and
+// readyz must report the saturation.
+func TestAPIBackpressure(t *testing.T) {
+	sc := newScript()
+	cfg := testConfig(sc)
+	cfg.QueueCap = 4
+	cfg.Workers = 1
+	req := SweepRequest{Protocols: []string{"rmac"}, Rates: []float64{10, 20}, Seeds: 2}
+	cfgs, _ := req.expand()
+	for _, c := range cfgs {
+		sc.hangFor[c.CacheKey()] = 1 // park the worker so the queue stays full
+	}
+	cfg.PointDeadline = 5 * time.Second
+	s, ts := newTestServer(t, cfg)
+
+	body, _ := json.Marshal(req)
+	resp := postSweep(t, ts, string(body))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d", resp.StatusCode)
+	}
+
+	resp = postSweep(t, ts, string(body))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while saturated = %d, want 503", rz.StatusCode)
+	}
+	_ = s
+}
+
+func TestAPICancel(t *testing.T) {
+	sc := newScript()
+	sc.delay = 20 * time.Millisecond
+	s, ts := newTestServer(t, testConfig(sc))
+
+	sr := decodeSubmit(t, postSweep(t, ts, `{"protocols":["rmac","bmmm"],"rates":[10,20],"seeds":2}`))
+	resp, err := http.Post(ts.URL+"/jobs/"+sr.Job+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status = %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != JobCanceled {
+		t.Fatalf("state after cancel = %v", st.State)
+	}
+	final := waitTerminal(t, s, sr.Job)
+	if final.Done+final.Canceled != final.Points {
+		t.Fatalf("canceled job did not terminalize: %+v", final)
+	}
+}
+
+func TestAPIHealthAndStats(t *testing.T) {
+	sc := newScript()
+	_, ts := newTestServer(t, testConfig(sc))
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", hz.StatusCode)
+	}
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d", rz.StatusCode)
+	}
+	str, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer str.Body.Close()
+	var stats ServerStats
+	if err := json.NewDecoder(str.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 4 || stats.QueueCap != 64 || stats.CodeVersion != experiment.CodeVersion() {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestDrainRefusesNewWork: a draining server bounces submissions with 503
+// and readyz goes not-ready, while already-admitted work finishes.
+func TestDrainRefusesNewWork(t *testing.T) {
+	sc := newScript()
+	sc.delay = 5 * time.Millisecond
+	s, ts := newTestServer(t, testConfig(sc))
+
+	sr := decodeSubmit(t, postSweep(t, ts, `{"protocols":["rmac"],"rates":[10],"seeds":2}`))
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	// Wait until the drain flag is visible, then probe the API.
+	for {
+		s.mu.Lock()
+		d := s.draining
+		s.mu.Unlock()
+		if d {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp := postSweep(t, ts, `{"protocols":["rmac"]}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st, _ := s.JobSnapshot(sr.Job)
+	if st.State != JobCompleted {
+		t.Fatalf("admitted job after drain: %+v", st)
+	}
+}
+
+// TestJournalTornTail: a journal whose last line was cut off mid-write
+// (crash during append) must replay cleanly, losing at most that record.
+func TestJournalTornTail(t *testing.T) {
+	sc := newScript()
+	cfg := testConfig(sc)
+	dir := t.TempDir()
+	cfg.JournalPath = dir + "/j.jsonl"
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, cfgs := submit(t, s1, chaosReq())
+	waitTerminal(t, s1, id)
+	s1.Close()
+
+	// Tear the tail: chop the file mid-way through its final line.
+	data, err := os.ReadFile(cfg.JournalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfg.JournalPath, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("replay of torn journal: %v", err)
+	}
+	defer s2.Close()
+	st := waitTerminal(t, s2, id) // the torn point simply re-runs
+	if st.Done != len(cfgs) {
+		t.Fatalf("after torn-tail recovery: done=%d want %d", st.Done, len(cfgs))
+	}
+	assertOracle(t, st, cfgs)
+}

@@ -1,0 +1,54 @@
+package server
+
+import "sync"
+
+// cache is the content-addressed result store: key is
+// experiment.Config.CacheKey() — a digest of the full configuration
+// (seed included) and the code version — so a hit is guaranteed to be the
+// bit-identical result a fresh run would produce. Repeated sweep points,
+// whether within one job or across jobs, are served for free.
+//
+// The cache is memory-only; durability comes from the journal, which
+// replays every completed point's (key, result) pair into the cache on
+// startup. Because keys embed the code version, entries journaled by an
+// older build are never served to new submissions — they simply never
+// collide.
+type cache struct {
+	mu     sync.Mutex
+	m      map[string]PointResult
+	hits   uint64
+	misses uint64
+}
+
+func newCache() *cache { return &cache{m: make(map[string]PointResult)} }
+
+func (c *cache) get(key string) (PointResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return r, ok
+}
+
+func (c *cache) put(key string, r PointResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = r
+}
+
+// CacheStats is the cache telemetry exposed on /stats.
+type CacheStats struct {
+	Entries int    `json:"entries"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+}
+
+func (c *cache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.m), Hits: c.hits, Misses: c.misses}
+}

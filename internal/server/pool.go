@@ -1,0 +1,179 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"rmac/internal/experiment"
+)
+
+// This file is the worker pool: the part of the server engineered to stay
+// up under hostile conditions. Each grid point runs on a pool goroutine
+// with
+//
+//   - panic isolation: a panicking simulation (or injected run function)
+//     is recovered at two layers — experiment.RunCtx's own recover and a
+//     worker-level recover — and classified as a failed attempt, never a
+//     dead worker;
+//   - a per-point wall-clock deadline enforced through context.Context
+//     plumbed into the engine (cooperative cancellation), so a hung run
+//     is abandoned rather than wedging a worker forever;
+//   - capped exponential backoff with jitter between attempts; and
+//   - a poison quarantine: a point that fails MaxAttempts times is
+//     parked terminally instead of cycling through the pool forever.
+//
+// Every admitted point therefore ends terminal: done, quarantined, or
+// canceled. Nothing is lost, and the journal records each terminal
+// transition exactly once.
+
+// task is one schedulable unit: a grid point of a job.
+type task struct {
+	job *Job
+	pt  *point
+}
+
+// worker is one pool goroutine. It exits when the server's base context
+// is canceled (hard stop, or the tail of a drain).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case t := <-s.queue:
+			s.execute(t)
+		}
+	}
+}
+
+// execute drives one attempt of one grid point to a state transition:
+// done (fresh or cached), quarantined, canceled, or back to pending with
+// a scheduled retry.
+func (s *Server) execute(t task) {
+	job, pt := t.job, t.pt
+	s.mu.Lock()
+	if pt.State != statePending {
+		s.mu.Unlock()
+		return
+	}
+	if job.ctx.Err() != nil {
+		s.finishLocked(job, pt, stateCanceled, "job canceled before start")
+		s.mu.Unlock()
+		return
+	}
+	if cached, ok := s.cache.get(pt.Key); ok {
+		res := cached
+		pt.Result = &res
+		pt.CacheHit = true
+		job.cacheHits++
+		s.journal.append(record{T: "point", Job: job.ID, Idx: pt.Idx, Key: pt.Key, Result: &res, CacheHit: true})
+		s.finishLocked(job, pt, stateDone, "")
+		s.mu.Unlock()
+		return
+	}
+	pt.State = stateRunning
+	pt.Attempts++
+	attempt := pt.Attempts
+	s.touchLocked(job)
+	s.mu.Unlock()
+
+	res, runErr := s.runPoint(job.ctx, t)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case runErr == nil:
+		pr := makePointResult(&res)
+		pt.Result = &pr
+		s.cache.put(pt.Key, pr)
+		s.journal.append(record{T: "point", Job: job.ID, Idx: pt.Idx, Key: pt.Key, Result: &pr})
+		s.finishLocked(job, pt, stateDone, "")
+	case job.ctx.Err() != nil:
+		s.finishLocked(job, pt, stateCanceled, runErr.Error())
+	case attempt >= s.cfg.MaxAttempts:
+		pt.LastErr = runErr.Error()
+		s.journal.append(record{T: "quarantine", Job: job.ID, Idx: pt.Idx, Key: pt.Key, Attempts: attempt, Err: pt.LastErr})
+		s.finishLocked(job, pt, stateQuarantined, runErr.Error())
+	default:
+		pt.State = statePending
+		pt.LastErr = runErr.Error()
+		s.touchLocked(job)
+		s.retryAfter(t, s.backoffLocked(attempt))
+	}
+}
+
+// runPoint executes one attempt under the per-point deadline with
+// worker-level panic isolation, and classifies the outcome: nil error
+// for a usable result (a run aborted by its own configured event budget
+// still counts — the batch CLI averages those too), non-nil for an
+// attempt that should be retried or quarantined.
+func (s *Server) runPoint(jobCtx context.Context, t task) (res experiment.RunResult, err error) {
+	ctx := jobCtx
+	if s.cfg.PointDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(jobCtx, s.cfg.PointDeadline)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("worker panic: %v", r)
+		}
+	}()
+	res = s.runFn(ctx, t.pt.Cfg)
+	switch {
+	case res.Failed:
+		err = errors.New(res.FailReason)
+	case res.Aborted && jobCtx.Err() != nil:
+		err = fmt.Errorf("job canceled: %s", res.AbortReason)
+	case res.Aborted && ctx.Err() != nil:
+		err = fmt.Errorf("deadline exceeded: %s", res.AbortReason)
+	}
+	return res, err
+}
+
+// backoffLocked returns the delay before retrying a point whose
+// (1-based) attempt just failed: RetryBase doubled per failure, capped at
+// RetryCap, then uniformly jittered over [d/2, d] so synchronized
+// failures (a bad config wave, a thundering-herd restart) spread out
+// instead of retrying in lockstep. The caller holds s.mu (the jitter RNG
+// is mu-guarded).
+func (s *Server) backoffLocked(attempt int) time.Duration {
+	d := s.cfg.RetryBase
+	for i := 1; i < attempt && d < s.cfg.RetryCap; i++ {
+		d *= 2
+	}
+	if d > s.cfg.RetryCap {
+		d = s.cfg.RetryCap
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(s.rng.Int63n(int64(half)+1))
+}
+
+// retryAfter re-enqueues the task after the backoff delay. The sleep is
+// cut short when the job is canceled (so the point terminalizes promptly)
+// and abandoned on a hard server stop (the journal has no completion for
+// it, so a restarted server re-runs the point). The enqueue can never
+// block: queue capacity covers every admitted point.
+func (s *Server) retryAfter(t task, d time.Duration) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-t.job.ctx.Done():
+		case <-s.baseCtx.Done():
+			return
+		}
+		select {
+		case s.queue <- t:
+		case <-s.baseCtx.Done():
+		}
+	}()
+}

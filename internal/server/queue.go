@@ -1,0 +1,36 @@
+package server
+
+// Admission control: the server never lets work grow without bound.
+// `pending` counts every admitted grid point that has not yet reached a
+// terminal state — sitting in the queue channel, running on a worker, or
+// sleeping out a retry backoff. A submission that would push pending past
+// QueueCap is refused with 429 and a Retry-After estimate instead of
+// being buffered; memory use is therefore bounded by QueueCap results
+// plus the cache, no matter how fast clients submit.
+//
+// The queue channel's capacity is at least QueueCap plus any points
+// resumed from the journal, so for every admitted point a channel slot
+// provably exists — enqueues (including retry re-enqueues from the
+// backoff goroutines) can never block, which is what makes the
+// worker/retry topology deadlock-free by construction.
+
+// admitLocked reserves n grid-point slots, or reports false and a
+// Retry-After hint in seconds. Caller holds s.mu.
+func (s *Server) admitLocked(n int) (ok bool, retryAfter int) {
+	if s.pending+n > s.cfg.QueueCap {
+		// Rough drain-rate estimate: assume each worker clears a few
+		// points per second at the small-grid sizes a loaded queue
+		// implies; never advertise less than one second.
+		backlog := s.pending + n - s.cfg.QueueCap
+		retryAfter = 1 + backlog/(4*s.cfg.Workers+1)
+		return false, retryAfter
+	}
+	s.pending += n
+	return true, 0
+}
+
+// releaseLocked returns one grid-point slot; called on every terminal
+// point transition. Caller holds s.mu.
+func (s *Server) releaseLocked() {
+	s.pending--
+}

@@ -1,0 +1,555 @@
+// Package server implements rmacserved: a fault-tolerant HTTP/JSON sweep
+// service wrapped around the simulation engine. It accepts validated
+// scenario grids (POST /sweeps), fans grid points out to a worker pool
+// with per-point deadlines, panic isolation, capped-exponential-backoff
+// retries and a poison quarantine, backs results with a content-addressed
+// cache keyed on (config hash, code version), journals every outcome so
+// in-flight sweeps survive a server crash, bounds its queues with
+// explicit 429 backpressure, and drains gracefully on shutdown. See
+// DESIGN.md §12 for the architecture and failure-mode walkthrough.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"rmac/internal/experiment"
+)
+
+// Config tunes the service. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the simulation pool size (default GOMAXPROCS).
+	Workers int
+	// QueueCap bounds admitted-but-unfinished grid points across all
+	// jobs; submissions beyond it get 429 + Retry-After (default 1024).
+	QueueCap int
+	// MaxAttempts quarantines a grid point after this many failed
+	// attempts (default 3).
+	MaxAttempts int
+	// RetryBase and RetryCap shape the capped exponential backoff
+	// between attempts (defaults 100ms and 5s).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// PointDeadline is the per-point wall-clock budget enforced through
+	// the engine's cooperative cancellation; 0 disables (default 2m).
+	PointDeadline time.Duration
+	// JournalPath enables the crash-recovery journal ("" disables).
+	JournalPath string
+
+	// runFn overrides the simulation entry point; the chaos tests inject
+	// scripted panics, hangs and counters here. nil means
+	// experiment.RunCtx. Unexported: real deployments always simulate.
+	runFn func(ctx context.Context, cfg experiment.Config) experiment.RunResult
+}
+
+func (c *Config) withDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 100 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = 5 * time.Second
+	}
+	if c.PointDeadline == 0 {
+		c.PointDeadline = 2 * time.Minute
+	}
+	if c.PointDeadline < 0 {
+		c.PointDeadline = 0
+	}
+}
+
+// Server is one rmacserved instance.
+type Server struct {
+	cfg Config
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string
+	nextID  int
+	pending int // admitted, non-terminal grid points (see queue.go)
+
+	queue   chan task
+	cache   *cache
+	journal *journal
+
+	draining bool
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	rng *rand.Rand // retry jitter; guarded by mu
+
+	// runFn executes one grid point; tests inject panics, hangs and
+	// counters here. Defaults to experiment.RunCtx.
+	runFn func(ctx context.Context, cfg experiment.Config) experiment.RunResult
+}
+
+// New builds a server, replays the journal (if configured), starts the
+// worker pool, and re-queues any journaled work that had not finished.
+func New(cfg Config) (*Server, error) {
+	cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		jobs:     make(map[string]*Job),
+		cache:    newCache(),
+		baseCtx:  ctx,
+		baseStop: stop,
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		runFn:    experiment.RunCtx,
+	}
+	if cfg.runFn != nil {
+		s.runFn = cfg.runFn
+	}
+	var recovered []record
+	if cfg.JournalPath != "" {
+		j, recs, err := openJournal(cfg.JournalPath)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		s.journal = j
+		recovered = recs
+	}
+	resume := s.replay(recovered)
+	s.queue = make(chan task, cfg.QueueCap+len(resume))
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	for _, t := range resume {
+		s.queue <- t
+	}
+	return s, nil
+}
+
+// replay reconstructs jobs from journal records and returns the tasks to
+// re-queue: every point of every incomplete, uncanceled job that has no
+// journaled terminal outcome. Completed points are restored as done and
+// their results fed to the cache, so a resumed sweep re-runs only what
+// the crash interrupted.
+func (s *Server) replay(recs []record) []task {
+	for _, rec := range recs {
+		switch rec.T {
+		case "submit":
+			if rec.Req == nil {
+				continue
+			}
+			cfgs, err := rec.Req.expand()
+			if err != nil {
+				// The journaled request no longer expands (config
+				// contract drift across versions); nothing to resume.
+				continue
+			}
+			job := s.buildJobLocked(rec.Job, *rec.Req, cfgs)
+			if !rec.Time.IsZero() {
+				job.Submitted = rec.Time
+			}
+			if n := numericSuffix(rec.Job); n >= s.nextID {
+				s.nextID = n
+			}
+		case "point":
+			job := s.jobs[rec.Job]
+			if job == nil || rec.Idx >= len(job.points) || rec.Result == nil {
+				continue
+			}
+			pt := job.points[rec.Idx]
+			if pt.State.terminal() {
+				continue
+			}
+			res := *rec.Result
+			pt.Result = &res
+			pt.CacheHit = rec.CacheHit
+			pt.State = stateDone
+			job.done++
+			if rec.CacheHit {
+				job.cacheHits++
+			}
+			s.cache.put(rec.Key, res)
+		case "quarantine":
+			job := s.jobs[rec.Job]
+			if job == nil || rec.Idx >= len(job.points) {
+				continue
+			}
+			pt := job.points[rec.Idx]
+			if pt.State.terminal() {
+				continue
+			}
+			pt.State = stateQuarantined
+			pt.Attempts = rec.Attempts
+			pt.LastErr = rec.Err
+			job.quarantined++
+		case "cancel":
+			job := s.jobs[rec.Job]
+			if job == nil {
+				continue
+			}
+			job.cancelled = true
+			job.cancel()
+			for _, pt := range job.points {
+				if !pt.State.terminal() {
+					pt.State = stateCanceled
+					job.canceled++
+				}
+			}
+		}
+	}
+	var resume []task
+	for _, id := range s.order {
+		job := s.jobs[id]
+		if job.cancelled {
+			continue
+		}
+		for _, pt := range job.points {
+			if !pt.State.terminal() {
+				pt.State = statePending
+				resume = append(resume, task{job: job, pt: pt})
+				s.pending++
+			}
+		}
+	}
+	return resume
+}
+
+func numericSuffix(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// buildJobLocked materializes a job and registers it; used by both submit
+// and journal replay (during New, before workers exist, so "Locked" is
+// nominal there).
+func (s *Server) buildJobLocked(id string, req SweepRequest, cfgs []experiment.Config) *Job {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job := &Job{
+		ID:        id,
+		Req:       req,
+		Submitted: time.Now(),
+		ctx:       ctx,
+		cancel:    cancel,
+		changed:   make(chan struct{}),
+	}
+	for i, cfg := range cfgs {
+		job.points = append(job.points, &point{Idx: i, Cfg: cfg, Key: cfg.CacheKey(), State: statePending})
+	}
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	return job
+}
+
+// finishLocked moves a point to a terminal state and updates job and
+// queue accounting. Caller holds s.mu.
+func (s *Server) finishLocked(job *Job, pt *point, st pointState, reason string) {
+	pt.State = st
+	if reason != "" {
+		pt.LastErr = reason
+	}
+	switch st {
+	case stateDone:
+		job.done++
+	case stateQuarantined:
+		job.quarantined++
+	case stateCanceled:
+		job.canceled++
+	}
+	s.releaseLocked()
+	s.touchLocked(job)
+}
+
+// touchLocked wakes every watcher of the job. Caller holds s.mu.
+func (s *Server) touchLocked(job *Job) {
+	close(job.changed)
+	job.changed = make(chan struct{})
+}
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports whether the server is accepting new work: 503
+// while draining or while the queue is saturated, so load balancers stop
+// routing submissions here before they start bouncing with 429/503.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining, pending := s.draining, s.pending
+	s.mu.Unlock()
+	switch {
+	case draining:
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case pending >= s.cfg.QueueCap:
+		http.Error(w, "queue saturated", http.StatusServiceUnavailable)
+	default:
+		fmt.Fprintln(w, "ready")
+	}
+}
+
+// ServerStats is the /stats payload.
+type ServerStats struct {
+	Pending     int        `json:"pending"`
+	Workers     int        `json:"workers"`
+	QueueCap    int        `json:"queue_cap"`
+	Draining    bool       `json:"draining"`
+	Jobs        int        `json:"jobs"`
+	Cache       CacheStats `json:"cache"`
+	CodeVersion string     `json:"code_version"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := ServerStats{
+		Pending:     s.pending,
+		Workers:     s.cfg.Workers,
+		QueueCap:    s.cfg.QueueCap,
+		Draining:    s.draining,
+		Jobs:        len(s.jobs),
+		CodeVersion: experiment.CodeVersion(),
+	}
+	s.mu.Unlock()
+	st.Cache = s.cache.stats()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// SubmitResponse is the 202 payload of POST /sweeps.
+type SubmitResponse struct {
+	Job    string `json:"job"`
+	Points int    `json:"points"`
+	Status string `json:"status_url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfgs, err := req.expand()
+	if err != nil {
+		http.Error(w, "bad sweep: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	ok, retryAfter := s.admitLocked(len(cfgs))
+	if !ok {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return
+	}
+	s.nextID++
+	id := "j" + strconv.Itoa(s.nextID)
+	job := s.buildJobLocked(id, req, cfgs)
+	s.journal.append(record{T: "submit", Job: id, Time: job.Submitted, Req: &req, Version: experiment.CodeVersion()})
+	tasks := make([]task, len(job.points))
+	for i, pt := range job.points {
+		tasks[i] = task{job: job, pt: pt}
+	}
+	s.mu.Unlock()
+
+	// Capacity for every admitted point is reserved (see queue.go), so
+	// these sends cannot block.
+	for _, t := range tasks {
+		s.queue <- t
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{Job: id, Points: len(cfgs), Status: "/jobs/" + id})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].statusLocked(false))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookup(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	st := job.statusLocked(true)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStream sends newline-delimited JSON status snapshots: one
+// immediately, then one per state change (coalesced), until the job is
+// terminal or the client disconnects. A disconnect only ends the stream —
+// the job itself keeps running (see the chaos tests).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for {
+		s.mu.Lock()
+		st := job.statusLocked(true)
+		ch := job.changed
+		s.mu.Unlock()
+		if err := enc.Encode(st); err != nil {
+			return
+		}
+		fl.Flush()
+		if st.State == JobCompleted || st.State == JobDegraded ||
+			(st.State == JobCanceled && st.Done+st.Quarantined+st.Canceled == st.Points) {
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		case <-time.After(30 * time.Second): // heartbeat
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(r.PathValue("id"))
+	if job == nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	if !job.cancelled {
+		job.cancelled = true
+		s.journal.append(record{T: "cancel", Job: job.ID})
+		job.cancel() // in-flight engines abort at their next periodic check
+		s.touchLocked(job)
+	}
+	st := job.statusLocked(false)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// Drain performs a graceful shutdown: stop admitting, let in-flight and
+// queued points finish (retries included), then stop the pool and close
+// the journal. ctx bounds the wait; on expiry remaining work is hard-
+// stopped — safely, since the journal lets a successor resume it.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	var err error
+	for {
+		s.mu.Lock()
+		pending := s.pending
+		s.mu.Unlock()
+		if pending == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			err = fmt.Errorf("drain interrupted with %d points unfinished (journaled for resume): %w", pending, ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+		if err != nil {
+			break
+		}
+	}
+	s.shutdown()
+	return err
+}
+
+// Close hard-stops the server: workers are interrupted mid-run (their
+// engines abort cooperatively) and unfinished points stay journaled as
+// incomplete, so a successor server resumes them. It is the crash-like
+// path the resume machinery is built for; prefer Drain in production.
+func (s *Server) Close() error {
+	s.shutdown()
+	return nil
+}
+
+func (s *Server) shutdown() {
+	s.stopOnce.Do(func() {
+		s.baseStop()
+		s.wg.Wait()
+		s.journal.close()
+	})
+}
+
+// JobSnapshot returns a job's status (true) or a zero status (false);
+// it is the programmatic mirror of GET /jobs/{id} used by tests and
+// embedding callers.
+func (s *Server) JobSnapshot(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job := s.jobs[id]
+	if job == nil {
+		return JobStatus{}, false
+	}
+	return job.statusLocked(true), true
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil && !errors.Is(err, context.Canceled) {
+		// The client went away mid-write; nothing to do.
+		_ = err
+	}
+}

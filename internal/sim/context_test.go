@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chain schedules a self-rescheduling event chain of up to total events,
+// invoking hook with the 1-based count after each firing.
+func chain(e *Engine, total int, hook func(n int)) {
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if hook != nil {
+			hook(n)
+		}
+		if n < total {
+			e.After(Microsecond, step)
+		}
+	}
+	e.After(0, step)
+}
+
+func TestContextCancelAborts(t *testing.T) {
+	e := NewEngine(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e.SetContext(ctx)
+	chain(e, 100_000, func(n int) {
+		if n == 2_000 {
+			cancel()
+		}
+	})
+	e.Run(Second)
+	reason, aborted := e.Aborted()
+	if !aborted {
+		t.Fatal("run with canceled context did not abort")
+	}
+	if !strings.Contains(reason, "context canceled") {
+		t.Errorf("abort reason = %q, want a context-canceled message", reason)
+	}
+	// The abort lands at the first masked check after the cancel, long
+	// before the chain completes.
+	if e.Processed < 2_000 || e.Processed >= 100_000 {
+		t.Errorf("Processed = %d, want in [2000, 100000)", e.Processed)
+	}
+	if e.Pending() == 0 {
+		t.Error("aborted chain left nothing pending")
+	}
+}
+
+func TestContextPreCanceledAbortsBeforeDispatch(t *testing.T) {
+	e := NewEngine(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.SetContext(ctx)
+	fired := false
+	e.After(0, func() { fired = true })
+	e.Run(Second)
+	if _, aborted := e.Aborted(); !aborted {
+		t.Fatal("pre-canceled context did not abort the run")
+	}
+	if fired || e.Processed != 0 {
+		t.Errorf("pre-canceled run dispatched %d events", e.Processed)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want the undispatched event", e.Pending())
+	}
+}
+
+func TestContextDeadlineAborts(t *testing.T) {
+	e := NewEngine(1)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	e.SetContext(ctx)
+	// An endless chain: only the deadline can end this run.
+	n := 0
+	var step func()
+	step = func() { n++; e.After(Microsecond, step) }
+	e.After(0, step)
+	e.Run(maxTime - 1)
+	reason, aborted := e.Aborted()
+	if !aborted {
+		t.Fatal("run did not abort on context deadline")
+	}
+	if !strings.Contains(reason, "deadline exceeded") {
+		t.Errorf("abort reason = %q, want a deadline message", reason)
+	}
+}
+
+func TestContextBackgroundDisarms(t *testing.T) {
+	e := NewEngine(1)
+	e.SetContext(context.Background())
+	if e.wdArmed {
+		t.Error("background context armed the watchdog")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e.SetContext(ctx)
+	if !e.wdArmed {
+		t.Error("cancellable context did not arm the watchdog")
+	}
+	e.SetContext(nil)
+	if e.wdArmed {
+		t.Error("SetContext(nil) did not disarm the watchdog")
+	}
+}
+
+// startCascade schedules a deterministic self-expanding timer workload
+// that exercises every queue tier: most delays land in the wheel levels,
+// every 7th child jumps seconds ahead (heap overflow), and every 5th
+// scheduled child is cancelled immediately (wheel-slot removal). Each
+// fired event's identity is appended to log.
+func startCascade(e *Engine, total int, log *[]int64) {
+	count := 0
+	var spawn func(me int64)
+	spawn = func(me int64) {
+		*log = append(*log, me)
+		for k := int64(1); k <= 3; k++ {
+			if count >= total {
+				return
+			}
+			count++
+			child := me*3 + k
+			d := Time(uint64(child)*2654435761%uint64(60*Millisecond)) + 1
+			if child%7 == 0 {
+				d += 2 * Second
+			}
+			ev := e.After(d, func() { spawn(child) })
+			if child%5 == 0 {
+				ev.Cancel()
+			}
+		}
+	}
+	e.After(0, func() { spawn(0) })
+}
+
+// TestAbortResumeBitIdentical is the wheel/abort interaction regression:
+// a run aborted by the watchdog mid-cascade — with events parked in wheel
+// slots, on the due list and in the heap — must, once the watchdog is
+// disarmed, resume and fire the exact sequence an uninterrupted engine
+// fires, and drain its event pool completely.
+func TestAbortResumeBitIdentical(t *testing.T) {
+	const total = 5000
+	const horizon = 10 * Second
+
+	var want []int64
+	ref := NewEngine(1)
+	startCascade(ref, total, &want)
+	ref.Run(horizon)
+	if ref.Pending() != 0 {
+		t.Fatalf("reference run left %d events pending", ref.Pending())
+	}
+
+	var got []int64
+	e := NewEngine(1)
+	startCascade(e, total, &got)
+	e.SetWatchdog(uint64(len(want))/3, 0)
+	e.Run(horizon)
+	if _, aborted := e.Aborted(); !aborted {
+		t.Fatal("watchdog did not abort the cascade")
+	}
+	if e.wheelCount+e.dueCount == 0 {
+		t.Fatal("abort did not land mid-cascade: no events parked in the wheel")
+	}
+	if len(e.order) == 0 {
+		t.Fatal("abort did not land mid-cascade: no heap overflow events pending")
+	}
+
+	e.SetWatchdog(0, 0)
+	e.Run(horizon)
+	if _, aborted := e.Aborted(); aborted {
+		t.Fatal("resumed run still reports aborted")
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("resumed run fired %d events, reference fired %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order diverged at %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+	if e.Pending() != 0 || e.PoolInUse() != 0 {
+		t.Errorf("resumed run left Pending=%d PoolInUse=%d, want 0/0", e.Pending(), e.PoolInUse())
+	}
+}
+
+// TestContextAbortResume covers the same resume contract for a context
+// abort: clear the context, reset the watchdog, and the run continues
+// exactly where it stopped. The reference engine schedules a no-op in
+// place of the cancel trigger so both engines assign identical sequence
+// numbers.
+func TestContextAbortResume(t *testing.T) {
+	const total = 4000
+	const horizon = 10 * Second
+
+	var want []int64
+	ref := NewEngine(1)
+	ref.After(50*Millisecond, func() {})
+	startCascade(ref, total, &want)
+	ref.Run(horizon)
+
+	var got []int64
+	e := NewEngine(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	e.SetContext(ctx)
+	e.After(50*Millisecond, cancel)
+	startCascade(e, total, &got)
+	e.Run(horizon)
+	if reason, aborted := e.Aborted(); !aborted {
+		t.Fatal("mid-run cancel did not abort")
+	} else if !strings.Contains(reason, "context canceled") {
+		t.Errorf("abort reason = %q, want a context-canceled message", reason)
+	}
+	if len(got) >= len(want) {
+		t.Fatalf("abort fired all %d events before resuming", len(got))
+	}
+
+	e.SetContext(nil)
+	e.SetWatchdog(0, 0)
+	e.Run(horizon)
+
+	if len(got) != len(want) {
+		t.Fatalf("resumed run fired %d events, reference fired %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing order diverged at %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+	if e.Pending() != 0 || e.PoolInUse() != 0 {
+		t.Errorf("resumed run left Pending=%d PoolInUse=%d, want 0/0", e.Pending(), e.PoolInUse())
+	}
+}

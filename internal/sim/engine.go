@@ -24,6 +24,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -226,6 +227,12 @@ type Engine struct {
 	wdStart     time.Time
 	abortReason string
 
+	// Cooperative cancellation (SetContext). ctxDone is ctx.Done(),
+	// cached so the dispatch loop's periodic check is a plain channel
+	// select with no interface call.
+	ctx     context.Context
+	ctxDone <-chan struct{}
+
 	// tw holds the wheel's slot lists and occupancy bitmaps (a few cold
 	// KiB, touched sparsely; kept last so the hot scalars above share
 	// cache lines).
@@ -235,6 +242,12 @@ type Engine struct {
 // wallCheckMask throttles the wall-clock watchdog check to one time.Since
 // call per 8192 dispatched events.
 const wallCheckMask = 8191
+
+// ctxCheckMask throttles the context-cancellation check to one channel
+// poll per 1024 dispatched events: tight enough that a canceled run stops
+// within a millisecond at steady-state event rates, loose enough that the
+// poll never shows up in a profile.
+const ctxCheckMask = 1023
 
 // NewEngine creates an engine whose random source is seeded with seed.
 func NewEngine(seed int64) *Engine {
@@ -377,7 +390,42 @@ func (e *Engine) SetWatchdog(maxEvents uint64, maxWall time.Duration) {
 	e.wdWall = maxWall
 	e.wdStart = time.Now()
 	e.abortReason = ""
-	e.wdArmed = maxEvents > 0 || maxWall > 0
+	e.wdArmed = maxEvents > 0 || maxWall > 0 || e.ctxDone != nil
+}
+
+// SetContext arms cooperative cancellation: once ctx is done, the run
+// aborts at the next periodic check exactly like a watchdog trip —
+// already-executed events and their statistics remain valid, and Aborted
+// reports the context's error. Like the wall-clock watchdog the check is
+// time-based observation only; it never perturbs event order, so a run
+// whose context is never canceled is bit-identical to an unwatched one.
+//
+// Passing nil or a context that can never be canceled (context.Background)
+// disarms the check. SetContext composes with SetWatchdog: either can
+// abort the run. To resume an aborted engine, clear the armed context
+// (SetContext(nil)) and/or call SetWatchdog again — SetWatchdog resets the
+// recorded abort reason.
+func (e *Engine) SetContext(ctx context.Context) {
+	if ctx == nil || ctx.Done() == nil {
+		e.ctx = nil
+		e.ctxDone = nil
+	} else {
+		e.ctx = ctx
+		e.ctxDone = ctx.Done()
+	}
+	e.wdArmed = e.wdEvents > 0 || e.wdWall > 0 || e.ctxDone != nil
+}
+
+// ctxAborted polls the armed context and records the abort reason on the
+// first observation of a done context.
+func (e *Engine) ctxAborted() bool {
+	select {
+	case <-e.ctxDone:
+		e.abortReason = fmt.Sprintf("sim: watchdog: %v at t=%v after %d events", e.ctx.Err(), e.now, e.Processed)
+		return true
+	default:
+		return false
+	}
 }
 
 // Aborted reports whether the watchdog stopped the run, and why.
@@ -401,6 +449,9 @@ func (e *Engine) watchdogTripped() bool {
 				e.wdWall, elapsed.Round(time.Millisecond), e.now, e.Processed)
 			return true
 		}
+	}
+	if e.ctxDone != nil && e.Processed&ctxCheckMask == ctxCheckMask && e.ctxAborted() {
+		return true
 	}
 	return false
 }
@@ -534,6 +585,9 @@ func (e *Engine) TakeNext() {
 func (e *Engine) Run(horizon Time) {
 	defer e.quiesce()
 	e.stopped = false
+	if e.ctxDone != nil && e.ctxAborted() {
+		return
+	}
 	for len(e.order)+e.wheelCount+e.dueCount > 0 && !e.stopped {
 		if e.wdArmed && e.watchdogTripped() {
 			return
@@ -558,6 +612,9 @@ func (e *Engine) Run(horizon Time) {
 func (e *Engine) RunAll() {
 	defer e.quiesce()
 	e.stopped = false
+	if e.ctxDone != nil && e.ctxAborted() {
+		return
+	}
 	for len(e.order)+e.wheelCount+e.dueCount > 0 && !e.stopped {
 		if e.wdArmed && e.watchdogTripped() {
 			return
