@@ -21,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -33,6 +34,26 @@ import (
 
 func main() { os.Exit(run()) }
 
+// buildLogger maps the -log/-log-level flags to a slog.Logger on stderr
+// (nil for "off": the server then discards log records but still serves
+// metrics).
+func buildLogger(mode, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch mode {
+	case "off", "":
+		return nil, nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log mode %q (want text, json, or off)", mode)
+}
+
 func run() int {
 	var cfg server.Config
 	addr := flag.String("addr", ":8080", "listen address")
@@ -44,7 +65,16 @@ func run() int {
 	flag.DurationVar(&cfg.PointDeadline, "deadline", 0, "wall-clock budget per grid point (0 = 2m, negative disables)")
 	flag.StringVar(&cfg.JournalPath, "journal", "", "crash-recovery journal path; on start, unfinished work found here is resumed (empty disables)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for in-flight points on SIGTERM before hard stop (journaled work resumes on restart)")
+	logMode := flag.String("log", "off", "structured logging to stderr: text, json, or off")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.Parse()
+
+	logger, err := buildLogger(*logMode, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rmacserved:", err)
+		return 2
+	}
+	cfg.Logger = logger
 
 	srv, err := server.New(cfg)
 	if err != nil {

@@ -225,6 +225,9 @@ type Auditor struct {
 	// Count is the total number of violations detected, including any
 	// past the context cap.
 	Count uint64
+	// ByClass partitions Count by invariant class; the telemetry layer
+	// exports it as the per-class violation counter family.
+	ByClass [NumClasses]uint64
 }
 
 // New creates an auditor for the medium's radios and installs it as the
@@ -343,6 +346,7 @@ func (a *Auditor) ringEvents() []trace.Event {
 // violate records one violation with the current event ring as context.
 func (a *Auditor) violate(node int, class Class, format string, args ...any) {
 	a.Count++
+	a.ByClass[class]++
 	if len(a.violations) >= a.cfg.MaxViolations {
 		return
 	}

@@ -188,6 +188,10 @@ func DefaultConfig() Config {
 	}
 }
 
+// Protocols lists every MAC under test in enum order; Protocol values
+// index it, so per-protocol metric families can be dense arrays.
+var Protocols = []Protocol{RMAC, BMMM, BMW, LBP, MX, DOT11}
+
 // PaperRates are the eight source rates of §4.1.2, in packets/second.
 var PaperRates = []float64{5, 10, 20, 40, 60, 80, 100, 120}
 

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"rmac/internal/metrics"
+)
+
+// TestRunMetricsNames guards the naming convention: every family the run
+// layer registers must pass metrics.CheckName (the same lint CI applies
+// to a live scrape).
+func TestRunMetricsNames(t *testing.T) {
+	r := metrics.NewRegistry()
+	NewRunMetrics(r)
+	if n := len(r.Names()); n == 0 {
+		t.Fatal("no families registered")
+	}
+	// Registration itself panics on a bad name, so reaching here means
+	// they all validated; spot-check the vocabulary is the expected one.
+	names := strings.Join(r.Names(), "\n")
+	for _, want := range []string{
+		"rmac_kernel_events_total",
+		"rmac_kernel_medium_events_total",
+		"rmac_proto_reliable_delivered_total",
+		"rmac_proto_audit_violations_total",
+	} {
+		if !strings.Contains(names, want) {
+			t.Errorf("family %s not registered; have:\n%s", want, names)
+		}
+	}
+}
+
+// TestMetricsRegistryFromRun runs a small simulation and checks the
+// rendered registry agrees with the RunResult it came from.
+func TestMetricsRegistryFromRun(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TimerStats = true
+	res := Run(cfg)
+	if res.Failed {
+		t.Fatal(res.FailReason)
+	}
+
+	r := metrics.NewRegistry()
+	rm := NewRunMetrics(r)
+	rm.AddRun(&res)
+
+	if got := rm.Events.Value(); got != res.Events {
+		t.Errorf("events_total = %d, want %d", got, res.Events)
+	}
+	p := int(cfg.Protocol)
+	if got := rm.Generated.At(p).Value(); got != res.Metrics.Generated {
+		t.Errorf("generated_total = %d, want %d", got, res.Metrics.Generated)
+	}
+	if got := rm.ReliableDeliv.At(p).Value(); got != res.Totals.ReliableDelivered {
+		t.Errorf("reliable_delivered_total = %d, want %d", got, res.Totals.ReliableDelivered)
+	}
+	if rm.Runs.At(p).Value() != 1 {
+		t.Errorf("runs_total = %d, want 1", rm.Runs.At(p).Value())
+	}
+	// A run schedules many timers; the census families must be non-empty
+	// when TimerStats was on.
+	var placed uint64
+	for i := 0; i < rm.TimerPlaced.Len(); i++ {
+		placed += rm.TimerPlaced.At(i).Value()
+	}
+	if placed == 0 {
+		t.Error("timer_scheduled_total is zero with TimerStats enabled")
+	}
+	if placed != res.TimerStats.TotalScheduled() {
+		t.Errorf("timer_scheduled_total = %d, want %d", placed, res.TimerStats.TotalScheduled())
+	}
+
+	// Frame-pool conservation: acquired = released + live.
+	acq, rel := rm.FrameAcquired.Value(), rm.FrameReleased.Value()
+	if acq != rel+uint64(res.Totals.FramePool.Live) {
+		t.Errorf("frame pool: acquired %d != released %d + live %d",
+			acq, rel, res.Totals.FramePool.Live)
+	}
+
+	// The standalone registry renders without error and carries the
+	// run-scoped gauges.
+	var sb strings.Builder
+	if _, err := MetricsRegistry(&res).WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"rmac_kernel_arena_slots ",
+		"rmac_kernel_frame_live_frames ",
+		`rmac_proto_runs_total{protocol="RMAC"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestAddRunAllocs pins the fold path at zero allocations: attaching a
+// registry to whole runs costs nothing per run beyond registration.
+func TestAddRunAllocs(t *testing.T) {
+	cfg := smallConfig()
+	cfg.TimerStats = true
+	res := Run(cfg)
+	r := metrics.NewRegistry()
+	rm := NewRunMetrics(r)
+	if n := testing.AllocsPerRun(100, func() { rm.AddRun(&res) }); n != 0 {
+		t.Errorf("AddRun allocates %v times per run, want 0", n)
+	}
+}
+
+// TestTotalsDeterministic confirms the new Totals aggregation is part of
+// the deterministic surface: equal seeds, equal totals.
+func TestTotalsDeterministic(t *testing.T) {
+	cfg := smallConfig()
+	a, b := Run(cfg), Run(cfg)
+	if a.Totals != b.Totals {
+		t.Fatalf("totals differ across identical runs:\n%+v\n%+v", a.Totals, b.Totals)
+	}
+}

@@ -77,6 +77,12 @@ type RunResult struct {
 	Violations     []audit.Violation
 	ViolationCount uint64
 
+	// Totals carries the raw, non-derived counters of the run — summed
+	// MAC statistics, channel-level medium counters, frame-pool traffic,
+	// kernel arena occupancy and per-class audit violations — the numbers
+	// the telemetry layer exports (see metrics.go and DESIGN.md §13).
+	Totals RunTotals
+
 	// Aborted is set when the engine watchdog stopped the run before its
 	// horizon; the metrics above then cover only the simulated prefix.
 	Aborted     bool
@@ -94,6 +100,61 @@ type RunResult struct {
 type Deadlock struct {
 	Node  int
 	State string
+}
+
+// RunTotals aggregates a run's raw counters across all nodes. Unlike the
+// averaged per-node ratios above, these are plain monotone sums, so the
+// sweep service can fold them into its counter families point by point
+// and a Prometheus scrape sees one consistent vocabulary whether the
+// source is a batch run (rmacsim -metrics) or a served sweep.
+type RunTotals struct {
+	// Per-protocol MAC counters summed over all nodes (mac.Stats).
+	Enqueued           uint64 `json:"enqueued"`
+	QueueDrops         uint64 `json:"queue_drops"`
+	ReliableToTransmit uint64 `json:"reliable_to_transmit"`
+	ReliableDelivered  uint64 `json:"reliable_delivered"`
+	Retransmissions    uint64 `json:"retransmissions"`
+	Drops              uint64 `json:"drops"`
+	UnreliableSent     uint64 `json:"unreliable_sent"`
+	MRTSSent           uint64 `json:"mrts_sent"`
+	MRTSAborted        uint64 `json:"mrts_aborted"`
+	ABTSent            uint64 `json:"abt_sent"`
+
+	// Channel-level medium counters (phy.MediumStats).
+	Medium phy.MediumStats `json:"medium"`
+
+	// Frame-pool traffic (frame.PoolStats).
+	FramePool frame.PoolStats `json:"frame_pool"`
+
+	// Kernel event-arena occupancy at collection time: total slots grown
+	// and slots still queued.
+	ArenaCap  int `json:"arena_cap"`
+	ArenaLive int `json:"arena_live"`
+
+	// ViolationsByClass partitions the auditor's Count by invariant
+	// class, indexed by audit.Class.
+	ViolationsByClass [audit.NumClasses]uint64 `json:"violations_by_class"`
+
+	// Application-level delivery counters (app.Metrics scalars), repeated
+	// here so the totals are a self-contained telemetry payload.
+	Generated  uint64 `json:"generated"`
+	Receptions uint64 `json:"receptions"`
+	Duplicates uint64 `json:"duplicates"`
+}
+
+// addMAC folds one node's MAC counters into the totals (the MRTS length
+// samples stay in RunResult.MRTSLens; totals are scalars only).
+func (t *RunTotals) addMAC(s *mac.Stats) {
+	t.Enqueued += s.Enqueued
+	t.QueueDrops += s.QueueDrops
+	t.ReliableToTransmit += s.ReliableToTransmit
+	t.ReliableDelivered += s.ReliableDelivered
+	t.Retransmissions += s.Retransmissions
+	t.Drops += s.Drops
+	t.UnreliableSent += s.UnreliableSent
+	t.MRTSSent += s.MRTSSent
+	t.MRTSAborted += s.MRTSAborted
+	t.ABTSent += s.ABTSent
 }
 
 // auditLiveness applies the deadlock predicate to every MAC: non-idle
@@ -273,9 +334,20 @@ func (n *network) collect() RunResult {
 		res.Aborted = true
 		res.AbortReason = reason
 	}
+	res.Totals.Medium = n.medium.Stats
+	res.Totals.FramePool = n.medium.Frames().Stats()
+	res.Totals.ArenaCap = n.eng.ArenaCap()
+	res.Totals.ArenaLive = n.eng.PoolInUse()
+	if n.aud != nil {
+		res.Totals.ViolationsByClass = n.aud.ByClass
+	}
+	res.Totals.Generated = res.Metrics.Generated
+	res.Totals.Receptions = res.Metrics.Receptions
+	res.Totals.Duplicates = res.Metrics.Duplicates
 	var drop, retx, ovh stats.Sample
 	for _, m := range n.macs {
 		s := m.Stats()
+		res.Totals.addMAC(s)
 		if !s.NonLeaf() {
 			continue
 		}

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the HTTP Content-Type of the text exposition format this
+// package renders.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteTo renders every registered family in the Prometheus text
+// exposition format v0.0.4, in registration order (deterministic, so
+// golden tests can diff the output byte for byte). It implements
+// io.WriterTo.
+//
+// Rendering reads the instruments with atomic loads; it never blocks an
+// incrementer. A family's bucket/count/sum lines are each individually
+// consistent but, like every Prometheus client, not a point-in-time
+// snapshot of the whole registry.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	families := make([]*family, len(r.families))
+	copy(families, r.families)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	for _, f := range families {
+		cw.str("# HELP ")
+		cw.str(f.name)
+		cw.str(" ")
+		cw.str(escapeHelp(f.help))
+		cw.str("\n# TYPE ")
+		cw.str(f.name)
+		cw.str(" ")
+		cw.str(f.typ.String())
+		cw.str("\n")
+		for i := range f.cells {
+			c := &f.cells[i]
+			switch f.typ {
+			case typeCounter:
+				cw.sample(f.name, "", f.labels, c.labelValues, "", "")
+				cw.uint(c.c.Value())
+				cw.str("\n")
+			case typeGauge:
+				cw.sample(f.name, "", f.labels, c.labelValues, "", "")
+				cw.int(c.g.Value())
+				cw.str("\n")
+			case typeHistogram:
+				cw.histogram(f, c)
+			}
+		}
+	}
+	if err := bw.Flush(); cw.err == nil {
+		cw.err = err
+	}
+	return cw.n, cw.err
+}
+
+// histogram renders one histogram cell: cumulative _bucket series with
+// le bounds, then _sum and _count.
+func (cw *countWriter) histogram(f *family, c *cell) {
+	h := c.h
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := "+Inf"
+		if bound, ok := h.upperBound(i); ok {
+			le = formatFloat(bound)
+		}
+		cw.sample(f.name, "_bucket", f.labels, c.labelValues, "le", le)
+		cw.uint(cum)
+		cw.str("\n")
+	}
+	cw.sample(f.name, "_sum", f.labels, c.labelValues, "", "")
+	cw.str(formatFloat(float64(h.Sum()) * h.scale))
+	cw.str("\n")
+	cw.sample(f.name, "_count", f.labels, c.labelValues, "", "")
+	cw.uint(h.Count())
+	cw.str("\n")
+}
+
+// sample writes `name[suffix]{labels...,extraK="extraV"} ` up to and
+// including the separating space.
+func (cw *countWriter) sample(name, suffix string, labels, values []string, extraK, extraV string) {
+	cw.str(name)
+	cw.str(suffix)
+	if len(labels) > 0 || extraK != "" {
+		cw.str("{")
+		for i, l := range labels {
+			if i > 0 {
+				cw.str(",")
+			}
+			cw.str(l)
+			cw.str(`="`)
+			cw.str(escapeLabel(values[i]))
+			cw.str(`"`)
+		}
+		if extraK != "" {
+			if len(labels) > 0 {
+				cw.str(",")
+			}
+			cw.str(extraK)
+			cw.str(`="`)
+			cw.str(extraV)
+			cw.str(`"`)
+		}
+		cw.str("}")
+	}
+	cw.str(" ")
+}
+
+// countWriter tracks bytes written and sticks on the first error.
+type countWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (cw *countWriter) str(s string) {
+	if cw.err != nil {
+		return
+	}
+	n, err := io.WriteString(cw.w, s)
+	cw.n += int64(n)
+	cw.err = err
+}
+
+func (cw *countWriter) uint(v uint64) { cw.str(strconv.FormatUint(v, 10)) }
+func (cw *countWriter) int(v int64)   { cw.str(strconv.FormatInt(v, 10)) }
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslash, double quote and newline in a label
+// value.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

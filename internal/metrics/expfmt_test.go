@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenRegistry builds a registry exercising every family shape the
+// encoder renders: plain and labeled counters/gauges, plain and labeled
+// histograms, and escaping in help text and label values.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("rmac_kernel_events_total", "Events dispatched by the engine.")
+	c.Add(1234567)
+
+	g := r.Gauge("rmac_service_queue_points", "Admitted, non-terminal grid points.")
+	g.Set(-3)
+
+	v := r.CounterVec("rmac_proto_frames_tx_total",
+		"Frames transmitted by kind.\nSecond help line with back\\slash.",
+		[]string{"protocol", "kind"},
+		[][]string{{"RMAC", "MRTS"}, {"RMAC", `odd"kind`}, {"802.11", "DATA"}})
+	v.At(0).Add(10)
+	v.At(1).Add(2)
+
+	h := r.Histogram("rmac_service_journal_append_seconds",
+		"Journal append+flush latency.", 10, 14, 1e-9)
+	for _, ns := range []int64{500, 1024, 3000, 20000, 1 << 20} {
+		h.Observe(ns)
+	}
+
+	hv := r.HistogramVec("rmac_service_point_seconds",
+		"Grid point wall-clock run time.", 20, 22, 1e-9,
+		[]string{"protocol"}, [][]string{{"RMAC"}, {"BMMM"}})
+	hv.At(0).Observe(1 << 21)
+	hv.At(1).Observe(1)
+	return r
+}
+
+func TestWriteToGolden(t *testing.T) {
+	var sb strings.Builder
+	n, err := goldenRegistry().WriteTo(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(sb.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, sb.Len())
+	}
+	path := filepath.Join("testdata", "golden.prom")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if sb.String() != string(want) {
+		t.Errorf("exposition differs from golden file.\n--- got ---\n%s\n--- want ---\n%s",
+			sb.String(), want)
+	}
+}
+
+// TestExpositionWellFormed spot-checks structural properties promtool
+// would: every sample line's name appears after a TYPE line, histogram
+// cumulative buckets are monotone and end at _count, and HELP/TYPE come
+// exactly once per family.
+func TestExpositionWellFormed(t *testing.T) {
+	var sb strings.Builder
+	if _, err := goldenRegistry().WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	helps := map[string]int{}
+	types := map[string]int{}
+	for _, ln := range lines {
+		switch {
+		case strings.HasPrefix(ln, "# HELP "):
+			helps[strings.Fields(ln)[2]]++
+		case strings.HasPrefix(ln, "# TYPE "):
+			types[strings.Fields(ln)[2]]++
+		case ln == "":
+			t.Error("blank line in exposition")
+		default:
+			fields := strings.Fields(ln)
+			if len(fields) != 2 {
+				t.Errorf("sample line %q: want 'name value'", ln)
+			}
+		}
+	}
+	for name, n := range helps {
+		if n != 1 || types[name] != 1 {
+			t.Errorf("family %s: %d HELP, %d TYPE lines", name, n, types[name])
+		}
+	}
+	// Histogram invariant: the +Inf bucket equals the _count sample.
+	got := sb.String()
+	if !strings.Contains(got, `rmac_service_journal_append_seconds_bucket{le="+Inf"} 5`) {
+		t.Error("missing +Inf bucket for journal histogram")
+	}
+	if !strings.Contains(got, "rmac_service_journal_append_seconds_count 5") {
+		t.Error("missing _count for journal histogram")
+	}
+}

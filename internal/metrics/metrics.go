@@ -1,0 +1,174 @@
+// Package metrics is the simulator's telemetry core: atomic counters,
+// gauges and fixed-bucket power-of-two histograms, grouped into labeled
+// families backed by pre-registered dense arrays, collected in a Registry
+// that renders itself in the Prometheus text exposition format (v0.0.4).
+//
+// The design contract is the same one the event kernel and the frame pool
+// live by: nothing on a hot path allocates. Incrementing a counter,
+// setting a gauge, or observing a histogram sample is a single atomic
+// read-modify-write with no map lookup, no interface conversion and no
+// allocation — label resolution happens once, at registration, when a
+// family's cells are laid out as a dense array indexed by small integers
+// the caller already has (a protocol enum, a frame kind, an endpoint
+// constant). That keeps the ≤0.005 allocs/event steady-state gate intact
+// with telemetry attached.
+//
+// Instrumentation is strictly observational. Metrics never schedule
+// events, draw randomness, or otherwise participate in a simulation —
+// the same passivity contract as internal/audit — so a run with metrics
+// attached is bit-identical to the same seed without them.
+//
+// Metric names follow rmac_<subsystem>_<name>_<unit> (see CheckName);
+// the Registry enforces the convention at registration time, so every
+// exported series is lint-clean by construction.
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use. All methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Counters only go up; deltas are unsigned by type.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value that can go up and down. The
+// zero value is ready to use. All methods are safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (negative deltas allowed).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram over non-negative integer samples
+// (typically nanoseconds or bytes) with power-of-two bucket bounds:
+// bucket i has upper bound 2^(minExp+i). Bucketing a sample is one
+// bits.Len64 and two atomic adds — no allocation, no floating point.
+//
+// Samples are recorded in raw integer units; Scale converts them to the
+// exposition's base unit at render time (1e-9 turns nanoseconds into the
+// seconds Prometheus conventions require). Construct histograms through
+// Registry.Histogram / Registry.HistogramVec.
+type Histogram struct {
+	minExp  int     // first bucket's upper bound is 1<<minExp
+	scale   float64 // raw units → exposition units (e.g. 1e-9 for ns→s)
+	count   atomic.Uint64
+	sum     atomic.Uint64 // raw units
+	buckets []atomic.Uint64
+	// +Inf overflow is the last element of buckets.
+}
+
+func newHistogram(minExp, maxExp int, scale float64) *Histogram {
+	if minExp < 0 || maxExp <= minExp || maxExp > 62 {
+		panic("metrics: histogram needs 0 <= minExp < maxExp <= 62")
+	}
+	if scale <= 0 {
+		panic("metrics: histogram scale must be positive")
+	}
+	return &Histogram{
+		minExp: minExp,
+		scale:  scale,
+		// One bucket per bound in (minExp..maxExp], plus the first
+		// (everything < 2^minExp) and the +Inf overflow.
+		buckets: make([]atomic.Uint64, maxExp-minExp+2),
+	}
+}
+
+// Observe records one sample in raw units. Negative samples clamp to
+// zero (they land in the first bucket), so callers can feed raw timer
+// deltas without branching.
+func (h *Histogram) Observe(raw int64) {
+	if raw < 0 {
+		raw = 0
+	}
+	// le bounds are inclusive: v belongs in the first bucket with
+	// v <= 2^(minExp+i), i.e. exponent bits.Len64(v-1) (an exact power of
+	// two stays in its own bucket); anything past the last finite bound
+	// overflows into +Inf.
+	var i int
+	if raw > 0 {
+		i = bits.Len64(uint64(raw)-1) - h.minExp
+	}
+	if i < 0 {
+		i = 0
+	} else if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(raw))
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed samples in raw units.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// upperBound returns bucket i's upper bound in exposition units, with
+// ok=false for the +Inf overflow bucket.
+func (h *Histogram) upperBound(i int) (bound float64, ok bool) {
+	if i >= len(h.buckets)-1 {
+		return 0, false
+	}
+	return float64(uint64(1)<<(h.minExp+i)) * h.scale, true
+}
+
+// CounterVec is a labeled counter family backed by a dense cell array:
+// cell i corresponds to the i-th label tuple passed at registration.
+// At is a bounds-checked array index — no map, no hashing, no allocation.
+type CounterVec struct {
+	cells []Counter
+}
+
+// At returns the counter for the i-th registered label tuple.
+func (v *CounterVec) At(i int) *Counter { return &v.cells[i] }
+
+// Len returns the number of cells.
+func (v *CounterVec) Len() int { return len(v.cells) }
+
+// GaugeVec is a labeled gauge family; see CounterVec.
+type GaugeVec struct {
+	cells []Gauge
+}
+
+// At returns the gauge for the i-th registered label tuple.
+func (v *GaugeVec) At(i int) *Gauge { return &v.cells[i] }
+
+// Len returns the number of cells.
+func (v *GaugeVec) Len() int { return len(v.cells) }
+
+// HistogramVec is a labeled histogram family; see CounterVec.
+type HistogramVec struct {
+	cells []*Histogram
+}
+
+// At returns the histogram for the i-th registered label tuple.
+func (v *HistogramVec) At(i int) *Histogram { return v.cells[i] }
+
+// Len returns the number of cells.
+func (v *HistogramVec) Len() int { return len(v.cells) }

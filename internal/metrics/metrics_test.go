@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rmac_kernel_events_total", "events")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+	g := r.Gauge("rmac_service_queue_points", "queue depth")
+	g.Set(7)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	// Bounds 2^4=16 .. 2^8=256 raw units, scale 1: buckets for <16, <32,
+	// <64, <128, <256, +Inf.
+	h := r.Histogram("rmac_service_journal_append_seconds", "t", 4, 8, 1)
+	for _, v := range []int64{-5, 0, 15, 16, 31, 255, 256, 1 << 40} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	wantSum := uint64(0 + 0 + 15 + 16 + 31 + 255 + 256 + 1<<40)
+	if h.Sum() != wantSum {
+		t.Errorf("sum = %d, want %d", h.Sum(), wantSum)
+	}
+	// Per-bucket (non-cumulative) counts with inclusive le bounds:
+	// ≤16: -5,0,15,16 → 4; ≤32: 31 → 1; ≤64,≤128: 0; ≤256: 255,256 → 2;
+	// +Inf: 2^40 → 1.
+	want := []uint64{4, 1, 0, 0, 2, 1}
+	for i, w := range want {
+		if got := h.buckets[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if bound, ok := h.upperBound(0); !ok || bound != 16 {
+		t.Errorf("bound 0 = %v,%v want 16,true", bound, ok)
+	}
+	if _, ok := h.upperBound(len(h.buckets) - 1); ok {
+		t.Error("last bucket should be +Inf")
+	}
+}
+
+func TestVecDenseCells(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("rmac_proto_frames_tx_total", "tx by kind",
+		[]string{"kind"}, [][]string{{"MRTS"}, {"RDATA"}, {"ACK"}})
+	v.At(0).Add(10)
+	v.At(2).Inc()
+	if v.Len() != 3 || v.At(0).Value() != 10 || v.At(1).Value() != 0 || v.At(2).Value() != 1 {
+		t.Errorf("vec cells wrong: %d %d %d", v.At(0).Value(), v.At(1).Value(), v.At(2).Value())
+	}
+}
+
+// TestVecConcurrency hammers one labeled family from many goroutines;
+// run under -race this is the data-race gate for the dense-cell design.
+func TestVecConcurrency(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("rmac_service_points_total", "outcomes",
+		[]string{"outcome"}, [][]string{{"done"}, {"retried"}, {"quarantined"}})
+	h := r.HistogramVec("rmac_service_point_seconds", "latency", 10, 30, 1e-9,
+		[]string{"protocol"}, [][]string{{"RMAC"}, {"BMMM"}})
+	g := r.Gauge("rmac_service_queue_points", "depth")
+	const workers, iters = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v.At(w % 3).Inc()
+				h.At(w % 2).Observe(int64(i))
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	// Scrape concurrently with the writers.
+	var sb strings.Builder
+	for i := 0; i < 50; i++ {
+		sb.Reset()
+		if _, err := r.WriteTo(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	var total uint64
+	for i := 0; i < v.Len(); i++ {
+		total += v.At(i).Value()
+	}
+	if total != workers*iters {
+		t.Errorf("counter total = %d, want %d", total, workers*iters)
+	}
+	if got := h.At(0).Count() + h.At(1).Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+}
+
+// TestHotPathAllocs is the telemetry analogue of the experiment layer's
+// TestSteadyStateAllocs: incrementing counters, moving gauges and
+// observing histogram samples — labeled or not — must not allocate.
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rmac_kernel_events_total", "events")
+	g := r.Gauge("rmac_service_queue_points", "depth")
+	h := r.Histogram("rmac_service_journal_append_seconds", "t", 10, 32, 1e-9)
+	v := r.CounterVec("rmac_proto_drops_total", "drops",
+		[]string{"protocol"}, [][]string{{"RMAC"}, {"BMMM"}})
+	hv := r.HistogramVec("rmac_service_point_seconds", "latency", 20, 38, 1e-9,
+		[]string{"protocol"}, [][]string{{"RMAC"}})
+	var i int64
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(i)
+		g.Add(-1)
+		h.Observe(i * 997)
+		v.At(int(i) & 1).Inc()
+		hv.At(0).Observe(i)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("hot path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestCheckName(t *testing.T) {
+	valid := []struct{ name, typ string }{
+		{"rmac_kernel_events_total", "counter"},
+		{"rmac_proto_frames_tx_total", "counter"},
+		{"rmac_service_point_seconds", "histogram"},
+		{"rmac_service_queue_points", "gauge"},
+		{"rmac_kernel_arena_slots", "gauge"},
+	}
+	for _, v := range valid {
+		if err := CheckName(v.name, v.typ); err != nil {
+			t.Errorf("CheckName(%q, %s) = %v, want nil", v.name, v.typ, err)
+		}
+	}
+	invalid := []struct{ name, typ string }{
+		{"events_total", "counter"},                // no rmac_ prefix
+		{"rmac_total", "counter"},                  // too few segments
+		{"rmac_widget_events_total", "counter"},    // unknown subsystem
+		{"rmac_kernel_events", "counter"},          // counter without _total
+		{"rmac_service_point_millis", "histogram"}, // non-base unit
+		{"rmac_service_queue_depth", "gauge"},      // unit not in set
+		{"rmac_kernel_Events_total", "counter"},    // uppercase
+		{"rmac_kernel__events_total", "counter"},   // empty segment
+		{"rmac_kernel_events_total", "exotic"},     // unknown type
+	}
+	for _, v := range invalid {
+		if err := CheckName(v.name, v.typ); err == nil {
+			t.Errorf("CheckName(%q, %s) = nil, want error", v.name, v.typ)
+		}
+	}
+}
+
+func TestRegistryPanicsOnBadRegistration(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("bad name", func() { NewRegistry().Counter("bogus", "x") })
+	mustPanic("duplicate", func() {
+		r := NewRegistry()
+		r.Counter("rmac_kernel_events_total", "x")
+		r.Counter("rmac_kernel_events_total", "x")
+	})
+	mustPanic("label arity", func() {
+		NewRegistry().CounterVec("rmac_proto_drops_total", "x",
+			[]string{"a", "b"}, [][]string{{"only-one"}})
+	})
+	mustPanic("histogram exponents", func() {
+		NewRegistry().Histogram("rmac_service_point_seconds", "x", 9, 9, 1e-9)
+	})
+}

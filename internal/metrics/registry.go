@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Registry holds a set of metric families and renders them in the
+// Prometheus text exposition format (expfmt.go). Registration validates
+// every name against the repo's naming convention (CheckName) and panics
+// on violations — a bad metric name is a programmer error on a cold
+// path, exactly like scheduling into the past.
+//
+// Registration takes a lock; reads during rendering are atomic loads on
+// the instruments themselves, so scraping never blocks incrementers.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+type metricType uint8
+
+const (
+	typeCounter metricType = iota
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric family: a type, a help string, label names,
+// and one entry per label tuple (exactly one, unlabeled, for plain
+// instruments).
+type family struct {
+	name   string
+	help   string
+	typ    metricType
+	labels []string
+	cells  []cell
+}
+
+// cell is one (label tuple, instrument) pair.
+type cell struct {
+	labelValues []string
+	c           *Counter
+	g           *Gauge
+	h           *Histogram
+}
+
+// register validates and stores a family under r.mu.
+func (r *Registry) register(f *family) {
+	if err := CheckName(f.name, f.typ.String()); err != nil {
+		panic("metrics: " + err.Error())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[f.name] != nil {
+		panic("metrics: duplicate family " + f.name)
+	}
+	for _, c := range f.cells {
+		if len(c.labelValues) != len(f.labels) {
+			panic(fmt.Sprintf("metrics: %s: %d label values for %d label names",
+				f.name, len(c.labelValues), len(f.labels)))
+		}
+	}
+	r.byName[f.name] = f
+	r.families = append(r.families, f)
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&family{name: name, help: help, typ: typeCounter,
+		cells: []cell{{c: c}}})
+	return c
+}
+
+// CounterVec registers a labeled counter family with one dense cell per
+// label tuple in values; cell i is addressed as vec.At(i).
+func (r *Registry) CounterVec(name, help string, labels []string, values [][]string) *CounterVec {
+	v := &CounterVec{cells: make([]Counter, len(values))}
+	f := &family{name: name, help: help, typ: typeCounter, labels: labels}
+	for i := range values {
+		f.cells = append(f.cells, cell{labelValues: values[i], c: &v.cells[i]})
+	}
+	r.register(f)
+	return v
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&family{name: name, help: help, typ: typeGauge,
+		cells: []cell{{g: g}}})
+	return g
+}
+
+// GaugeVec registers a labeled gauge family; see CounterVec.
+func (r *Registry) GaugeVec(name, help string, labels []string, values [][]string) *GaugeVec {
+	v := &GaugeVec{cells: make([]Gauge, len(values))}
+	f := &family{name: name, help: help, typ: typeGauge, labels: labels}
+	for i := range values {
+		f.cells = append(f.cells, cell{labelValues: values[i], g: &v.cells[i]})
+	}
+	r.register(f)
+	return v
+}
+
+// Histogram registers an unlabeled power-of-two histogram whose bucket
+// bounds are 2^minExp .. 2^maxExp in raw units, rendered multiplied by
+// scale (1e-9 for nanosecond samples exposed in seconds).
+func (r *Registry) Histogram(name, help string, minExp, maxExp int, scale float64) *Histogram {
+	h := newHistogram(minExp, maxExp, scale)
+	r.register(&family{name: name, help: help, typ: typeHistogram,
+		cells: []cell{{h: h}}})
+	return h
+}
+
+// HistogramVec registers a labeled histogram family; see Histogram and
+// CounterVec.
+func (r *Registry) HistogramVec(name, help string, minExp, maxExp int, scale float64, labels []string, values [][]string) *HistogramVec {
+	v := &HistogramVec{cells: make([]*Histogram, len(values))}
+	f := &family{name: name, help: help, typ: typeHistogram, labels: labels}
+	for i := range values {
+		v.cells[i] = newHistogram(minExp, maxExp, scale)
+		f.cells = append(f.cells, cell{labelValues: values[i], h: v.cells[i]})
+	}
+	r.register(f)
+	return v
+}
+
+// Names returns every registered family name in registration order; the
+// name-convention lint and tests walk it.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f.name)
+	}
+	return out
+}
+
+// Subsystems a metric may belong to: the event kernel, the MAC protocol
+// and experiment layer, and the sweep service.
+var subsystems = map[string]bool{
+	"kernel":  true,
+	"proto":   true,
+	"service": true,
+}
+
+// gaugeUnits are the unit suffixes a gauge (or the base name of a
+// histogram) may carry. Counters always end in _total per Prometheus
+// convention; the quantity they count is the segment before it.
+var gaugeUnits = map[string]bool{
+	"seconds": true, "bytes": true, "ratio": true, "bool": true,
+	"events": true, "points": true, "frames": true, "packets": true,
+	"workers": true, "jobs": true, "slots": true, "entries": true,
+	"info": true,
+}
+
+// CheckName validates name against the repo convention
+// rmac_<subsystem>_<name>_<unit>: all-lowercase snake case, a known
+// subsystem, counters ending in _total, histograms in a Prometheus base
+// unit (_seconds or _bytes), gauges in a unit from the documented set.
+// typ is "counter", "gauge" or "histogram".
+func CheckName(name, typ string) error {
+	segs := strings.Split(name, "_")
+	if len(segs) < 3 || segs[0] != "rmac" {
+		return fmt.Errorf("%s: want rmac_<subsystem>_<name>_<unit>", name)
+	}
+	for _, s := range segs {
+		if s == "" {
+			return fmt.Errorf("%s: empty name segment", name)
+		}
+		for _, r := range s {
+			if (r < 'a' || r > 'z') && (r < '0' || r > '9') {
+				return fmt.Errorf("%s: name segments must be [a-z0-9]+", name)
+			}
+		}
+	}
+	if !subsystems[segs[1]] {
+		return fmt.Errorf("%s: unknown subsystem %q (want kernel, proto, or service)", name, segs[1])
+	}
+	last := segs[len(segs)-1]
+	switch typ {
+	case "counter":
+		if last != "total" {
+			return fmt.Errorf("%s: counter names must end in _total", name)
+		}
+	case "histogram":
+		if last != "seconds" && last != "bytes" {
+			return fmt.Errorf("%s: histogram names must end in a base unit (_seconds or _bytes)", name)
+		}
+	case "gauge":
+		if !gaugeUnits[last] {
+			return fmt.Errorf("%s: gauge unit %q not in the documented unit set", name, last)
+		}
+	default:
+		return fmt.Errorf("%s: unknown metric type %q", name, typ)
+	}
+	return nil
+}

@@ -1,6 +1,10 @@
 package server
 
-import "sync"
+import (
+	"sync"
+
+	"rmac/internal/metrics"
+)
 
 // cache is the content-addressed result store: key is
 // experiment.Config.CacheKey() — a digest of the full configuration
@@ -13,23 +17,29 @@ import "sync"
 // startup. Because keys embed the code version, entries journaled by an
 // older build are never served to new submissions — they simply never
 // collide.
+//
+// Its traffic counters live in the metric registry (the server passes
+// its instruments in), so /stats and /metrics read the same numbers.
 type cache struct {
-	mu     sync.Mutex
-	m      map[string]PointResult
-	hits   uint64
-	misses uint64
+	mu      sync.Mutex
+	m       map[string]PointResult
+	hits    *metrics.Counter
+	misses  *metrics.Counter
+	entries *metrics.Gauge
 }
 
-func newCache() *cache { return &cache{m: make(map[string]PointResult)} }
+func newCache(hits, misses *metrics.Counter, entries *metrics.Gauge) *cache {
+	return &cache{m: make(map[string]PointResult), hits: hits, misses: misses, entries: entries}
+}
 
 func (c *cache) get(key string) (PointResult, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r, ok := c.m[key]
 	if ok {
-		c.hits++
+		c.hits.Inc()
 	} else {
-		c.misses++
+		c.misses.Inc()
 	}
 	return r, ok
 }
@@ -38,9 +48,11 @@ func (c *cache) put(key string, r PointResult) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m[key] = r
+	c.entries.Set(int64(len(c.m)))
 }
 
-// CacheStats is the cache telemetry exposed on /stats.
+// CacheStats is the cache telemetry exposed on /stats, read back from
+// the same instruments GET /metrics renders.
 type CacheStats struct {
 	Entries int    `json:"entries"`
 	Hits    uint64 `json:"hits"`
@@ -50,5 +62,5 @@ type CacheStats struct {
 func (c *cache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Entries: len(c.m), Hits: c.hits, Misses: c.misses}
+	return CacheStats{Entries: len(c.m), Hits: c.hits.Value(), Misses: c.misses.Value()}
 }

@@ -165,10 +165,16 @@ type PointResult struct {
 	// (experiment.RunResult.Fingerprint); equal fingerprints mean
 	// bit-identical results.
 	Fingerprint string `json:"fingerprint"`
+
+	// Totals carries the run's raw monotone counters. Journaling them per
+	// point is what lets a restarted server rebuild its metric families to
+	// values ≥ anything the predecessor served (see serverMetrics).
+	Totals *experiment.RunTotals `json:"totals,omitempty"`
 }
 
 // makePointResult reduces a RunResult to its wire form.
 func makePointResult(res *experiment.RunResult) PointResult {
+	totals := res.Totals
 	return PointResult{
 		Protocol:         res.Config.Protocol.String(),
 		Scenario:         res.Config.Scenario.String(),
@@ -185,6 +191,7 @@ func makePointResult(res *experiment.RunResult) PointResult {
 		Aborted:          res.Aborted,
 		AbortReason:      res.AbortReason,
 		Fingerprint:      res.Fingerprint(),
+		Totals:           &totals,
 	}
 }
 
@@ -285,13 +292,13 @@ func (j *Job) started() bool {
 
 // PointFailure describes one quarantined grid point in a job status.
 type PointFailure struct {
-	Idx      int    `json:"idx"`
-	Protocol string `json:"protocol"`
-	Scenario string `json:"scenario"`
+	Idx      int     `json:"idx"`
+	Protocol string  `json:"protocol"`
+	Scenario string  `json:"scenario"`
 	Rate     float64 `json:"rate"`
-	Seed     int64  `json:"seed"`
-	Attempts int    `json:"attempts"`
-	Error    string `json:"error"`
+	Seed     int64   `json:"seed"`
+	Attempts int     `json:"attempts"`
+	Error    string  `json:"error"`
 }
 
 // JobStatus is the wire form of a job: GET /jobs/{id} and every frame of

@@ -8,6 +8,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"rmac/internal/metrics"
 )
 
 // The journal is the server's crash-recovery log: an append-only JSONL
@@ -50,6 +52,9 @@ type journal struct {
 	f      *os.File
 	w      *bufio.Writer
 	closed bool
+	// lat, when set, observes each append's wall time (marshal + write +
+	// OS flush) into rmac_service_journal_append_seconds.
+	lat *metrics.Histogram
 }
 
 // openJournal replays the records already in path (if any) and opens it
@@ -84,6 +89,7 @@ func (j *journal) append(rec record) {
 	if j == nil {
 		return
 	}
+	start := time.Now()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
@@ -96,6 +102,9 @@ func (j *journal) append(rec record) {
 	j.w.Write(data)
 	j.w.WriteByte('\n')
 	j.w.Flush()
+	if j.lat != nil {
+		j.lat.Observe(int64(time.Since(start)))
+	}
 }
 
 func (j *journal) close() {

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// Structured logging for the service. Every line carries correlation
+// attributes — job ID, grid-point index, attempt — so one sweep's
+// lifecycle can be grepped out of interleaved worker output. Logging is
+// off (a discard handler) unless Config.Logger is set; cmd/rmacserved
+// wires -log text|json here.
+
+// discardHandler is a slog.Handler that drops everything. (The stdlib
+// gained one only after this repo's go directive, so it is hand-rolled.)
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// statusWriter captures the response status for the access log while
+// passing Flush through — the NDJSON stream endpoint needs the Flusher.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the API mux with the access log and the per-endpoint
+// request counter. The counter increment is a dense-cell atomic add; the
+// log line is skipped entirely at disabled levels.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ep := endpointIndex(r)
+		s.metrics.httpRequests.At(ep).Inc()
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.log.Debug("http",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"endpoint", endpointNames[ep],
+			"status", sw.status,
+			"dur", time.Since(start))
+	})
+}

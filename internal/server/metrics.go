@@ -1,0 +1,198 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+
+	"rmac/internal/experiment"
+	"rmac/internal/metrics"
+)
+
+// The service half of the telemetry layer (DESIGN.md §13). One registry
+// per server instance carries three groups of families:
+//
+//   - the shared kernel/protocol families (experiment.RunMetrics), fed
+//     one grid point at a time from each fresh run's RunTotals — and
+//     re-fed from the journal on startup, so a scrape after a crash
+//     resume reports totals ≥ every scrape the predecessor served;
+//   - service families: HTTP traffic by endpoint, queue depth against
+//     its cap, worker-pool utilization, per-outcome point terminals,
+//     cache traffic, journal append latency, and per-protocol point
+//     wall-clock histograms;
+//   - all increments hit pre-registered dense cells (endpoint, outcome
+//     and protocol are small enum indices), so the request and worker
+//     hot paths never allocate for telemetry.
+//
+// GET /metrics renders the registry; GET /stats derives its legacy JSON
+// payload from the same instruments (see handleStats).
+
+// Endpoint indices for the HTTP request family. epOther absorbs unknown
+// paths so the label set stays a fixed vocabulary.
+const (
+	epHealthz = iota
+	epReadyz
+	epStats
+	epMetrics
+	epSweeps
+	epJobs
+	epJob
+	epStream
+	epCancel
+	epPprof
+	epOther
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{
+	"healthz", "readyz", "stats", "metrics", "sweeps", "jobs", "job",
+	"stream", "cancel", "pprof", "other",
+}
+
+// endpointIndex classifies a request path into the fixed endpoint
+// vocabulary. Job sub-resources are told apart by suffix.
+func endpointIndex(r *http.Request) int {
+	p := r.URL.Path
+	switch p {
+	case "/healthz":
+		return epHealthz
+	case "/readyz":
+		return epReadyz
+	case "/stats":
+		return epStats
+	case "/metrics":
+		return epMetrics
+	case "/sweeps":
+		return epSweeps
+	case "/jobs":
+		return epJobs
+	}
+	switch {
+	case strings.HasPrefix(p, "/debug/pprof"):
+		return epPprof
+	case strings.HasPrefix(p, "/jobs/"):
+		switch {
+		case strings.HasSuffix(p, "/stream"):
+			return epStream
+		case strings.HasSuffix(p, "/cancel"):
+			return epCancel
+		default:
+			return epJob
+		}
+	}
+	return epOther
+}
+
+// Outcome indices for the point terminal-transition family. done counts
+// fresh simulations, cached counts cache-served completions; retried is
+// the non-terminal extra outcome so retry pressure is visible.
+const (
+	outDone = iota
+	outCached
+	outRetried
+	outQuarantined
+	outCanceled
+	numOutcomes
+)
+
+var outcomeNames = [numOutcomes]string{
+	"done", "cached", "retried", "quarantined", "canceled",
+}
+
+// serverMetrics bundles the server's registry and instruments.
+type serverMetrics struct {
+	reg *metrics.Registry
+	run *experiment.RunMetrics
+
+	httpRequests *metrics.CounterVec // by endpoint
+	points       *metrics.CounterVec // by outcome
+	queueDepth   *metrics.Gauge
+	queueCap     *metrics.Gauge
+	workers      *metrics.Gauge
+	busyWorkers  *metrics.Gauge
+	jobs         *metrics.Gauge
+	cacheHits    *metrics.Counter
+	cacheMisses  *metrics.Counter
+	cacheEntries *metrics.Gauge
+	// journalAppend observes the wall time of one journal record append,
+	// fsync-to-OS included (buckets 4µs–1s).
+	journalAppend *metrics.Histogram
+	// pointSeconds observes each fresh (non-cached) point's simulation
+	// wall time by protocol (buckets ~1ms–137s, matching PointDeadline
+	// scales).
+	pointSeconds *metrics.HistogramVec
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{reg: reg, run: experiment.NewRunMetrics(reg)}
+
+	epCells := make([][]string, numEndpoints)
+	for i, n := range endpointNames {
+		epCells[i] = []string{n}
+	}
+	outCells := make([][]string, numOutcomes)
+	for i, n := range outcomeNames {
+		outCells[i] = []string{n}
+	}
+	protoCells := make([][]string, len(experiment.Protocols))
+	for i, p := range experiment.Protocols {
+		protoCells[i] = []string{p.String()}
+	}
+
+	m.httpRequests = reg.CounterVec("rmac_service_http_requests_total",
+		"HTTP requests served, by API endpoint.", []string{"endpoint"}, epCells)
+	m.points = reg.CounterVec("rmac_service_points_total",
+		"Grid-point state transitions by outcome: terminal (done, cached, quarantined, canceled) plus scheduled retries.",
+		[]string{"outcome"}, outCells)
+	m.queueDepth = reg.Gauge("rmac_service_queue_points",
+		"Admitted grid points not yet terminal (queued, running, or in retry backoff).")
+	m.queueCap = reg.Gauge("rmac_service_queue_cap_points",
+		"Admission-control bound on queued points (submissions beyond it get 429).")
+	m.workers = reg.Gauge("rmac_service_workers",
+		"Simulation worker-pool size.")
+	m.busyWorkers = reg.Gauge("rmac_service_busy_workers",
+		"Workers currently executing a grid point.")
+	m.jobs = reg.Gauge("rmac_service_jobs",
+		"Sweep jobs known to this server (journal-replayed jobs included).")
+	m.cacheHits = reg.Counter("rmac_service_cache_hits_total",
+		"Result-cache lookups served from the content-addressed cache.")
+	m.cacheMisses = reg.Counter("rmac_service_cache_misses_total",
+		"Result-cache lookups that required a fresh simulation.")
+	m.cacheEntries = reg.Gauge("rmac_service_cache_entries",
+		"Results resident in the content-addressed cache.")
+	m.journalAppend = reg.Histogram("rmac_service_journal_append_seconds",
+		"Wall time to append and OS-flush one crash-recovery journal record.",
+		12, 30, 1e-9)
+	m.pointSeconds = reg.HistogramVec("rmac_service_point_seconds",
+		"Wall time to simulate one fresh (non-cached) grid point, by protocol.",
+		20, 37, 1e-9, []string{"protocol"}, protoCells)
+	return m
+}
+
+// protocolIndex maps a PointResult's protocol name back to its dense
+// enum index (-1 if the journal carries a name this build doesn't know).
+func protocolIndex(name string) int {
+	for i, p := range experiment.Protocols {
+		if p.String() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// addPoint folds one fresh grid-point result into the shared
+// kernel/protocol families. Cache-served points are never folded — the
+// families count simulation work actually performed — and journal replay
+// calls this exactly for the points the predecessor simulated, which is
+// what keeps the totals monotone across a crash/restart.
+func (m *serverMetrics) addPoint(pr *PointResult) {
+	if pr.Totals == nil {
+		return
+	}
+	m.run.AddTotals(protocolIndex(pr.Protocol), pr.Events, pr.Aborted, pr.Totals, nil)
+}
+
+func (m *serverMetrics) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	m.reg.WriteTo(w)
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rmac/internal/metrics"
+)
+
+// scrape fetches /metrics and returns the exposition body.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.ContentType {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// seriesValue extracts one sample's value from an exposition body; the
+// series name must match a full sample name (labels included).
+func seriesValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("series %s: bad value %q", series, rest)
+		}
+		return v
+	}
+	t.Fatalf("series %s not found in scrape", series)
+	return 0
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	sc := newScript()
+	s, ts := newTestServer(t, testConfig(sc))
+
+	id, cfgs := submit(t, s, SweepRequest{Protocols: []string{"rmac", "bmmm"}, Seeds: 2})
+	waitTerminal(t, s, id)
+
+	body := scrape(t, ts)
+
+	// The shared kernel/protocol vocabulary is present and fed: the fake
+	// run reports Events per point, folded across the whole grid.
+	var wantEvents float64
+	for _, cfg := range cfgs {
+		wantEvents += float64(uint64(cfg.Seed)*1000 + uint64(cfg.Rate))
+	}
+	if got := seriesValue(t, body, "rmac_kernel_events_total"); got != wantEvents {
+		t.Errorf("rmac_kernel_events_total = %v, want %v", got, wantEvents)
+	}
+	if got := seriesValue(t, body, `rmac_service_points_total{outcome="done"}`); got != float64(len(cfgs)) {
+		t.Errorf("points done = %v, want %d", got, len(cfgs))
+	}
+	if got := seriesValue(t, body, "rmac_service_queue_points"); got != 0 {
+		t.Errorf("queue depth = %v after completion", got)
+	}
+	if got := seriesValue(t, body, `rmac_proto_runs_total{protocol="RMAC"}`); got != 2 {
+		t.Errorf("RMAC runs = %v, want 2", got)
+	}
+	// The scrape itself was counted by the middleware.
+	if got := seriesValue(t, body, `rmac_service_http_requests_total{endpoint="metrics"}`); got < 1 {
+		t.Errorf("metrics endpoint requests = %v", got)
+	}
+
+	// Every family obeys the naming convention (the CI lint re-checks
+	// this against a live scrape).
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		f := strings.Fields(line)
+		if err := metrics.CheckName(f[2], f[3]); err != nil {
+			t.Errorf("family fails name lint: %v", err)
+		}
+	}
+
+	// /stats is derived from the same instruments.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ServerStats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pending != 0 || st.Workers != s.cfg.Workers || st.QueueCap != s.cfg.QueueCap {
+		t.Errorf("/stats = %+v disagrees with config", st)
+	}
+	if st.Cache.Misses != uint64(len(cfgs)) {
+		t.Errorf("/stats cache misses = %d, want %d", st.Cache.Misses, len(cfgs))
+	}
+	if got := seriesValue(t, body, "rmac_service_cache_misses_total"); got != float64(st.Cache.Misses) {
+		t.Errorf("cache misses: /metrics %v vs /stats %d", got, st.Cache.Misses)
+	}
+
+	// The pprof surface is mounted.
+	pp, err := http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", pp.StatusCode)
+	}
+}
+
+// TestMetricsMonotoneAcrossRestart is the crash-resume contract: a
+// successor server replaying the journal reports counters ≥ any scrape
+// the predecessor served.
+func TestMetricsMonotoneAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	sc := newScript()
+	cfg := testConfig(sc)
+	cfg.JournalPath = path
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	id, cfgs := submit(t, s1, SweepRequest{Protocols: []string{"rmac", "lbp"}, Seeds: 3})
+	waitTerminal(t, s1, id)
+	before := scrape(t, ts1)
+	beforeEvents := seriesValue(t, before, "rmac_kernel_events_total")
+	beforeDone := seriesValue(t, before, `rmac_service_points_total{outcome="done"}`)
+	if beforeDone != float64(len(cfgs)) {
+		t.Fatalf("predecessor done = %v, want %d", beforeDone, len(cfgs))
+	}
+	ts1.Close()
+	s1.Close() // kill -9 equivalent: no drain
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() { ts2.Close(); s2.Close() }()
+	after := scrape(t, ts2)
+	if got := seriesValue(t, after, "rmac_kernel_events_total"); got < beforeEvents {
+		t.Errorf("events_total regressed across restart: %v < %v", got, beforeEvents)
+	}
+	if got := seriesValue(t, after, `rmac_service_points_total{outcome="done"}`); got < beforeDone {
+		t.Errorf("points done regressed across restart: %v < %v", got, beforeDone)
+	}
+}

@@ -79,7 +79,11 @@ func (s *Server) execute(t task) {
 	s.touchLocked(job)
 	s.mu.Unlock()
 
+	s.metrics.busyWorkers.Inc()
+	start := time.Now()
 	res, runErr := s.runPoint(job.ctx, t)
+	elapsed := time.Since(start)
+	s.metrics.busyWorkers.Dec()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -89,18 +93,31 @@ func (s *Server) execute(t task) {
 		pt.Result = &pr
 		s.cache.put(pt.Key, pr)
 		s.journal.append(record{T: "point", Job: job.ID, Idx: pt.Idx, Key: pt.Key, Result: &pr})
+		s.metrics.addPoint(&pr)
+		if p := int(pt.Cfg.Protocol); p >= 0 && p < s.metrics.pointSeconds.Len() {
+			s.metrics.pointSeconds.At(p).Observe(int64(elapsed))
+		}
 		s.finishLocked(job, pt, stateDone, "")
+		s.log.Info("point done", "job", job.ID, "idx", pt.Idx,
+			"attempt", attempt, "protocol", pr.Protocol, "dur", elapsed)
 	case job.ctx.Err() != nil:
 		s.finishLocked(job, pt, stateCanceled, runErr.Error())
+		s.log.Info("point canceled", "job", job.ID, "idx", pt.Idx, "err", runErr.Error())
 	case attempt >= s.cfg.MaxAttempts:
 		pt.LastErr = runErr.Error()
 		s.journal.append(record{T: "quarantine", Job: job.ID, Idx: pt.Idx, Key: pt.Key, Attempts: attempt, Err: pt.LastErr})
 		s.finishLocked(job, pt, stateQuarantined, runErr.Error())
+		s.log.Error("point quarantined", "job", job.ID, "idx", pt.Idx,
+			"attempts", attempt, "err", pt.LastErr)
 	default:
 		pt.State = statePending
 		pt.LastErr = runErr.Error()
+		s.metrics.points.At(outRetried).Inc()
 		s.touchLocked(job)
-		s.retryAfter(t, s.backoffLocked(attempt))
+		d := s.backoffLocked(attempt)
+		s.retryAfter(t, d)
+		s.log.Warn("point retry", "job", job.ID, "idx", pt.Idx,
+			"attempt", attempt, "backoff", d, "err", pt.LastErr)
 	}
 }
 

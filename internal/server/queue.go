@@ -26,6 +26,7 @@ func (s *Server) admitLocked(n int) (ok bool, retryAfter int) {
 		return false, retryAfter
 	}
 	s.pending += n
+	s.metrics.queueDepth.Set(int64(s.pending))
 	return true, 0
 }
 
@@ -33,4 +34,5 @@ func (s *Server) admitLocked(n int) (ok bool, retryAfter int) {
 // point transition. Caller holds s.mu.
 func (s *Server) releaseLocked() {
 	s.pending--
+	s.metrics.queueDepth.Set(int64(s.pending))
 }

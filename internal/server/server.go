@@ -14,8 +14,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"rmac/internal/experiment"
+	"rmac/internal/metrics"
 )
 
 // Config tunes the service. Zero values select the documented defaults.
@@ -44,6 +47,9 @@ type Config struct {
 	PointDeadline time.Duration
 	// JournalPath enables the crash-recovery journal ("" disables).
 	JournalPath string
+	// Logger receives the structured access and worker logs; nil
+	// discards them (the metrics registry is always on regardless).
+	Logger *slog.Logger
 
 	// runFn overrides the simulation entry point; the chaos tests inject
 	// scripted panics, hangs and counters here. nil means
@@ -88,6 +94,8 @@ type Server struct {
 	queue   chan task
 	cache   *cache
 	journal *journal
+	metrics *serverMetrics
+	log     *slog.Logger
 
 	draining bool
 	baseCtx  context.Context
@@ -110,12 +118,19 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		jobs:     make(map[string]*Job),
-		cache:    newCache(),
+		metrics:  newServerMetrics(),
+		log:      cfg.Logger,
 		baseCtx:  ctx,
 		baseStop: stop,
 		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 		runFn:    experiment.RunCtx,
 	}
+	if s.log == nil {
+		s.log = slog.New(discardHandler{})
+	}
+	s.cache = newCache(s.metrics.cacheHits, s.metrics.cacheMisses, s.metrics.cacheEntries)
+	s.metrics.workers.Set(int64(cfg.Workers))
+	s.metrics.queueCap.Set(int64(cfg.QueueCap))
 	if cfg.runFn != nil {
 		s.runFn = cfg.runFn
 	}
@@ -126,6 +141,7 @@ func New(cfg Config) (*Server, error) {
 			stop()
 			return nil, err
 		}
+		j.lat = s.metrics.journalAppend
 		s.journal = j
 		recovered = recs
 	}
@@ -182,6 +198,12 @@ func (s *Server) replay(recs []record) []task {
 			job.done++
 			if rec.CacheHit {
 				job.cacheHits++
+				s.metrics.points.At(outCached).Inc()
+			} else {
+				// Re-feeding the predecessor's simulated totals is what
+				// keeps every counter monotone across a crash/restart.
+				s.metrics.addPoint(&res)
+				s.metrics.points.At(outDone).Inc()
 			}
 			s.cache.put(rec.Key, res)
 		case "quarantine":
@@ -197,6 +219,7 @@ func (s *Server) replay(recs []record) []task {
 			pt.Attempts = rec.Attempts
 			pt.LastErr = rec.Err
 			job.quarantined++
+			s.metrics.points.At(outQuarantined).Inc()
 		case "cancel":
 			job := s.jobs[rec.Job]
 			if job == nil {
@@ -208,6 +231,7 @@ func (s *Server) replay(recs []record) []task {
 				if !pt.State.terminal() {
 					pt.State = stateCanceled
 					job.canceled++
+					s.metrics.points.At(outCanceled).Inc()
 				}
 			}
 		}
@@ -225,6 +249,11 @@ func (s *Server) replay(recs []record) []task {
 				s.pending++
 			}
 		}
+	}
+	s.metrics.queueDepth.Set(int64(s.pending))
+	if len(recs) > 0 {
+		s.log.Info("journal replayed",
+			"records", len(recs), "jobs", len(s.jobs), "resumed", len(resume))
 	}
 	return resume
 }
@@ -255,6 +284,7 @@ func (s *Server) buildJobLocked(id string, req SweepRequest, cfgs []experiment.C
 	}
 	s.jobs[id] = job
 	s.order = append(s.order, id)
+	s.metrics.jobs.Set(int64(len(s.jobs)))
 	return job
 }
 
@@ -268,10 +298,17 @@ func (s *Server) finishLocked(job *Job, pt *point, st pointState, reason string)
 	switch st {
 	case stateDone:
 		job.done++
+		if pt.CacheHit {
+			s.metrics.points.At(outCached).Inc()
+		} else {
+			s.metrics.points.At(outDone).Inc()
+		}
 	case stateQuarantined:
 		job.quarantined++
+		s.metrics.points.At(outQuarantined).Inc()
 	case stateCanceled:
 		job.canceled++
+		s.metrics.points.At(outCanceled).Inc()
 	}
 	s.releaseLocked()
 	s.touchLocked(job)
@@ -283,18 +320,33 @@ func (s *Server) touchLocked(job *Job) {
 	job.changed = make(chan struct{})
 }
 
-// Handler returns the service's HTTP API.
+// Handler returns the service's HTTP API, wrapped in the access-log and
+// request-counter middleware. Besides the JSON API it mounts the
+// Prometheus scrape endpoint and the stdlib pprof surface (CPU and heap
+// profiles, goroutine dumps — the debugging complement to /metrics).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.metrics.handleMetrics)
 	mux.HandleFunc("POST /sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
-	return mux
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s.instrument(mux)
+}
+
+// Registry exposes the server's metric registry for embedding callers
+// and tests; GET /metrics renders exactly this.
+func (s *Server) Registry() *metrics.Registry {
+	return s.metrics.reg
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -319,7 +371,20 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// ServerStats is the /stats payload.
+// ServerStats is the legacy JSON /stats payload. It is derived entirely
+// from the metric registry's instruments — /stats and /metrics can never
+// disagree. The field ↔ series mapping (documented in DESIGN.md §13):
+//
+//	pending       = rmac_service_queue_points
+//	workers       = rmac_service_workers
+//	queue_cap     = rmac_service_queue_cap_points
+//	jobs          = rmac_service_jobs
+//	cache.entries = rmac_service_cache_entries
+//	cache.hits    = rmac_service_cache_hits_total
+//	cache.misses  = rmac_service_cache_misses_total
+//
+// draining and code_version have no series (one is a lifecycle bit, the
+// other belongs in a label on some future build-info gauge).
 type ServerStats struct {
 	Pending     int        `json:"pending"`
 	Workers     int        `json:"workers"`
@@ -332,16 +397,18 @@ type ServerStats struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	m := s.metrics
 	st := ServerStats{
-		Pending:     s.pending,
-		Workers:     s.cfg.Workers,
-		QueueCap:    s.cfg.QueueCap,
-		Draining:    s.draining,
-		Jobs:        len(s.jobs),
+		Pending:     int(m.queueDepth.Value()),
+		Workers:     int(m.workers.Value()),
+		QueueCap:    int(m.queueCap.Value()),
+		Draining:    draining,
+		Jobs:        int(m.jobs.Value()),
+		Cache:       s.cache.stats(),
 		CodeVersion: experiment.CodeVersion(),
 	}
-	s.mu.Unlock()
-	st.Cache = s.cache.stats()
 	writeJSON(w, http.StatusOK, st)
 }
 

@@ -640,6 +640,11 @@ func (e *Engine) Pending() int { return len(e.order) + e.wheelCount + e.dueCount
 // executing, for leak checks in tests: after a full drain it must be 0.
 func (e *Engine) PoolInUse() int { return len(e.nodes) - len(e.free) }
 
+// ArenaCap reports the total number of event slots the arena has grown
+// to — the high-water mark of simultaneously live events. Together with
+// PoolInUse it is the kernel's arena-occupancy telemetry.
+func (e *Engine) ArenaCap() int { return len(e.nodes) }
+
 // The priority queue behind the wheel is a 4-ary min-heap of heapEnt
 // entries: children of i are 4i+1..4i+4. Compared to a binary heap it
 // halves the tree depth, trading slightly more comparisons per level for

@@ -66,6 +66,37 @@ func CancelClassName(i int) string {
 	return "in heap (O(log n) removal)"
 }
 
+// PlaceClassLabel is the machine-readable form of PlaceClassName, used
+// as the metric label value for TimerStats.Placed index i.
+func PlaceClassLabel(i int) string {
+	switch i {
+	case placeDue:
+		return "due"
+	case placeL0:
+		return "wheel_l0"
+	case placeL1:
+		return "wheel_l1"
+	case placeOverflow:
+		return "overflow"
+	}
+	return "?"
+}
+
+// CancelClassLabel is the machine-readable form of CancelClassName, used
+// as the metric label value for TimerStats.CancelledIn index i.
+func CancelClassLabel(i int) string {
+	if i == cancelledInWheel {
+		return "wheel"
+	}
+	return "heap"
+}
+
+// NumPlaceClasses and NumCancelClasses size per-class metric families.
+const (
+	NumPlaceClasses  = placeClasses
+	NumCancelClasses = 2
+)
+
 // BucketRange describes bucket b's delta range in nanoseconds.
 func BucketRange(b int) (lo, hi Time) {
 	if b == 0 {

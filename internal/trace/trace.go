@@ -43,14 +43,32 @@ const (
 	NodeUp
 )
 
-var kindNames = [...]string{
+// NumKinds is the number of defined trace kinds; Kind values are dense
+// in [0, NumKinds), so per-kind tables can be plain arrays.
+const NumKinds = int(NodeUp) + 1
+
+// kindNames is the single dense Kind→name table. Every layer that labels
+// data by trace kind — the auditor's context ring, the metrics families —
+// goes through KindName rather than carrying its own string table, so the
+// vocabulary cannot drift.
+var kindNames = [NumKinds]string{
 	"TX", "TX-END", "TX-ABORT", "RX", "RX-BAD", "TONE-ON", "TONE-OFF",
 	"STATE", "DROP", "DELIVER", "NOTE", "DOWN", "UP",
 }
 
-func (k Kind) String() string {
+// KindName returns the dense name-table entry for k; it is the shared
+// vocabulary for any layer labeling data by trace kind. Out-of-range
+// kinds return "".
+func KindName(k Kind) string {
 	if int(k) < len(kindNames) {
 		return kindNames[k]
+	}
+	return ""
+}
+
+func (k Kind) String() string {
+	if s := KindName(k); s != "" {
+		return s
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

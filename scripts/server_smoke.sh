@@ -4,9 +4,13 @@
 # same journal, and assert that
 #
 #   1. the restarted server resumes and completes the job (unfinished
-#      points are retried; finished ones are not re-run), and
+#      points are retried; finished ones are not re-run),
 #   2. the served delivery ratio is identical to what the batch CLI
-#      (rmacsim) computes for the same grid point.
+#      (rmacsim) computes for the same grid point, and
+#   3. the telemetry surface holds up: /metrics serves well-formed,
+#      convention-named series, the counters replayed from the journal
+#      are monotone across the kill -9 (post-resume totals >= any value
+#      the first life served), and /debug/pprof answers.
 #
 # The in-process chaos tests (internal/server) cover the same machinery
 # with scripted failures; this exercises the actual binaries, signals and
@@ -44,11 +48,19 @@ start_server() {
 # enough to finish quickly, big enough that kill -9 lands mid-sweep.
 REQ='{"protocols":["rmac"],"rates":[10],"seeds":3,"nodes":20,"field_w":250,"field_h":150,"packets":40}'
 
+# metric prints one sample's value from /metrics (exact series name,
+# labels included).
+metric() {
+    curl -fsS "http://$ADDR/metrics" | awk -v s="$1" '$1 == s {print $2}'
+}
+
 echo "== first life: submit, then kill -9 mid-sweep"
 start_server
 JOB=$(curl -fsS -d "$REQ" "http://$ADDR/sweeps" | sed -n 's/.*"job": "\(j[0-9]*\)".*/\1/p')
 [ -n "$JOB" ] || { echo "FAIL: no job id in submit response" >&2; exit 1; }
 sleep 0.5
+EV_BEFORE=$(metric rmac_kernel_events_total)
+[ -n "$EV_BEFORE" ] || { echo "FAIL: rmac_kernel_events_total missing pre-kill" >&2; exit 1; }
 kill -9 "$SRV"
 wait "$SRV" 2>/dev/null || true
 SRV=
@@ -81,3 +93,33 @@ if [ "$SERVED" != "$BATCH" ]; then
     exit 1
 fi
 echo "OK: resumed job completed; served delivery $SERVED == batch $BATCH"
+
+echo "== telemetry: core series, monotone resume, name lint, pprof"
+EV_AFTER=$(metric rmac_kernel_events_total)
+DONE=$(metric 'rmac_service_points_total{outcome="done"}')
+WORKERS=$(metric rmac_service_workers)
+[ -n "$EV_AFTER" ] && [ -n "$DONE" ] && [ -n "$WORKERS" ] || {
+    echo "FAIL: core series missing from /metrics (events='$EV_AFTER' done='$DONE' workers='$WORKERS')" >&2
+    exit 1
+}
+# Counters replayed from the journal must be >= anything the first life
+# served, and a completed 3-point sweep is strictly positive.
+awk -v a="$EV_AFTER" -v b="$EV_BEFORE" -v d="$DONE" \
+    'BEGIN { exit !(a+0 >= b+0 && a+0 > 0 && d+0 >= 3) }' || {
+    echo "FAIL: counters not monotone across kill -9 (events $EV_BEFORE -> $EV_AFTER, done $DONE)" >&2
+    exit 1
+}
+# promtool-free lint: every family is rmac_<subsystem>_<name>_<unit>.
+curl -fsS "http://$ADDR/metrics" | awk '
+    /^# TYPE / {
+        name = $3; typ = $4
+        if (name !~ /^rmac_(kernel|proto|service)_[a-z0-9_]+$/) { print "bad family name: " name; bad = 1 }
+        if (typ == "counter" && name !~ /_total$/) { print "counter without _total: " name; bad = 1 }
+        if (typ == "histogram" && name !~ /_(seconds|bytes)$/) { print "histogram without base unit: " name; bad = 1 }
+    }
+    END { exit bad }
+' || { echo "FAIL: metrics name lint" >&2; exit 1; }
+# The pprof surface answers with a real (non-empty) CPU profile.
+PPROF_BYTES=$(curl -fsS "http://$ADDR/debug/pprof/profile?seconds=1" | wc -c)
+[ "$PPROF_BYTES" -gt 0 ] || { echo "FAIL: empty pprof profile" >&2; exit 1; }
+echo "OK: telemetry — events $EV_BEFORE -> $EV_AFTER, $DONE points done, pprof $PPROF_BYTES bytes"
