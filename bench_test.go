@@ -9,6 +9,7 @@
 package rmac
 
 import (
+	"fmt"
 	"testing"
 
 	"rmac/internal/frame"
@@ -262,6 +263,71 @@ func BenchmarkWholeRun(b *testing.B) {
 			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 			b.ReportMetric(simulated.Seconds()/b.Elapsed().Seconds(), "simsec/s")
 		})
+	}
+}
+
+// benchShardedConfig is the metro workload of the sharded benchmarks:
+// eight dense districts separated by more than the interference range,
+// one multicast source per district, sized so district density stays near
+// the paper's deployment. The district count is pinned at eight for every
+// shard count, so shards1 and shards8 simulate the identical topology and
+// traffic — the ns/op ratio between them is a pure engine comparison.
+func benchShardedConfig(nodes, shards int) Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.Topo = TopoMetro
+	cfg.Districts = 8
+	cfg.Sources = 8
+	cfg.Shards = shards
+	// Field area scales with the population (≈1e-3 nodes/m² inside a
+	// district, twice the paper's density); the default inter-district
+	// gap of 1.5× the interference range keeps districts RF-decoupled.
+	if nodes >= 10000 {
+		cfg.Field = Rect{W: 5600, H: 2000}
+	} else {
+		cfg.Field = Rect{W: 2800, H: 600}
+	}
+	cfg.Rate = 40
+	cfg.Packets = 64
+	cfg.Warmup = 2 * sim.Second
+	cfg.Drain = sim.Second
+	return cfg
+}
+
+// BenchmarkWholeRunSharded measures the spatially sharded conservative
+// engine (DESIGN.md §14) end to end at 1k and 10k nodes across shard
+// counts. shards1 is the plain single-engine path on the same workload,
+// so ns/op(shards1)/ns/op(shardsN) is the parallel speedup on the
+// recording host; events/s counts events across all shards.
+// scripts/bench.sh records this suite in BENCH_shard.json. Parallel
+// speedup is bounded by the host's core count (the -GOMAXPROCS suffix in
+// the raw benchmark output); a single-core host serialises the shard
+// goroutines and measures only the cache-locality win of the smaller
+// per-shard working sets.
+func BenchmarkWholeRunSharded(b *testing.B) {
+	for _, nodes := range []int{1000, 10000} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("n%d/shards%d", nodes, shards), func(b *testing.B) {
+				b.ReportAllocs()
+				var events uint64
+				var simulated sim.Time
+				for i := 0; i < b.N; i++ {
+					cfg := benchShardedConfig(nodes, shards)
+					cfg.Seed = int64(i + 1)
+					res := Run(cfg)
+					if res.Failed {
+						b.Fatal(res.FailReason)
+					}
+					if res.Aborted {
+						b.Fatal(res.AbortReason)
+					}
+					events += res.Events
+					simulated += cfg.Horizon()
+				}
+				b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+				b.ReportMetric(simulated.Seconds()/b.Elapsed().Seconds(), "simsec/s")
+			})
+		}
 	}
 }
 

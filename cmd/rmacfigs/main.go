@@ -43,6 +43,9 @@ func run() int {
 	protoFlag := flag.String("protocols", "", "comma-separated protocols to sweep (rmac,bmmm,bmw,lbp,mx); default: the paper's figure set")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	resilience := flag.Bool("resilience", false, "run the resilience sweep (delivery vs burst loss and node churn) instead of the paper figures")
+	flag.IntVar(&base.Shards, "shards", 0, "spatial shards per run for the parallel engine (0/1 = single engine; stationary scenarios only)")
+	topoName := flag.String("topo", "connected", "placement generator: connected, uniform, poisson, or metro")
+	flag.IntVar(&base.Sources, "sources", 0, "multicast source count per run (0/1 = node 0 only)")
 	flag.Uint64Var(&base.MaxEvents, "max-events", 0, "watchdog: abort any single run after this many events (0 disables)")
 	flag.DurationVar(&base.MaxWall, "max-wall", 0, "watchdog: abort any single run after this much wall-clock time (0 disables)")
 	flag.BoolVar(&base.Audit, "audit", base.Audit, "attach the protocol-invariant auditor to every run (passive; disable to benchmark the bare hot path)")
@@ -81,6 +84,12 @@ func run() int {
 
 	base.Packets = *packets
 	base.Nodes = *nodes
+	topo, ok := experiment.TopoKinds[*topoName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rmacfigs: unknown -topo %q (connected, uniform, poisson, metro)\n", *topoName)
+		return 2
+	}
+	base.Topo = topo
 
 	if err := base.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "rmacfigs:", err)

@@ -106,6 +106,48 @@ func (s Scenario) Pause() sim.Time {
 	return 0
 }
 
+// TopoKind selects the placement generator (see internal/topo).
+type TopoKind int
+
+const (
+	// TopoConnected retries uniform placements until the disc graph is
+	// connected — the paper's §4.1 setup and the default.
+	TopoConnected TopoKind = iota
+	// TopoUniform places nodes uniformly at random with no connectivity
+	// retry; the only generator that scales to 100k nodes unconditionally.
+	TopoUniform
+	// TopoPoisson uses Poisson-disc (blue-noise) sampling at NodeSpacing
+	// minimum distance: even density without clumps, the standard model
+	// for planned large deployments.
+	TopoPoisson
+	// TopoMetro builds `Districts` dense clusters separated by
+	// DistrictGap metres of empty ground — RF-decoupled city districts,
+	// the showcase topology for sharded runs (see DESIGN.md §14).
+	TopoMetro
+)
+
+func (t TopoKind) String() string {
+	switch t {
+	case TopoConnected:
+		return "connected"
+	case TopoUniform:
+		return "uniform"
+	case TopoPoisson:
+		return "poisson"
+	case TopoMetro:
+		return "metro"
+	}
+	return fmt.Sprintf("TopoKind(%d)", int(t))
+}
+
+// TopoKinds maps generator names to kinds for the -topo flags.
+var TopoKinds = map[string]TopoKind{
+	"connected": TopoConnected,
+	"uniform":   TopoUniform,
+	"poisson":   TopoPoisson,
+	"metro":     TopoMetro,
+}
+
 // Config describes one simulation run.
 type Config struct {
 	Protocol Protocol
@@ -114,6 +156,31 @@ type Config struct {
 	// Nodes and Field define the deployment (75 on 500×300 m).
 	Nodes int
 	Field geom.Rect
+
+	// Topo selects the placement generator; NodeSpacing is the
+	// Poisson-disc minimum distance (0 = auto from node count and field),
+	// Districts/DistrictGap shape the metro generator (0 = Shards
+	// districts / 1.5× interference-range gap).
+	Topo        TopoKind
+	NodeSpacing float64
+	Districts   int
+	DistrictGap float64
+
+	// Shards, when > 1, runs the simulation on the sharded conservative
+	// parallel engine: the field is partitioned into vertical strips, one
+	// engine + goroutine per strip, synchronized by exact
+	// propagation-delay lookahead (DESIGN.md §14). Requires the
+	// Stationary scenario. 0 or 1 selects the classic single-engine path;
+	// results for a fixed (Seed, Shards) pair are bit-identical across
+	// reruns, and Shards ≤ 1 is bit-identical to the unsharded engine.
+	Shards int
+
+	// Sources is the number of multicast source nodes (0 or 1 = the
+	// paper's single source at node 0). Source d sits at node
+	// d·Nodes/Sources; with TopoMetro and Sources == Districts that is
+	// one source per district, giving every shard local traffic. Each
+	// source generates Packets packets at Rate.
+	Sources int
 	// Phy carries radio parameters (75 m range, 2 Mb/s).
 	Phy phy.Config
 	// Limits carries MAC retry/queue policy.
@@ -226,7 +293,72 @@ func (c Config) Validate() error {
 	if ch := c.Fault.Churn; ch.Enabled && (ch.MeanUp <= 0 || ch.MeanDown <= 0) {
 		return errors.New("experiment: churn needs positive mean up/down times")
 	}
+	if c.Shards < 0 || c.Shards > sim.MaxShards {
+		return fmt.Errorf("experiment: shards must be in [0,%d], have %d", sim.MaxShards, c.Shards)
+	}
+	if c.Shards > 1 {
+		if c.Scenario != Stationary {
+			return errors.New("experiment: sharded runs require the stationary scenario (lookahead needs static positions)")
+		}
+		if c.TraceCap > 0 {
+			return errors.New("experiment: TraceCap is not supported with Shards > 1")
+		}
+		if c.TimerStats {
+			return errors.New("experiment: TimerStats is not supported with Shards > 1")
+		}
+	}
+	if c.Sources < 0 || c.Sources > c.Nodes {
+		return fmt.Errorf("experiment: sources must be in [0,%d], have %d", c.Nodes, c.Sources)
+	}
+	if c.NodeSpacing < 0 {
+		return fmt.Errorf("experiment: node spacing must be non-negative, have %g", c.NodeSpacing)
+	}
+	if c.Topo == TopoMetro {
+		d := c.metroDistricts()
+		if gap := c.metroGap(); c.Field.W-gap*float64(d-1) <= 0 {
+			return fmt.Errorf("experiment: %d metro districts with %gm gaps exceed the %gm field", d, gap, c.Field.W)
+		}
+	}
 	return nil
+}
+
+// metroDistricts resolves the metro district count: explicit Districts,
+// else one per shard, else one.
+func (c Config) metroDistricts() int {
+	if c.Districts > 0 {
+		return c.Districts
+	}
+	if c.Shards > 1 {
+		return c.Shards
+	}
+	return 1
+}
+
+// metroGap resolves the inter-district gap: explicit, else 1.5× the
+// interference range — wide enough that no radio pair spans districts, so
+// shards that follow district boundaries are fully RF-decoupled.
+func (c Config) metroGap() float64 {
+	if c.DistrictGap > 0 {
+		return c.DistrictGap
+	}
+	ir := c.Phy.CommRange
+	if f := c.Phy.InterferenceFactor; f > 1 {
+		ir *= f
+	}
+	return 1.5 * ir
+}
+
+// sourceNodes lists the multicast source node ids (see Config.Sources).
+func (c Config) sourceNodes() []int {
+	k := c.Sources
+	if k < 1 {
+		k = 1
+	}
+	roots := make([]int, k)
+	for d := range roots {
+		roots[d] = d * c.Nodes / k
+	}
+	return roots
 }
 
 // Horizon returns the simulated end time of the run.

@@ -61,9 +61,21 @@ type RunMetrics struct {
 	Duplicates      *metrics.CounterVec
 	Runs            *metrics.CounterVec
 
+	// Sharded engine (populated only by Shards > 1 runs).
+	ShardWindows   *metrics.Counter
+	ShardMessages  *metrics.CounterVec // by direction (out/in over the conduit)
+	ShardStalls    *metrics.Counter
+	ShardStallWait *metrics.Histogram
+
 	// Audit, labeled by invariant class.
 	Violations *metrics.CounterVec
 }
+
+// shardStallMinExp aligns the stall-wait histogram's buckets with the
+// power-of-two nanosecond buckets of ShardRunStats.StallHist: exposition
+// bucket i covers waits ≤ 2^(shardStallMinExp+i) ns, so StallHist bucket b
+// folds into exposition bucket b - shardStallMinExp.
+const shardStallMinExp = 10 // 1 µs first bucket … ~17 s last finite bound
 
 // protocolCells returns the dense {protocol} label tuples.
 func protocolCells() [][]string {
@@ -132,6 +144,17 @@ func NewRunMetrics(r *metrics.Registry) *RunMetrics {
 		Duplicates:      pvec("rmac_proto_duplicates_total", "Suppressed duplicate application deliveries."),
 		Runs:            pvec("rmac_proto_runs_total", "Completed simulation runs folded into these families."),
 
+		ShardWindows: r.Counter("rmac_kernel_shard_windows_total",
+			"Frontier windows executed by sharded-engine runs, summed over shards."),
+		ShardMessages: r.CounterVec("rmac_kernel_shard_messages_total",
+			"Cross-shard border messages over the conduit rings, by direction.",
+			[]string{"direction"}, [][]string{{"out"}, {"in"}}),
+		ShardStalls: r.Counter("rmac_kernel_shard_stalls_total",
+			"Frontier-barrier waits entered by sharded-engine runs."),
+		ShardStallWait: r.Histogram("rmac_kernel_shard_stall_wait_seconds",
+			"Wall-clock time per frontier-barrier wait (sharded-engine runs).",
+			shardStallMinExp, 34, 1e-9),
+
 		Violations: r.CounterVec("rmac_proto_audit_violations_total",
 			"Protocol-invariant auditor violations by invariant class.",
 			[]string{"class"}, classCells),
@@ -142,6 +165,17 @@ func NewRunMetrics(r *metrics.Registry) *RunMetrics {
 // RunResult exactly once.
 func (m *RunMetrics) AddRun(res *RunResult) {
 	m.AddTotals(int(res.Config.Protocol), res.Events, res.Aborted, &res.Totals, res.TimerStats)
+	for i := range res.Shards {
+		ss := &res.Shards[i]
+		m.ShardWindows.Add(ss.Windows)
+		m.ShardMessages.At(0).Add(ss.MsgsOut)
+		m.ShardMessages.At(1).Add(ss.MsgsIn)
+		m.ShardStalls.Add(ss.Stalls)
+		for b, n := range ss.StallHist {
+			m.ShardStallWait.AddBucketSamples(b-shardStallMinExp, n)
+		}
+		m.ShardStallWait.AddToSum(uint64(ss.StallWall.Nanoseconds()))
+	}
 }
 
 // AddTotals is AddRun over the wire form: the sweep service journals

@@ -22,6 +22,10 @@ func TestRunMetricsNames(t *testing.T) {
 	for _, want := range []string{
 		"rmac_kernel_events_total",
 		"rmac_kernel_medium_events_total",
+		"rmac_kernel_shard_windows_total",
+		"rmac_kernel_shard_messages_total",
+		"rmac_kernel_shard_stalls_total",
+		"rmac_kernel_shard_stall_wait_seconds",
 		"rmac_proto_reliable_delivered_total",
 		"rmac_proto_audit_violations_total",
 	} {
@@ -93,6 +97,52 @@ func TestMetricsRegistryFromRun(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)
 		}
+	}
+}
+
+// TestShardMetricsFold runs a small sharded simulation and checks the
+// rmac_kernel_shard_* families reflect its per-shard scheduler stats.
+func TestShardMetricsFold(t *testing.T) {
+	cfg := shardConfig(2)
+	res := Run(cfg)
+	if res.Failed {
+		t.Fatal(res.FailReason)
+	}
+	r := metrics.NewRegistry()
+	rm := NewRunMetrics(r)
+	rm.AddRun(&res)
+
+	var windows, out, in, stalls, hist uint64
+	for _, ss := range res.Shards {
+		windows += ss.Windows
+		out += ss.MsgsOut
+		in += ss.MsgsIn
+		stalls += ss.Stalls
+		for _, n := range ss.StallHist {
+			hist += n
+		}
+	}
+	if got := rm.ShardWindows.Value(); got != windows {
+		t.Errorf("shard_windows_total = %d, want %d", got, windows)
+	}
+	if got := rm.ShardMessages.At(0).Value(); got != out {
+		t.Errorf("shard_messages_total{out} = %d, want %d", got, out)
+	}
+	if got := rm.ShardMessages.At(1).Value(); got != in {
+		t.Errorf("shard_messages_total{in} = %d, want %d", got, in)
+	}
+	if got := rm.ShardStalls.Value(); got != stalls {
+		t.Errorf("shard_stalls_total = %d, want %d", got, stalls)
+	}
+	if got := rm.ShardStallWait.Count(); got != hist {
+		t.Errorf("shard_stall_wait_seconds count = %d, want %d", got, hist)
+	}
+	var sb strings.Builder
+	if _, err := MetricsRegistry(&res).WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rmac_kernel_shard_stall_wait_seconds_bucket") {
+		t.Error("exposition missing shard stall histogram buckets")
 	}
 }
 

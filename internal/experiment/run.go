@@ -83,6 +83,12 @@ type RunResult struct {
 	// the telemetry layer exports (see metrics.go and DESIGN.md §13).
 	Totals RunTotals
 
+	// Shards holds per-shard scheduler observability for sharded runs
+	// (Config.Shards > 1; nil otherwise). Node/event/window/message
+	// counts are deterministic for a fixed (Seed, Shards); the stall
+	// wall-clock measurements are not. None of it enters Fingerprint.
+	Shards []ShardRunStats
+
 	// Aborted is set when the engine watchdog stopped the run before its
 	// horizon; the metrics above then cover only the simulated prefix.
 	Aborted     bool
@@ -182,7 +188,7 @@ type network struct {
 	routers  []*routing.Protocol
 	apps     []*app.Node
 	metrics  *app.Metrics
-	source   *app.Source
+	sources  []*app.Source
 	injector *fault.Injector
 	aud      *audit.Auditor
 	tstats   *sim.TimerStats
@@ -190,13 +196,35 @@ type network struct {
 	deadlocks []Deadlock
 }
 
+// makePlacement runs cfg's placement generator. Deterministic in
+// (Config, Seed): both the classic and the sharded build call it with the
+// same derived RNG, so a run's topology is independent of Shards.
+func makePlacement(cfg Config) topo.Placement {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ PlacementSeedMix))
+	switch cfg.Topo {
+	case TopoUniform:
+		return topo.RandomPlacement(cfg.Nodes, cfg.Field, rng)
+	case TopoPoisson:
+		return topo.PoissonDiscPlacement(cfg.Nodes, cfg.Field, cfg.NodeSpacing, rng)
+	case TopoMetro:
+		return topo.MetroPlacement(cfg.Nodes, cfg.metroDistricts(), cfg.Field, cfg.metroGap(), rng)
+	default:
+		p, _ := topo.ConnectedRandomPlacement(cfg.Nodes, cfg.Field, cfg.Phy.CommRange, rng, 500)
+		return p
+	}
+}
+
 // build assembles the network for cfg, which must already be validated.
 func build(cfg Config) *network {
 	eng := sim.NewEngine(cfg.Seed)
 	medium := phy.NewMedium(eng, cfg.Phy)
 
-	placeRNG := rand.New(rand.NewSource(cfg.Seed ^ PlacementSeedMix))
-	placement, _ := topo.ConnectedRandomPlacement(cfg.Nodes, cfg.Field, cfg.Phy.CommRange, placeRNG, 500)
+	placement := makePlacement(cfg)
+	roots := cfg.sourceNodes()
+	isRoot := make(map[int]bool, len(roots))
+	for _, r := range roots {
+		isRoot[r] = true
+	}
 
 	if cfg.TraceCap > 0 {
 		medium.Tracer = trace.New(cfg.TraceCap)
@@ -237,7 +265,7 @@ func build(cfg Config) *network {
 		case DOT11:
 			m = dot11.New(radio, cfg.Phy, eng, cfg.Limits)
 		}
-		rt := routing.New(eng, m, i, i == 0, cfg.Routing)
+		rt := routing.New(eng, m, i, isRoot[i], cfg.Routing)
 		a := app.NewNode(eng, m, rt, i, n.metrics)
 		rt.Start()
 		if n.aud != nil {
@@ -253,8 +281,11 @@ func build(cfg Config) *network {
 		n.routers = append(n.routers, rt)
 		n.apps = append(n.apps, a)
 	}
-	n.source = app.NewSource(n.apps[0], cfg.Rate, cfg.Packets, cfg.PacketSize)
-	n.source.Start(cfg.Warmup)
+	for _, r := range roots {
+		s := app.NewSource(n.apps[r], cfg.Rate, cfg.Packets, cfg.PacketSize)
+		s.Start(cfg.Warmup)
+		n.sources = append(n.sources, s)
+	}
 	// The impairment layer attaches after every radio exists (its GE
 	// chains are built per registered radio). A zero cfg.Fault leaves the
 	// medium untouched.
@@ -301,6 +332,9 @@ func RunCtx(ctx context.Context, cfg Config) (res RunResult) {
 	}
 	if testHookPreRun != nil {
 		testHookPreRun(cfg)
+	}
+	if cfg.Shards > 1 {
+		return runSharded(ctx, cfg)
 	}
 	n := build(cfg)
 	if cfg.MaxEvents > 0 || cfg.MaxWall > 0 {

@@ -1,0 +1,426 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rmac/internal/app"
+	"rmac/internal/audit"
+	"rmac/internal/fault"
+	"rmac/internal/frame"
+	"rmac/internal/mac"
+	"rmac/internal/mac/bmmm"
+	"rmac/internal/mac/bmw"
+	"rmac/internal/mac/dot11"
+	"rmac/internal/mac/lbp"
+	"rmac/internal/mac/mx"
+	"rmac/internal/mac/rmac"
+	"rmac/internal/mobility"
+	"rmac/internal/phy"
+	"rmac/internal/routing"
+	"rmac/internal/sim"
+	"rmac/internal/stats"
+	"rmac/internal/topo"
+)
+
+// Sharded conservative parallel runs (Config.Shards > 1). The field is cut
+// into vertical strips by population quantile (snapped to the widest
+// nearby X-gap), each strip gets a complete private stack — engine,
+// medium, MACs, routing, apps, fault injector, auditor — on its own
+// goroutine, and the strips synchronize through the frontier protocol of
+// sim.ShardSync with the cross-shard conduit of phy.ConnectShards carrying
+// border traffic. See DESIGN.md §14 for the protocol, its liveness
+// argument, and the determinism contract.
+
+// ShardSeedMix decorrelates per-shard engine RNG streams from each other
+// and from the unsharded stream while keeping them functions of
+// (Config.Seed, shard). The 64-bit golden-ratio constant, reinterpreted
+// as a signed word.
+const ShardSeedMix = int64(-7046029254386353131) // 0x9E3779B97F4A7C15
+
+func shardSeed(seed int64, shard int) int64 {
+	return seed ^ int64(shard+1)*ShardSeedMix
+}
+
+// ShardRunStats is one shard's scheduler observability. Nodes, Events,
+// Windows and the conduit message counts are deterministic for a fixed
+// (Seed, Shards); Stalls/StallWall/StallHist are wall-clock measurements.
+// None of it enters RunResult.Fingerprint.
+type ShardRunStats struct {
+	Shard   int
+	Nodes   int
+	Events  uint64
+	Windows uint64 // Run windows executed
+	MsgsOut uint64 // cross-shard messages published
+	MsgsIn  uint64 // cross-shard messages drained
+	Stalls  uint64 // frontier waits
+	// StallWall is total wall time spent waiting on foreign frontiers;
+	// StallHist buckets individual waits by power-of-two nanoseconds
+	// (bucket i counts waits in [2^(i-1), 2^i)).
+	StallWall time.Duration
+	StallHist [40]uint64
+}
+
+// shardStack is one shard's private simulation stack.
+type shardStack struct {
+	shard    int
+	eng      *sim.Engine
+	medium   *phy.Medium
+	macs     []mac.MAC
+	routers  []*routing.Protocol
+	apps     []*app.Node
+	metrics  app.Metrics
+	injector *fault.Injector
+	aud      *audit.Auditor
+	ids      []int // global node ids, ascending; parallel to macs/routers/apps
+
+	stats ShardRunStats
+}
+
+// shardedRun is the coordinator state of one sharded simulation.
+type shardedRun struct {
+	cfg    Config
+	part   topo.Partition
+	stacks []*shardStack
+	net    *phy.ShardNet
+	sync   *sim.ShardSync
+
+	stop   atomic.Bool
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	panicked  bool
+	panicMsg  string
+	panicDump string
+}
+
+// buildSharded assembles every shard stack and the cross-shard fabric.
+func buildSharded(cfg Config) *shardedRun {
+	placement := makePlacement(cfg)
+	part := topo.PartitionStrips(placement, cfg.Shards)
+	roots := cfg.sourceNodes()
+	isRoot := make(map[int]bool, len(roots))
+	for _, r := range roots {
+		isRoot[r] = true
+	}
+
+	sr := &shardedRun{cfg: cfg, part: part}
+	mediums := make([]*phy.Medium, cfg.Shards)
+	for s := 0; s < cfg.Shards; s++ {
+		eng := sim.NewEngine(shardSeed(cfg.Seed, s))
+		medium := phy.NewMedium(eng, cfg.Phy)
+		st := &shardStack{shard: s, eng: eng, medium: medium, ids: part.Nodes[s],
+			metrics: app.Metrics{Nodes: cfg.Nodes}}
+		st.stats.Shard, st.stats.Nodes = s, len(st.ids)
+		if cfg.Audit {
+			st.aud = audit.New(eng, medium, audit.Config{
+				MaxFrameAirtime: cfg.Phy.TxDuration(frame.RMACDataOverhead + cfg.PacketSize + 64),
+			})
+		}
+		for _, i := range st.ids {
+			radio := medium.AddRadio(i, mobility.Stationary{P: placement.Points[i]})
+			var m mac.MAC
+			switch cfg.Protocol {
+			case RMAC:
+				m = rmac.NewWithOptions(radio, cfg.Phy, eng, cfg.Limits, cfg.RMACOptions)
+			case BMMM:
+				m = bmmm.New(radio, cfg.Phy, eng, cfg.Limits)
+			case BMW:
+				m = bmw.New(radio, cfg.Phy, eng, cfg.Limits)
+			case LBP:
+				m = lbp.New(radio, cfg.Phy, eng, cfg.Limits)
+			case MX:
+				m = mx.New(radio, cfg.Phy, eng, cfg.Limits)
+			case DOT11:
+				m = dot11.New(radio, cfg.Phy, eng, cfg.Limits)
+			}
+			rt := routing.New(eng, m, i, isRoot[i], cfg.Routing)
+			a := app.NewNode(eng, m, rt, i, &st.metrics)
+			rt.Start()
+			if st.aud != nil {
+				st.aud.RegisterMAC(i, m)
+				if s, ok := m.(interface{ SetAuditor(*audit.Auditor) }); ok {
+					s.SetAuditor(st.aud)
+				}
+				m.SetUpper(st.aud.WrapUpper(i, a))
+			}
+			st.macs = append(st.macs, m)
+			st.routers = append(st.routers, rt)
+			st.apps = append(st.apps, a)
+			if isRoot[i] {
+				app.NewSource(a, cfg.Rate, cfg.Packets, cfg.PacketSize).Start(cfg.Warmup)
+			}
+		}
+		st.injector = fault.New(eng, medium, cfg.Fault)
+		// Deliberately no eng.QuiesceAudit: Run quiesces at the end of
+		// every frontier window, which would spray false mid-run strand /
+		// liveness findings. The audits run once, after the final window
+		// (see collectSharded).
+		mediums[s] = medium
+		sr.stacks = append(sr.stacks, st)
+	}
+	sr.net = phy.ConnectShards(mediums, placement.Points, part.Shard, cfg.Horizon())
+	sr.sync = sim.NewShardSync(sr.net.Direct())
+	return sr
+}
+
+// fail records a shard goroutine's panic (first one wins).
+func (sr *shardedRun) fail(r any, stack []byte) {
+	sr.mu.Lock()
+	if !sr.panicked {
+		sr.panicked = true
+		sr.panicMsg = fmt.Sprintf("panic: %v", r)
+		sr.panicDump = string(stack)
+	}
+	sr.mu.Unlock()
+}
+
+// publish refreshes shard j's frontier: the earliest future influence it
+// can still exert. That is the smaller of its next local event and the
+// send time of its earliest outbound message nobody has drained yet. The
+// second term is what makes relays safe: until a receiver drains a
+// message, the sender's frontier keeps covering that message's send time,
+// so third shards bounding the receiver's relay through the path closure
+// (foreign frontier + pathLa) never under-estimate it. Once the receiver
+// drains, its own next-lower-bound covers the scheduled delivery and the
+// cap releases.
+func (sr *shardedRun) publish(j int, eng *sim.Engine) {
+	lb := eng.NextLowerBound()
+	if c := sr.net.OutCap(j); c < lb {
+		lb = c
+	}
+	sr.sync.Publish(j, lb)
+}
+
+// runShard is one shard's frontier loop. The window order is load-bearing:
+// the safe target is read BEFORE draining — any cross message with an
+// event inside [0, target) was published before the frontier snapshots
+// the target was computed from, so it is already visible to that drain
+// (ring writes happen-before the frontier store that made the target) —
+// and the frontier is re-published only after draining, so everything the
+// drain scheduled is reflected in the next-lower-bound it advertises.
+func (sr *shardedRun) runShard(j int, endTime sim.Time) {
+	st := sr.stacks[j]
+	defer func() {
+		if r := recover(); r != nil {
+			sr.fail(r, debug.Stack())
+			sr.stop.Store(true)
+			sr.cancel()
+			sr.net.Stop()
+		}
+		// Terminal frontier: a shard at MaxTime constrains nobody.
+		sr.sync.Publish(j, sim.MaxTime)
+		sr.wg.Done()
+	}()
+	eng := st.eng
+	done := sim.Time(-1) // end of the last executed window
+	for !sr.stop.Load() {
+		target := sr.sync.Target(j)
+		sr.net.Drain(j)
+		sr.publish(j, eng)
+		if target > endTime {
+			// No foreign influence can arrive on or before the horizon
+			// anymore: an undrained message would cap its sender's frontier
+			// at the send time, pulling our target back under the horizon,
+			// and future sends land above their sender's frontier plus
+			// lookahead — above target — where the sender-side filter drops
+			// them. This is the final window.
+			if endTime > done {
+				eng.Run(endTime)
+				st.stats.Windows++
+			}
+			sr.checkAborted(eng)
+			return
+		}
+		limit := target - 1 // events at exactly `target` are not yet safe
+		if limit > done {
+			eng.Run(limit)
+			done = limit
+			st.stats.Windows++
+			sr.checkAborted(eng)
+			continue
+		}
+		// Cannot advance: wait for a foreign frontier to move. Keep
+		// draining while waiting — inbound messages never change our
+		// target, but consuming them unblocks producers and releases
+		// their frontier caps — and keep re-publishing as drains and
+		// consumed outbound slots raise our own frontier.
+		st.stats.Stalls++
+		begin := time.Now()
+		for spins := 0; !sr.stop.Load(); spins++ {
+			if sr.sync.Target(j) > target {
+				break
+			}
+			sr.net.Drain(j)
+			sr.publish(j, eng)
+			if spins < 256 {
+				runtime.Gosched()
+			} else {
+				d := time.Duration(spins)
+				if d > 100 {
+					d = 100
+				}
+				time.Sleep(d * time.Microsecond)
+			}
+		}
+		wait := time.Since(begin)
+		st.stats.StallWall += wait
+		if b := bits.Len64(uint64(wait.Nanoseconds())); b < len(st.stats.StallHist) {
+			st.stats.StallHist[b]++
+		} else {
+			st.stats.StallHist[len(st.stats.StallHist)-1]++
+		}
+	}
+}
+
+// checkAborted propagates a shard-local engine abort (watchdog budget or
+// context cancellation — each shard polls the run context itself, every
+// 1024 events) to every other shard.
+func (sr *shardedRun) checkAborted(eng *sim.Engine) {
+	if _, aborted := eng.Aborted(); aborted {
+		sr.stop.Store(true)
+		sr.cancel()
+		sr.net.Stop()
+	}
+}
+
+// runSharded executes cfg on the sharded engine. Config must be valid and
+// cfg.Shards > 1.
+func runSharded(ctx context.Context, cfg Config) (res RunResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = RunResult{Config: cfg, Failed: true,
+				FailReason: fmt.Sprintf("panic: %v", r), Stack: string(debug.Stack())}
+		}
+	}()
+	sr := buildSharded(cfg)
+	ctx, sr.cancel = context.WithCancel(ctx)
+	defer sr.cancel()
+	endTime := cfg.Horizon()
+	for _, st := range sr.stacks {
+		if cfg.MaxEvents > 0 || cfg.MaxWall > 0 {
+			// Each shard gets the full budget: MaxEvents bounds any single
+			// engine, so a sharded run may process up to Shards× more
+			// events before tripping — budgets bound runaway shards, not
+			// aggregate work.
+			st.eng.SetWatchdog(cfg.MaxEvents, cfg.MaxWall)
+		}
+		st.eng.SetContext(ctx)
+	}
+	sr.wg.Add(len(sr.stacks))
+	for j := range sr.stacks {
+		go sr.runShard(j, endTime)
+	}
+	sr.wg.Wait()
+	if sr.panicked {
+		return RunResult{Config: cfg, Failed: true, FailReason: sr.panicMsg, Stack: sr.panicDump}
+	}
+	return sr.collect()
+}
+
+// collect merges every shard's measurements into one RunResult, iterating
+// nodes in global id order so pooled samples are ordered exactly like the
+// unsharded collector's.
+func (sr *shardedRun) collect() RunResult {
+	cfg := sr.cfg
+	res := RunResult{
+		Config:      cfg,
+		Metrics:     app.Metrics{Nodes: cfg.Nodes},
+		MRTSLens:    &stats.Sample{},
+		AbortRatios: &stats.Sample{},
+	}
+	// Post-run audits, once per shard (see buildSharded).
+	macByID := make([]mac.MAC, cfg.Nodes)
+	rtByID := make([]*routing.Protocol, cfg.Nodes)
+	for _, st := range sr.stacks {
+		st.stats.Events = st.eng.Processed
+		cs := sr.net.Stats(st.shard)
+		st.stats.MsgsOut, st.stats.MsgsIn = cs.MsgsOut, cs.MsgsIn
+		for k, id := range st.ids {
+			macByID[id] = st.macs[k]
+			rtByID[id] = st.routers[k]
+		}
+		if reason, aborted := st.eng.Aborted(); aborted && !res.Aborted {
+			res.Aborted, res.AbortReason = true, fmt.Sprintf("shard %d: %s", st.shard, reason)
+		}
+		st.aud.Quiesce()
+		res.Violations = append(res.Violations, st.aud.Violations()...)
+		if st.aud != nil {
+			res.ViolationCount += st.aud.Count
+			for c, v := range st.aud.ByClass {
+				res.Totals.ViolationsByClass[c] += v
+			}
+		}
+		res.Events += st.eng.Processed
+		res.Metrics.Generated += st.metrics.Generated
+		res.Metrics.Receptions += st.metrics.Receptions
+		res.Metrics.Duplicates += st.metrics.Duplicates
+		res.Metrics.DelaySum += st.metrics.DelaySum
+		res.Metrics.DelayCount += st.metrics.DelayCount
+		if st.metrics.DelayMax > res.Metrics.DelayMax {
+			res.Metrics.DelayMax = st.metrics.DelayMax
+		}
+		res.Fault.BurstErrors += st.injector.Stats.BurstErrors
+		res.Fault.BadEntries += st.injector.Stats.BadEntries
+		res.Fault.Crashes += st.injector.Stats.Crashes
+		res.Fault.Recoveries += st.injector.Stats.Recoveries
+		res.Crashes += st.medium.Stats.Crashes
+		ms := &res.Totals.Medium
+		ms.Transmissions += st.medium.Stats.Transmissions
+		ms.Aborts += st.medium.Stats.Aborts
+		ms.FramesDecoded += st.medium.Stats.FramesDecoded
+		ms.FramesCorrupt += st.medium.Stats.FramesCorrupt
+		ms.ToneActivation += st.medium.Stats.ToneActivation
+		ms.Crashes += st.medium.Stats.Crashes
+		fp := st.medium.Frames().Stats()
+		res.Totals.FramePool.Live += fp.Live
+		res.Totals.FramePool.Acquired += fp.Acquired
+		res.Totals.FramePool.Allocated += fp.Allocated
+		res.Totals.FramePool.Released += fp.Released
+		res.Totals.ArenaCap += st.eng.ArenaCap()
+		res.Totals.ArenaLive += st.eng.PoolInUse()
+		res.Shards = append(res.Shards, st.stats)
+	}
+	// Liveness audit over the global MAC array: Deadlock.Node ids come out
+	// global and ordered.
+	res.Deadlocks = auditLiveness(macByID)
+	res.Delivery = res.Metrics.DeliveryRatio()
+	res.AvgDelay = res.Metrics.AvgDelay()
+	res.Totals.Generated = res.Metrics.Generated
+	res.Totals.Receptions = res.Metrics.Receptions
+	res.Totals.Duplicates = res.Metrics.Duplicates
+	var drop, retx, ovh stats.Sample
+	for id := 0; id < cfg.Nodes; id++ {
+		s := macByID[id].Stats()
+		res.Totals.addMAC(s)
+		if !s.NonLeaf() {
+			continue
+		}
+		res.NonLeafCount++
+		drop.Add(totalDropRatio(s))
+		retx.Add(s.RetxRatio())
+		if s.DataTxTime > 0 {
+			ovh.Add(s.OverheadRatio())
+		}
+		res.AbortRatios.Add(s.AbortRatio())
+		for _, l := range s.MRTSLens {
+			res.MRTSLens.Add(float64(l))
+		}
+	}
+	res.AvgDropRatio = drop.Mean()
+	res.AvgRetxRatio = retx.Mean()
+	res.AvgOverheadRatio = ovh.Mean()
+	parent := make([]int, cfg.Nodes)
+	for id, rt := range rtByID {
+		parent[id] = rt.Parent()
+	}
+	res.Tree = topo.AnalyzeTree(parent, 0)
+	return res
+}

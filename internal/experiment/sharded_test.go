@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"rmac/internal/geom"
+	"rmac/internal/sim"
+)
+
+// shardConfig is a compact two-strip network with enough cross-border
+// traffic to exercise the conduit in both directions.
+func shardConfig(shards int) Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 40
+	cfg.Field = geom.Rect{W: 400, H: 150}
+	cfg.Rate = 20
+	cfg.Packets = 30
+	cfg.Warmup = 2 * sim.Second
+	cfg.Drain = 2 * sim.Second
+	cfg.Shards = shards
+	return cfg
+}
+
+// TestShardedDeterministic pins the determinism contract of DESIGN.md §14:
+// for a fixed (Seed, Shards) pair, reruns are bit-identical — the whole
+// result fingerprint matches — regardless of goroutine scheduling, and a
+// different seed actually changes the run.
+func TestShardedDeterministic(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		cfg := shardConfig(shards)
+		a := Run(cfg)
+		if a.Failed {
+			t.Fatalf("shards=%d failed: %s\n%s", shards, a.FailReason, a.Stack)
+		}
+		if a.Aborted {
+			t.Fatalf("shards=%d aborted: %s", shards, a.AbortReason)
+		}
+		b := Run(cfg)
+		if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
+			t.Fatalf("shards=%d rerun diverged:\n%s\n%s", shards, fa, fb)
+		}
+		cfg.Seed = 7
+		c := Run(cfg)
+		if c.Events == a.Events {
+			t.Errorf("shards=%d: different seeds produced identical event counts", shards)
+		}
+	}
+}
+
+// TestShardedDelivers checks the sharded engine produces a working network:
+// traffic flows, the protocol audits stay clean on every shard, and the
+// per-shard scheduler stats are populated and consistent.
+func TestShardedDelivers(t *testing.T) {
+	cfg := shardConfig(2)
+	res := Run(cfg)
+	if res.Failed {
+		t.Fatalf("failed: %s\n%s", res.FailReason, res.Stack)
+	}
+	if res.Metrics.Generated != uint64(cfg.Packets) {
+		t.Fatalf("generated = %d, want %d", res.Metrics.Generated, cfg.Packets)
+	}
+	if res.Delivery <= 0 {
+		t.Fatalf("delivery = %v, want > 0", res.Delivery)
+	}
+	if res.ViolationCount != 0 {
+		t.Fatalf("%d audit violations: %+v", res.ViolationCount, res.Violations)
+	}
+	if len(res.Shards) != 2 {
+		t.Fatalf("shard stats: %+v", res.Shards)
+	}
+	var events uint64
+	nodes := 0
+	for _, ss := range res.Shards {
+		events += ss.Events
+		nodes += ss.Nodes
+		if ss.Events == 0 || ss.Windows == 0 {
+			t.Errorf("shard %d idle: %+v", ss.Shard, ss)
+		}
+	}
+	if events != res.Events || nodes != cfg.Nodes {
+		t.Fatalf("shard stats don't add up: events %d/%d nodes %d/%d",
+			events, res.Events, nodes, cfg.Nodes)
+	}
+	// Border traffic must flow both ways on a connected strip pair, and
+	// every published message must have been drained by run end.
+	if res.Shards[0].MsgsOut == 0 || res.Shards[1].MsgsOut == 0 {
+		t.Fatalf("no cross-shard traffic: %+v", res.Shards)
+	}
+	if res.Shards[0].MsgsIn != res.Shards[1].MsgsOut ||
+		res.Shards[1].MsgsIn != res.Shards[0].MsgsOut {
+		t.Fatalf("cross-shard messages lost: %+v", res.Shards)
+	}
+}
+
+// TestShardedMetroDecouples: on a metro placement the strip cuts snap into
+// the inter-district voids, the direct lookahead matrix is all-MaxTime, and
+// every shard runs its full horizon in a single window with zero conduit
+// traffic — the fully parallel fast path.
+func TestShardedMetroDecouples(t *testing.T) {
+	cfg := shardConfig(2)
+	cfg.Topo = TopoMetro
+	cfg.Sources = 2 // one multicast source per district
+	res := Run(cfg)
+	if res.Failed {
+		t.Fatalf("failed: %s\n%s", res.FailReason, res.Stack)
+	}
+	if res.Metrics.Receptions == 0 {
+		t.Fatal("no receptions in either district")
+	}
+	for _, ss := range res.Shards {
+		if ss.MsgsOut != 0 || ss.MsgsIn != 0 {
+			t.Fatalf("decoupled districts exchanged messages: %+v", ss)
+		}
+		if ss.Windows != 1 {
+			t.Errorf("shard %d took %d windows, want 1 (decoupled)", ss.Shard, ss.Windows)
+		}
+	}
+}
+
+// TestShardedAbortMidRun is the satellite-2 regression: cancelling the run
+// context while shards are deep in the frontier loop must abort every shard
+// promptly — including shards blocked on a frontier barrier or a full ring
+// — rather than hanging the barrier.
+func TestShardedAbortMidRun(t *testing.T) {
+	cfg := shardConfig(2)
+	cfg.Packets = 1 << 16 // effectively unbounded horizon
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan RunResult, 1)
+	go func() { done <- RunCtx(ctx, cfg) }()
+	select {
+	case res := <-done:
+		if res.Failed {
+			t.Fatalf("failed: %s\n%s", res.FailReason, res.Stack)
+		}
+		if !res.Aborted {
+			t.Fatal("run finished without aborting despite cancelled context")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sharded run hung after context cancellation")
+	}
+}
+
+// TestShardOneMatchesUnsharded pins Shards=1 to the plain single-engine
+// path: identical fingerprint, bit for bit.
+func TestShardOneMatchesUnsharded(t *testing.T) {
+	cfg := shardConfig(0)
+	base := Run(cfg)
+	cfg.Shards = 1
+	one := Run(cfg)
+	if fb, fo := base.Fingerprint(), one.Fingerprint(); fb != fo {
+		t.Fatalf("Shards=1 diverged from unsharded:\n%s\n%s", fb, fo)
+	}
+}
+
+// TestShardedSteadyStateAllocs is the per-shard analogue of
+// TestSteadyStateAllocs: each shard stack, driven through its own engine,
+// must stay allocation-free in steady state. A metro placement keeps the
+// shards decoupled so the engines can be stepped directly without the
+// frontier protocol.
+func TestShardedSteadyStateAllocs(t *testing.T) {
+	cfg := shardConfig(2)
+	cfg.Topo = TopoMetro
+	cfg.Sources = 2
+	cfg.Rate = 40
+	cfg.Packets = 1 << 20
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sr := buildSharded(cfg)
+	warm := cfg.Warmup + 2*sim.Second
+	for _, st := range sr.stacks {
+		st.eng.Run(warm)
+	}
+	var before, after runtime.MemStats
+	var events uint64
+	for _, st := range sr.stacks {
+		events -= st.eng.Processed
+	}
+	runtime.ReadMemStats(&before)
+	for _, st := range sr.stacks {
+		st.eng.Run(warm + 3*sim.Second)
+	}
+	runtime.ReadMemStats(&after)
+	for _, st := range sr.stacks {
+		events += st.eng.Processed
+	}
+	if events == 0 {
+		t.Fatal("no events in measurement window")
+	}
+	allocs := after.Mallocs - before.Mallocs
+	perEvent := float64(allocs) / float64(events)
+	t.Logf("%d allocs over %d events (%.5f allocs/event)", allocs, events, perEvent)
+	if perEvent > 0.005 {
+		t.Errorf("sharded steady state allocates %.5f allocs/event, want ≤ 0.005", perEvent)
+	}
+}

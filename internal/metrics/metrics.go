@@ -123,6 +123,29 @@ func (h *Histogram) Observe(raw int64) {
 	h.sum.Add(uint64(raw))
 }
 
+// AddBucketSamples folds n pre-bucketed samples directly into bucket i
+// (clamped to the bucket range), for merging externally aggregated
+// power-of-two histograms — e.g. the per-shard stall-wait counts the
+// sharded engine collects without touching the registry. The samples'
+// raw sum is not known per bucket; account for it separately with
+// AddToSum.
+func (h *Histogram) AddBucketSamples(i int, n uint64) {
+	if n == 0 {
+		return
+	}
+	if i < 0 {
+		i = 0
+	} else if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i].Add(n)
+	h.count.Add(n)
+}
+
+// AddToSum adds raw units to the histogram sum without recording samples;
+// the counterpart of AddBucketSamples for externally aggregated data.
+func (h *Histogram) AddToSum(raw uint64) { h.sum.Add(raw) }
+
 // Count returns the number of observed samples.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 

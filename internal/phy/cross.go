@@ -1,0 +1,697 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"rmac/internal/frame"
+	"rmac/internal/geom"
+	"rmac/internal/sim"
+)
+
+// Cross-shard conduit — the PHY half of the sharded conservative parallel
+// engine (see sim/parallel.go for the synchronization protocol and
+// DESIGN.md §14 for the full derivation).
+//
+// A sharded run gives every spatial shard its own Medium on its own
+// Engine/goroutine. Radios within one interference range of a shard
+// boundary are marked border radios; for each of them the setup phase
+// precomputes an immutable catalog per foreign shard: the in-range
+// receivers over there, each with its exact propagation delay and
+// decode-range flag. When a border radio transmits, aborts, or toggles a
+// tone, the sender shard — in addition to its normal local fan-out —
+// publishes a fixed-size message into a bounded SPSC ring per target
+// shard. Messages carry a field-copied image of the frame (wireFrame), the
+// event times, and a sender-minted sequence base in the engine's cross
+// sequence space (sim.CrossSeq), which fixes the merge order at the
+// receiver independent of wall-clock arrival.
+//
+// The receiver drains its rings between (and while waiting for) execution
+// windows. Draining does NOT touch any simulation-visible pool: each
+// message is copied into a conduit-owned holder (pendingCross) and a
+// single holder event is scheduled at the message's earliest receiver
+// event time under the sender's sequence base. All observable work — frame
+// materialisation from the receiver's pool, mirror transmission setup,
+// per-receiver rx scheduling — happens when the holder fires, which is a
+// deterministic position in the receiver's event stream. This is what
+// keeps pool hit/miss statistics (and therefore run fingerprints)
+// bit-identical for a fixed (seed, shards) pair no matter how the OS
+// schedules the shard goroutines.
+//
+// Mirror transmissions carry a ghost *Radio as their source: an
+// unregistered, static radio with the foreign node's id and position. It
+// is never part of the receiver medium's radio list, never transmits
+// locally, and appears only as tx.src — every consumer of that field
+// (trace, audit ObsRxEnd, fault's per-receiver error chains) is keyed by
+// the receiving radio.
+
+// crossKind enumerates conduit message types.
+const (
+	crossTx uint8 = iota
+	crossAbort
+	crossToneOn
+	crossToneOff
+)
+
+// wireFrame is a field-copied image of a frame for ring transport: no
+// pointers shared with the sender shard survive in it (slices are copied
+// into the wireFrame's own reusable backing arrays).
+type wireFrame struct {
+	kind        frame.Kind
+	flags       uint8
+	transmitter frame.Addr
+	receiver    frame.Addr
+	seq32       uint32
+	seq16       uint16
+	duration    uint16
+	expect      uint16
+	receivers   []frame.Addr // MRTS only
+	payload     []byte
+}
+
+// copyIn snapshots f. The concrete switch mirrors the eight frame kinds;
+// slice contents are copied into w's capacity-reusing buffers.
+func (w *wireFrame) copyIn(f frame.Frame) {
+	w.receivers = w.receivers[:0]
+	w.payload = w.payload[:0]
+	w.flags, w.seq32, w.seq16, w.duration, w.expect = 0, 0, 0, 0, 0
+	switch v := f.(type) {
+	case *frame.MRTS:
+		w.kind = frame.KindMRTS
+		w.transmitter = v.Transmitter
+		w.receivers = append(w.receivers, v.Receivers...)
+	case *frame.RData:
+		w.kind = frame.KindRData
+		w.transmitter, w.receiver = v.Transmitter, v.Receiver
+		w.seq32, w.flags = v.Seq, v.Flags
+		w.payload = append(w.payload, v.Payload...)
+	case *frame.UData:
+		w.kind = frame.KindUData
+		w.transmitter, w.receiver = v.Transmitter, v.Receiver
+		w.seq32, w.flags = v.Seq, v.Flags
+		w.payload = append(w.payload, v.Payload...)
+	case *frame.RTS:
+		w.kind = frame.KindRTS
+		w.duration, w.receiver, w.transmitter = v.Duration, v.Receiver, v.Transmitter
+	case *frame.CTS:
+		w.kind = frame.KindCTS
+		w.duration, w.receiver, w.transmitter = v.Duration, v.Receiver, v.Transmitter
+		w.expect = v.Expect
+	case *frame.ACK:
+		w.kind = frame.KindACK
+		w.duration, w.receiver, w.transmitter = v.Duration, v.Receiver, v.Transmitter
+	case *frame.RAK:
+		w.kind = frame.KindRAK
+		w.duration, w.receiver, w.transmitter = v.Duration, v.Receiver, v.Transmitter
+		w.seq16 = v.Seq
+	case *frame.Data:
+		w.kind = frame.KindData
+		w.duration, w.receiver, w.transmitter = v.Duration, v.Receiver, v.Transmitter
+		w.seq16 = v.Seq
+		w.payload = append(w.payload, v.Payload...)
+	default:
+		panic(fmt.Sprintf("phy: cross conduit cannot transport %T", f))
+	}
+}
+
+// copyFrom copies another wireFrame (ring slot → holder), again into w's
+// own buffers.
+func (w *wireFrame) copyFrom(o *wireFrame) {
+	w.kind, w.flags = o.kind, o.flags
+	w.transmitter, w.receiver = o.transmitter, o.receiver
+	w.seq32, w.seq16, w.duration, w.expect = o.seq32, o.seq16, o.duration, o.expect
+	w.receivers = append(w.receivers[:0], o.receivers...)
+	w.payload = append(w.payload[:0], o.payload...)
+}
+
+// materialize acquires a frame of the snapshotted kind from the receiver
+// shard's pool and fills it. Runs only at holder fire time.
+func (w *wireFrame) materialize(p *frame.Pool) frame.Frame {
+	switch w.kind {
+	case frame.KindMRTS:
+		f := p.MRTS()
+		f.Transmitter = w.transmitter
+		f.Receivers = append(f.Receivers, w.receivers...)
+		return f
+	case frame.KindRData:
+		f := p.RData()
+		f.Transmitter, f.Receiver = w.transmitter, w.receiver
+		f.Seq, f.Flags = w.seq32, w.flags
+		f.Payload = append(f.Payload, w.payload...)
+		return f
+	case frame.KindUData:
+		f := p.UData()
+		f.Transmitter, f.Receiver = w.transmitter, w.receiver
+		f.Seq, f.Flags = w.seq32, w.flags
+		f.Payload = append(f.Payload, w.payload...)
+		return f
+	case frame.KindRTS:
+		f := p.RTS()
+		f.Duration, f.Receiver, f.Transmitter = w.duration, w.receiver, w.transmitter
+		return f
+	case frame.KindCTS:
+		f := p.CTS()
+		f.Duration, f.Receiver, f.Transmitter = w.duration, w.receiver, w.transmitter
+		f.Expect = w.expect
+		return f
+	case frame.KindACK:
+		f := p.ACK()
+		f.Duration, f.Receiver, f.Transmitter = w.duration, w.receiver, w.transmitter
+		return f
+	case frame.KindRAK:
+		f := p.RAK()
+		f.Duration, f.Receiver, f.Transmitter = w.duration, w.receiver, w.transmitter
+		f.Seq = w.seq16
+		return f
+	case frame.KindData:
+		f := p.Data()
+		f.Duration, f.Receiver, f.Transmitter = w.duration, w.receiver, w.transmitter
+		f.Seq = w.seq16
+		f.Payload = append(f.Payload, w.payload...)
+		return f
+	}
+	panic(fmt.Sprintf("phy: cross conduit cannot materialize kind %v", w.kind))
+}
+
+// crossDest is one receiver in a catalog: its index into the receiver
+// medium's radio slice, the exact propagation delay from the source
+// radio's (static) position, and whether it sits within decode range.
+type crossDest struct {
+	idx    int32
+	prop   sim.Time
+	inComm bool
+}
+
+// crossCatalog is the immutable receiver set of one (border radio, target
+// shard) pair, computed at setup from the static placement. minProp is the
+// earliest possible receiver-side event offset; it doubles as the direct
+// lookahead contribution of this catalog.
+type crossCatalog struct {
+	srcID   int
+	minProp sim.Time
+	dests   []crossDest
+}
+
+// crossMsg is one ring slot. Slots are reused in place; the embedded
+// wireFrame keeps its backing arrays across messages.
+type crossMsg struct {
+	kind    uint8
+	tone    uint8
+	cat     *crossCatalog
+	t0      sim.Time // tx start / abort time / tone transition time
+	t1      sim.Time // tx natural end (crossTx); original tx start (crossAbort)
+	seqBase uint64
+	fr      wireFrame
+}
+
+// spscRing is a bounded single-producer single-consumer ring. The producer
+// is the sender shard's simulation goroutine, the consumer the receiver
+// shard's. Capacity is a power of two; a full ring makes the producer spin
+// (draining its own inboxes to break producer cycles — see send).
+type spscRing struct {
+	head atomic.Uint64 // next slot the consumer will read
+	_    [56]byte
+	tail atomic.Uint64 // next slot the producer will write
+	_    [56]byte
+	slots []crossMsg
+	mask  uint64
+}
+
+const crossRingCap = 1024
+
+func newRing() *spscRing {
+	return &spscRing{slots: make([]crossMsg, crossRingCap), mask: crossRingCap - 1}
+}
+
+// pendingCross is the receiver-side holder: the drained image of one
+// message plus the free-list link. Holders are conduit-private — acquiring
+// one at drain time is invisible to the simulation, which is what keeps
+// drain timing out of the deterministic state.
+type pendingCross struct {
+	c       *shardConduit
+	kind    uint8
+	tone    uint8
+	cat     *crossCatalog
+	t0, t1  sim.Time
+	seqBase uint64
+	fr      wireFrame
+	next    *pendingCross
+}
+
+// Call implements sim.Caller: the holder fired at the message's earliest
+// receiver event time.
+func (p *pendingCross) Call(int32) { p.c.fire(p) }
+
+// mirrorKey identifies a mirror transmission for abort routing: foreign
+// transmissions are uniquely named by (source node, start time) — a radio
+// transmits at most once at a time.
+type mirrorKey struct {
+	src   int
+	start sim.Time
+}
+
+// mirrorExp is one entry of the mirror table's expiry queue.
+type mirrorExp struct {
+	key    mirrorKey
+	expire sim.Time
+}
+
+// ShardStats counts one shard's conduit traffic. MsgsOut/MsgsIn are
+// deterministic for a fixed (seed, shards); FullSpins is wall-clock
+// scheduling observability and excluded from any fingerprint.
+type ShardStats struct {
+	MsgsOut   uint64
+	MsgsIn    uint64
+	FullSpins uint64
+}
+
+// shardConduit is one shard's half of the cross-shard fabric, owned by
+// that shard's Medium/goroutine.
+type shardConduit struct {
+	net   *ShardNet
+	med   *Medium
+	shard int
+
+	// Sender state.
+	out      []*spscRing               // per target shard; nil where no pairs
+	catalogs map[*Radio][]*crossCatalog // border radio → per-target catalogs (index parallel to outIdx)
+	catIdx   map[*Radio][]int           // target shard index per catalog
+	localSeq uint64
+	endTime  sim.Time
+
+	// Receiver state.
+	in       []*spscRing // per source shard; nil where no pairs
+	ghosts   map[int]*Radio
+	free     *pendingCross
+	mirrors  map[mirrorKey]*transmission
+	expQueue []mirrorExp
+	maxProp  sim.Time // max inbound prop; bounds how long an abort can trail
+
+	stats ShardStats
+}
+
+// ShardNet is the cross-shard fabric of one sharded run: conduits, rings,
+// and the direct lookahead matrix derived from the static placement.
+type ShardNet struct {
+	conduits []*shardConduit
+	direct   [][]sim.Time
+	stop     atomic.Bool
+}
+
+// ConnectShards wires the mediums of one sharded run together. pos holds
+// every node's static position (sharded runs are stationary by contract),
+// shardOf maps global node id → owning shard. Each medium must already
+// hold exactly its shard's radios, registered in ascending global id
+// order. endTime is the run horizon: messages whose earliest receiver
+// event falls strictly after it are dropped at the sender, matching the
+// unsharded engine's never-run semantics and guaranteeing no message can
+// chase a shard that already ran its final window.
+func ConnectShards(mediums []*Medium, pos []geom.Point, shardOf []int, endTime sim.Time) *ShardNet {
+	s := len(mediums)
+	net := &ShardNet{conduits: make([]*shardConduit, s), direct: make([][]sim.Time, s)}
+	for i := range net.direct {
+		net.direct[i] = make([]sim.Time, s)
+		for j := range net.direct[i] {
+			net.direct[i][j] = sim.MaxTime
+		}
+	}
+	localIdx := make([]int32, len(pos))
+	for _, m := range mediums {
+		for li, r := range m.radios {
+			localIdx[r.id] = int32(li)
+		}
+	}
+	for i, m := range mediums {
+		net.conduits[i] = &shardConduit{
+			net: net, med: m, shard: i,
+			out: make([]*spscRing, s), in: make([]*spscRing, s),
+			catalogs: make(map[*Radio][]*crossCatalog),
+			catIdx:   make(map[*Radio][]int),
+			ghosts:   make(map[int]*Radio),
+			mirrors:  make(map[mirrorKey]*transmission),
+			endTime:  endTime,
+		}
+	}
+
+	// Cell-hash the whole placement at the interference range so border
+	// discovery is O(n · neighbors) instead of O(n²): only cross-shard
+	// pairs within range matter.
+	irange := mediums[0].cfg.interferenceRange()
+	cell := irange
+	type cellKey struct{ x, y int }
+	cells := make(map[cellKey][]int)
+	for id := range pos {
+		k := cellKey{int(math.Floor(pos[id].X / cell)), int(math.Floor(pos[id].Y / cell))}
+		cells[k] = append(cells[k], id)
+	}
+	r2 := irange * irange
+	c2 := mediums[0].cfg.CommRange * mediums[0].cfg.CommRange
+	// cats[src][target] accumulates receiver lists; built in ascending
+	// (src, neighbor-cell, id) order, then dests sorted by id implicitly:
+	// neighbor ids are gathered per source and sorted below.
+	for src := range pos {
+		ss := shardOf[src]
+		base := cellKey{int(math.Floor(pos[src].X / cell)), int(math.Floor(pos[src].Y / cell))}
+		var perShard map[int][]crossDest
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, o := range cells[cellKey{base.x + dx, base.y + dy}] {
+					if o == src || shardOf[o] == ss {
+						continue
+					}
+					d2 := pos[o].Dist2(pos[src])
+					if d2 > r2 {
+						continue
+					}
+					if perShard == nil {
+						perShard = make(map[int][]crossDest)
+					}
+					perShard[shardOf[o]] = append(perShard[shardOf[o]], crossDest{
+						idx:    localIdx[o],
+						prop:   mediums[0].propDelay(math.Sqrt(d2)),
+						inComm: d2 <= c2,
+					})
+				}
+			}
+		}
+		if perShard == nil {
+			continue
+		}
+		srcRadio := mediums[ss].radios[localIdx[src]]
+		srcRadio.border = true
+		c := net.conduits[ss]
+		for t := 0; t < s; t++ {
+			dests := perShard[t]
+			if len(dests) == 0 {
+				continue
+			}
+			// Deterministic receiver order: ascending global id. Radios
+			// register in id order, so the local index is monotone in id.
+			sortDests(dests)
+			cat := &crossCatalog{srcID: src, minProp: sim.MaxTime, dests: dests}
+			for _, d := range dests {
+				if d.prop < cat.minProp {
+					cat.minProp = d.prop
+				}
+			}
+			c.catalogs[srcRadio] = append(c.catalogs[srcRadio], cat)
+			c.catIdx[srcRadio] = append(c.catIdx[srcRadio], t)
+			if cat.minProp < net.direct[ss][t] {
+				net.direct[ss][t] = cat.minProp
+			}
+			if c.out[t] == nil {
+				ring := newRing()
+				c.out[t] = ring
+				net.conduits[t].in[ss] = ring
+			}
+			// Receiver-side ghost + expiry bound.
+			rc := net.conduits[t]
+			if rc.ghosts[src] == nil {
+				g := &Radio{m: mediums[t], eng: mediums[t].eng, id: src, static: true, pos: pos[src]}
+				for ti := range g.toneLog {
+					g.toneLog[ti].onSince = -1
+				}
+				rc.ghosts[src] = g
+			}
+			for _, d := range dests {
+				if d.prop > rc.maxProp {
+					rc.maxProp = d.prop
+				}
+			}
+		}
+	}
+	for i, m := range mediums {
+		m.cross = net.conduits[i]
+	}
+	return net
+}
+
+// sortDests sorts a catalog by local radio index (== ascending global id);
+// catalogs are tiny, insertion sort avoids a sort.Slice closure.
+func sortDests(d []crossDest) {
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j].idx < d[j-1].idx; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+		}
+	}
+}
+
+// Direct returns the direct lookahead matrix: Direct()[k][j] is the
+// minimum cross-shard propagation delay from shard k to shard j
+// (sim.MaxTime where no pair of radios is in range). Feed it to
+// sim.NewShardSync, which closes it under shortest paths.
+func (n *ShardNet) Direct() [][]sim.Time { return n.direct }
+
+// Stop releases every producer blocked on a full ring (messages are
+// dropped from then on). Called when a sharded run aborts; determinism is
+// only contracted for runs that complete.
+func (n *ShardNet) Stop() { n.stop.Store(true) }
+
+// Stats returns shard j's conduit counters.
+func (n *ShardNet) Stats(j int) ShardStats { return n.conduits[j].stats }
+
+// OutCap returns the earliest send time among shard j's undrained outbound
+// messages, or sim.MaxTime when every outbound ring is empty. A shard's
+// published frontier must not exceed this cap: until a receiver has
+// drained a message, the closure argument needs the sender's frontier to
+// still cover that message's send time — otherwise a third shard reading
+// the (already advanced) frontier could under-estimate how early the
+// receiver can relay it (see DESIGN.md §14).
+//
+// Send times are monotone per ring (the sender's clock only advances), so
+// the head slot holds each ring's minimum. Safe to call from shard j's
+// goroutine only: slots are written by j alone, and a consumer advancing
+// head concurrently merely makes the cap conservatively low.
+func (n *ShardNet) OutCap(j int) sim.Time {
+	lb := sim.MaxTime
+	for _, ring := range n.conduits[j].out {
+		if ring == nil {
+			continue
+		}
+		h := ring.head.Load()
+		if h == ring.tail.Load() {
+			continue
+		}
+		if t := ring.slots[h&ring.mask].t0; t < lb {
+			lb = t
+		}
+	}
+	return lb
+}
+
+// Drain consumes every queued inbound message of shard j and schedules
+// the corresponding holder events. Must be called from shard j's
+// goroutine: between execution windows, while waiting at the frontier
+// barrier, and (via the producer spin path) while blocked on a full
+// outbound ring.
+func (n *ShardNet) Drain(j int) { n.conduits[j].drain() }
+
+func (c *shardConduit) drain() {
+	for _, ring := range c.in {
+		if ring == nil {
+			continue
+		}
+		h := ring.head.Load()
+		t := ring.tail.Load()
+		for ; h != t; h++ {
+			slot := &ring.slots[h&ring.mask]
+			p := c.takeHolder()
+			p.kind, p.tone, p.cat = slot.kind, slot.tone, slot.cat
+			p.t0, p.t1, p.seqBase = slot.t0, slot.t1, slot.seqBase
+			if slot.kind == crossTx {
+				p.fr.copyFrom(&slot.fr)
+			}
+			ring.head.Store(h + 1) // slot fully copied; producer may reuse it
+			c.stats.MsgsIn++
+			c.med.eng.ScheduleCrossCall(p.t0+p.cat.minProp, p, 0, p.seqBase)
+		}
+	}
+}
+
+func (c *shardConduit) takeHolder() *pendingCross {
+	if p := c.free; p != nil {
+		c.free = p.next
+		p.next = nil
+		return p
+	}
+	return &pendingCross{c: c}
+}
+
+func (c *shardConduit) putHolder(p *pendingCross) {
+	p.cat = nil
+	p.next = c.free
+	c.free = p
+}
+
+// fire runs a holder event: the deterministic point where a cross message
+// becomes simulation state.
+func (c *shardConduit) fire(p *pendingCross) {
+	m := c.med
+	switch p.kind {
+	case crossTx:
+		tx := m.newTx()
+		tx.src = c.ghosts[p.cat.srcID]
+		tx.f = p.fr.materialize(m.frames)
+		tx.start, tx.end = p.t0, p.t1
+		// No local txDone ever runs for a mirror: the sender shard owns
+		// the sender-side lifecycle. finished=true makes the last rxEnd
+		// recycle the mirror and release its frame.
+		tx.finished = true
+		seq := p.seqBase + 1
+		for _, d := range p.cat.dests {
+			q := m.newRxPath()
+			q.tx, q.r, q.inComm, q.prop = tx, m.radios[d.idx], d.inComm, d.prop
+			tx.dests = append(tx.dests, q)
+			m.eng.ScheduleCrossCall(p.t0+d.prop, q, tagRxStart, seq)
+			q.endEv = m.eng.ScheduleCrossCall(p.t1+d.prop, q, tagRxEnd, seq+1)
+			seq += 2
+		}
+		tx.pending = len(tx.dests)
+		key := mirrorKey{p.cat.srcID, p.t0}
+		c.evictExpired()
+		c.mirrors[key] = tx
+		c.expQueue = append(c.expQueue, mirrorExp{key: key, expire: p.t1 + c.maxProp})
+	case crossAbort:
+		// p.t1 is the original start time (the mirror's key), p.t0 the
+		// abort instant. The abort holder fires at t0+minProp, strictly
+		// before the mirror's first rxEnd (t1'>t0 ⇒ end+prop > t0+prop ≥
+		// t0+minProp), so every path is still intact; the guards mirror
+		// AbortTx's belt-and-braces.
+		tx := c.mirrors[mirrorKey{p.cat.srcID, p.t1}]
+		seq := p.seqBase + 1
+		if tx != nil && !tx.aborted {
+			tx.aborted = true
+			tx.end = p.t0
+			for _, q := range tx.dests {
+				s := seq
+				seq++
+				if q.tx != tx || !q.endEv.Pending() {
+					continue
+				}
+				q.corrupted = true
+				q.endEv.Cancel()
+				q.endEv = m.eng.ScheduleCrossCall(p.t0+q.prop, q, tagRxEnd, s)
+			}
+			delete(c.mirrors, mirrorKey{p.cat.srcID, p.t1})
+		}
+	case crossToneOn, crossToneOff:
+		tag := toneOffTag(Tone(p.tone))
+		if p.kind == crossToneOn {
+			tag = toneOnTag(Tone(p.tone))
+		}
+		seq := p.seqBase + 1
+		for _, d := range p.cat.dests {
+			m.eng.ScheduleCrossCall(p.t0+d.prop, m.radios[d.idx], tag, seq)
+			seq++
+		}
+	}
+	c.putHolder(p)
+}
+
+// evictExpired drops mirror-table entries whose abort can no longer
+// arrive: an abort happens strictly before the natural end, so its holder
+// fires before end+minProp ≤ end+maxProp. Amortized O(1) via the FIFO
+// expiry queue.
+func (c *shardConduit) evictExpired() {
+	now := c.med.eng.Now()
+	i := 0
+	for ; i < len(c.expQueue) && c.expQueue[i].expire < now; i++ {
+		delete(c.mirrors, c.expQueue[i].key)
+	}
+	if i > 0 {
+		n := copy(c.expQueue, c.expQueue[i:])
+		c.expQueue = c.expQueue[:n]
+	}
+}
+
+// send publishes one message to target shard t, spinning when the ring is
+// full. A blocked producer drains its own inboxes each spin: a cycle of
+// mutually-full shards always has every participant emptying its inbound
+// rings, so some producer always unblocks — production cannot deadlock.
+func (c *shardConduit) send(t int, fill func(slot *crossMsg)) {
+	ring := c.out[t]
+	spins := 0
+	for {
+		tail := ring.tail.Load()
+		if tail-ring.head.Load() < uint64(len(ring.slots)) {
+			slot := &ring.slots[tail&ring.mask]
+			fill(slot)
+			ring.tail.Store(tail + 1)
+			c.stats.MsgsOut++
+			return
+		}
+		if c.net.stop.Load() {
+			return // aborting run: drop rather than block forever
+		}
+		c.stats.FullSpins++
+		c.drain()
+		if spins < 256 {
+			runtime.Gosched()
+		} else {
+			d := time.Duration(spins)
+			if d > 100 {
+				d = 100
+			}
+			time.Sleep(d * time.Microsecond)
+		}
+		spins++
+	}
+}
+
+// txStart mirrors a border transmission into every foreign shard with
+// in-range receivers. Called by Medium.StartTx after the local fan-out.
+func (c *shardConduit) txStart(r *Radio, tx *transmission) {
+	for i, cat := range c.catalogs[r] {
+		if tx.start+cat.minProp > c.endTime {
+			continue // no receiver event on or before the horizon
+		}
+		seqBase := sim.CrossSeq(c.shard, c.localSeq)
+		c.localSeq += uint64(1 + 2*len(cat.dests))
+		c.send(c.catIdx[r][i], func(slot *crossMsg) {
+			slot.kind, slot.cat = crossTx, cat
+			slot.t0, slot.t1, slot.seqBase = tx.start, tx.end, seqBase
+			slot.fr.copyIn(tx.f)
+		})
+	}
+}
+
+// txAbort mirrors an abort (AbortTx or a crash truncation). now is the
+// abort instant; tx.start still names the mirror.
+func (c *shardConduit) txAbort(r *Radio, tx *transmission, now sim.Time) {
+	for i, cat := range c.catalogs[r] {
+		if tx.start+cat.minProp > c.endTime {
+			continue // the mirror itself was filtered; nothing to abort
+		}
+		if now+cat.minProp > c.endTime {
+			continue // every truncated rxEnd would fall past the horizon
+		}
+		seqBase := sim.CrossSeq(c.shard, c.localSeq)
+		c.localSeq += uint64(1 + len(cat.dests))
+		c.send(c.catIdx[r][i], func(slot *crossMsg) {
+			slot.kind, slot.cat = crossAbort, cat
+			slot.t0, slot.t1, slot.seqBase = now, tx.start, seqBase
+		})
+	}
+}
+
+// toneSet mirrors a tone transition of a border radio.
+func (c *shardConduit) toneSet(r *Radio, t Tone, on bool, now sim.Time) {
+	kind := crossToneOff
+	if on {
+		kind = crossToneOn
+	}
+	for i, cat := range c.catalogs[r] {
+		if now+cat.minProp > c.endTime {
+			continue
+		}
+		seqBase := sim.CrossSeq(c.shard, c.localSeq)
+		c.localSeq += uint64(1 + len(cat.dests))
+		c.send(c.catIdx[r][i], func(slot *crossMsg) {
+			slot.kind, slot.tone, slot.cat = kind, uint8(t), cat
+			slot.t0, slot.t1, slot.seqBase = now, 0, seqBase
+		})
+	}
+}

@@ -1,0 +1,178 @@
+package phy
+
+import (
+	"testing"
+
+	"rmac/internal/geom"
+	"rmac/internal/mobility"
+	"rmac/internal/sim"
+)
+
+// scriptStep schedules an arbitrary closure as a simulation event.
+type scriptStep struct{ fn func() }
+
+func (s scriptStep) Call(int32) { s.fn() }
+
+// boundaryScript drives the satellite-3 scenario against radio a (the
+// border transmitter), c (a second transmitter for the collision phase)
+// and the clock of their engine. b, the receiver across the boundary,
+// only listens.
+//
+//	 0 ms: a sends a frame          → b decodes it
+//	 5 ms: a and c overlap          → b sees a collision (corrupt frames)
+//	10 ms: a sends, aborts mid-air  → b sees the truncation
+//	15 ms: a raises, then drops, a busy tone → b senses both edges
+func boundaryScript(eng *sim.Engine, a, c *Radio) {
+	at := func(t sim.Time, fn func()) { eng.ScheduleCall(t, scriptStep{fn}, 0) }
+	ms := sim.Millisecond
+	at(0, func() { a.StartTx(testFrame(a.ID(), 100)) })
+	at(5*ms, func() { a.StartTx(testFrame(a.ID(), 100)) })
+	at(5*ms+10*sim.Microsecond, func() { c.StartTx(testFrame(c.ID(), 60)) })
+	at(10*ms, func() { a.StartTx(testFrame(a.ID(), 100)) })
+	at(10*ms+50*sim.Microsecond, func() { a.AbortTx() })
+	at(15*ms, func() { a.SetTone(Tone(0), true) })
+	at(15*ms+200*sim.Microsecond, func() { a.SetTone(Tone(0), false) })
+}
+
+// TestShardBoundaryPhysics is the golden cross-check of DESIGN.md §14: a
+// transmitter within one disc radius of a shard boundary must produce
+// identical delivery, collision, truncation and tone outcomes at a
+// receiver on the far side, whether the two sit on one medium or on two
+// shard mediums joined by the cross-shard conduit. The script is
+// RNG-free (BER 0, fixed action times), so the runs are comparable
+// event for event.
+func TestShardBoundaryPhysics(t *testing.T) {
+	cfg := DefaultConfig()
+	pos := []geom.Point{{X: 60, Y: 0}, {X: 90, Y: 0}, {X: 130, Y: 0}} // a, c | b across x=100
+	horizon := 30 * sim.Millisecond
+
+	// Reference: all three radios on one medium.
+	eng, _, rads := build(t, cfg, pos)
+	boundaryScript(eng, rads[0].Radio, rads[1].Radio)
+	eng.Run(horizon)
+	want := rads[2].rec
+
+	// Sharded: {a, c} on shard 0, {b} on shard 1, conduit in between. The
+	// script only moves shard 0, so the shards can be stepped sequentially
+	// instead of via the full frontier protocol.
+	eng0 := sim.NewEngine(1)
+	m0 := NewMedium(eng0, cfg)
+	eng1 := sim.NewEngine(2)
+	m1 := NewMedium(eng1, cfg)
+	var srads [3]*recRadio
+	for i, m := range []*Medium{m0, m0, m1} {
+		r := m.AddRadio(i, mobility.Stationary{P: pos[i]})
+		srads[i] = &recRadio{Radio: r, rec: &recorder{}, eng: m.Engine()}
+		r.SetHandler(srads[i])
+	}
+	net := ConnectShards([]*Medium{m0, m1}, pos, []int{0, 0, 1}, horizon)
+	boundaryScript(eng0, srads[0].Radio, srads[1].Radio)
+	eng0.Run(horizon)
+	net.Drain(1)
+	eng1.Run(horizon)
+	got := srads[2].rec
+
+	// All three sit within one disc radius of a foreign radio.
+	if !srads[0].border || !srads[1].border || !srads[2].border {
+		t.Fatal("boundary radios not marked as border")
+	}
+	if len(got.frames) != len(want.frames) {
+		t.Fatalf("frame count: sharded %d, unsharded %d", len(got.frames), len(want.frames))
+	}
+	for i := range want.frames {
+		w, g := want.frames[i], got.frames[i]
+		if g.ok != w.ok || g.rxStart != w.rxStart || g.at != w.at {
+			t.Errorf("frame %d: sharded (ok=%v %v..%v), unsharded (ok=%v %v..%v)",
+				i, g.ok, g.rxStart, g.at, w.ok, w.rxStart, w.at)
+		}
+	}
+	// Phase 1 delivers clean, phase 2 collides, phase 3 truncates: at least
+	// one ok and one corrupt frame must be present, or the script is dead.
+	var oks, bad int
+	for _, f := range want.frames {
+		if f.ok {
+			oks++
+		} else {
+			bad++
+		}
+	}
+	if oks == 0 || bad == 0 {
+		t.Fatalf("degenerate reference run: %d ok, %d corrupt", oks, bad)
+	}
+	if len(got.tones) != 2 || len(want.tones) != 2 {
+		t.Fatalf("tone edges: sharded %d, unsharded %d", len(got.tones), len(want.tones))
+	}
+	for i := range want.tones {
+		if got.tones[i] != want.tones[i] {
+			t.Errorf("tone edge %d: sharded %+v, unsharded %+v", i, got.tones[i], want.tones[i])
+		}
+	}
+	if len(got.carrier) != len(want.carrier) {
+		t.Fatalf("carrier transitions: sharded %d, unsharded %d", len(got.carrier), len(want.carrier))
+	}
+	for i := range want.carrier {
+		if got.carrier[i] != want.carrier[i] {
+			t.Errorf("carrier %d: sharded %v, unsharded %v", i, got.carrier[i], want.carrier[i])
+		}
+	}
+	// Cross-check the conduit accounting while we're here: every message
+	// published by shard 0 was drained by shard 1, none flowed back.
+	s0, s1 := net.Stats(0), net.Stats(1)
+	if s0.MsgsOut == 0 || s0.MsgsOut != s1.MsgsIn || s1.MsgsOut != 0 {
+		t.Errorf("conduit stats: out0=%d in1=%d out1=%d", s0.MsgsOut, s1.MsgsIn, s1.MsgsOut)
+	}
+}
+
+// TestShardBoundaryAbortBeforeDelivery covers the abort race the conduit
+// has to replay: the truncation message chases a transmission whose head
+// is already mirrored on the receiving shard, and must shorten the mirror
+// before its scheduled end fires.
+func TestShardBoundaryAbortBeforeDelivery(t *testing.T) {
+	cfg := DefaultConfig()
+	pos := []geom.Point{{X: 95, Y: 0}, {X: 105, Y: 0}}
+	horizon := 10 * sim.Millisecond
+
+	run := func(sharded bool) *recorder {
+		if !sharded {
+			eng, _, rads := build(t, cfg, pos)
+			eng.ScheduleCall(0, scriptStep{func() { rads[0].StartTx(testFrame(0, 400)) }}, 0)
+			eng.ScheduleCall(sim.Millisecond, scriptStep{func() { rads[0].AbortTx() }}, 0)
+			eng.Run(horizon)
+			return rads[1].rec
+		}
+		eng0 := sim.NewEngine(1)
+		m0 := NewMedium(eng0, cfg)
+		eng1 := sim.NewEngine(2)
+		m1 := NewMedium(eng1, cfg)
+		a := m0.AddRadio(0, mobility.Stationary{P: pos[0]})
+		ra := &recRadio{Radio: a, rec: &recorder{}, eng: eng0}
+		a.SetHandler(ra)
+		b := m1.AddRadio(1, mobility.Stationary{P: pos[1]})
+		rb := &recRadio{Radio: b, rec: &recorder{}, eng: eng1}
+		b.SetHandler(rb)
+		net := ConnectShards([]*Medium{m0, m1}, pos, []int{0, 1}, horizon)
+		eng0.ScheduleCall(0, scriptStep{func() { a.StartTx(testFrame(0, 400)) }}, 0)
+		eng0.ScheduleCall(sim.Millisecond, scriptStep{func() { a.AbortTx() }}, 0)
+		eng0.Run(horizon)
+		net.Drain(1)
+		eng1.Run(horizon)
+		return rb.rec
+	}
+
+	want, got := run(false), run(true)
+	if len(want.frames) != len(got.frames) {
+		t.Fatalf("frame count: sharded %d, unsharded %d", len(got.frames), len(want.frames))
+	}
+	for i := range want.frames {
+		w, g := want.frames[i], got.frames[i]
+		if g.ok != w.ok || g.rxStart != w.rxStart || g.at != w.at {
+			t.Errorf("frame %d: sharded (ok=%v %v..%v), unsharded (ok=%v %v..%v)",
+				i, g.ok, g.rxStart, g.at, w.ok, w.rxStart, w.at)
+		}
+	}
+	for _, f := range want.frames {
+		if f.ok {
+			t.Fatalf("aborted transmission decoded cleanly: %+v", f)
+		}
+	}
+}

@@ -53,6 +53,12 @@ type Medium struct {
 	// once the sender's OnTxDone and all receptions have completed (see
 	// frame.Release and DESIGN.md §9).
 	frames *frame.Pool
+
+	// cross, when non-nil, is this medium's half of a sharded run's
+	// cross-shard fabric (see cross.go): border-radio transmissions,
+	// aborts, and tone transitions are mirrored into foreign shards
+	// through it. Nil — the unsharded case — costs one branch per hook.
+	cross *shardConduit
 }
 
 // MediumStats aggregates channel-level counters.
@@ -175,6 +181,7 @@ type transmission struct {
 	end      sim.Time // updated if aborted
 	aborted  bool
 	finished bool // txDone ran or AbortTx was called
+	crossed  bool // mirrored into at least one foreign shard (sharded runs)
 	pending  int  // rx paths whose rxEnd has not run yet
 	doneEv   sim.Event
 	dests    []*rxPath
@@ -318,6 +325,10 @@ func (m *Medium) StartTx(r *Radio, f frame.Frame) sim.Time {
 			m.eng.ScheduleCall(now+p.prop, p, tagRxStart)
 			p.endEv = m.eng.ScheduleCall(tx.end+p.prop, p, tagRxEnd)
 		})
+		if m.cross != nil && r.border {
+			tx.crossed = true
+			m.cross.txStart(r, tx)
+		}
 	}
 	tx.pending = len(tx.dests)
 	tx.doneEv = m.eng.ScheduleCall(tx.end, tx, 0)
@@ -364,6 +375,9 @@ func (m *Medium) AbortTx(r *Radio) {
 			p.corrupted = true
 			p.endEv.Cancel()
 			p.endEv = m.eng.ScheduleCall(now+p.prop, p, tagRxEnd)
+		}
+		if tx.crossed && m.cross != nil {
+			m.cross.txAbort(r, tx, now)
 		}
 	}
 	r.curTx = nil
@@ -526,7 +540,15 @@ func (m *Medium) SetTone(r *Radio, t Tone, on bool) {
 		for i, o := range sess.dests {
 			m.eng.ScheduleCall(now+sess.props[i], o, toneOnTag(t))
 		}
+		if m.cross != nil && r.border {
+			r.crossTone[t] = true
+			m.cross.toneSet(r, t, true, now)
+		}
 		return
+	}
+	if r.crossTone[t] && m.cross != nil {
+		r.crossTone[t] = false
+		m.cross.toneSet(r, t, false, now)
 	}
 	sess := r.toneSess[t]
 	r.toneSess[t] = nil
@@ -602,6 +624,9 @@ func (m *Medium) SetDown(r *Radio, down bool) {
 			p.endEv.Cancel()
 			p.endEv = m.eng.ScheduleCall(now+p.prop, p, tagRxEnd)
 		}
+		if tx.crossed && m.cross != nil {
+			m.cross.txAbort(r, tx, now)
+		}
 	}
 	// Poison signals mid-reception at the crashed node.
 	for _, p := range r.active {
@@ -610,6 +635,10 @@ func (m *Medium) SetDown(r *Radio, down bool) {
 	// Drop emitted tones at every listener.
 	now := m.eng.Now()
 	for t := Tone(0); t < NumTones; t++ {
+		if r.crossTone[t] && m.cross != nil {
+			r.crossTone[t] = false
+			m.cross.toneSet(r, t, false, now)
+		}
 		sess := r.toneSess[t]
 		if sess == nil {
 			continue

@@ -69,6 +69,14 @@ type Radio struct {
 	toneSess [NumTones]*toneSession
 
 	toneLog [NumTones]toneState
+
+	// Sharded-run state (see cross.go). border marks a radio within one
+	// interference range of a foreign shard's radio; crossTone records, per
+	// tone, whether the current on-transition was mirrored to foreign
+	// shards (and therefore needs a mirrored off). Both stay zero in
+	// unsharded runs.
+	border    bool
+	crossTone [NumTones]bool
 }
 
 // ID returns the node ID this radio belongs to.

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Conservative parallel-simulation support. A sharded run partitions the
+// network into spatial shards, each owning a private Engine on its own
+// goroutine; shards advance their clocks under a Chandy–Misra–Bryant
+// variant without null messages: every shard publishes a frontier — a
+// lower bound on the earliest influence it can still exert, i.e.
+// min(next local event, send time of its earliest outbound message no
+// receiver has drained yet) — and each shard j may safely execute all
+// events strictly before
+//
+//	target(j) = min over all k of frontier(k) + walkLookahead(k, j)
+//
+// where walkLookahead is the all-pairs minimum over walks of length ≥ 1
+// in the direct lookahead graph (minimum cross-shard propagation delay
+// between any two radios of the two shards). Including walks — not just
+// simple paths — matters twice over. Relays: influence from k forwarded
+// through intermediate shards is bounded transitively by the triangle
+// inequality, with the sender-side cap keeping frontier(k) at or below
+// an in-flight message's send time until its receiver has scheduled the
+// delivery (and so covers the relay itself). Echoes: the k = j diagonal
+// is the minimum round trip through any other shard, bounding responses
+// to shard j's *own* future sends — a neighbour can react to a border
+// arrival and transmit back within the same timestamp (tone-triggered
+// aborts), so j may never outrun its own frontier by more than that
+// round trip. Frontiers are pure measurements (next event / undrained
+// send time), never derived from other shards' frontiers, so targets
+// converge in one step and the classic null-message creep cannot occur.
+//
+// Cross-shard events are injected with ScheduleCrossCall under a dedicated
+// sequence-number space (CrossSeqBase | sender<<CrossSeqShardShift | local
+// counter): the (time, seq) total order then interleaves cross traffic
+// after same-tick local events deterministically, independent of wall-clock
+// arrival order, which is what makes a fixed (seed, shards) pair
+// bit-identical across reruns.
+
+// MaxTime is the largest representable simulated time; used as the
+// "no event pending / never" sentinel by the shard frontier protocol.
+const MaxTime = maxTime
+
+// Cross-shard sequence-number space. Bit 63 lifts every cross event above
+// all locally allocated sequence numbers (a run would need 2^63 local
+// events to collide); the shard index sits above a per-shard monotone
+// counter so two senders can never mint the same sequence number without
+// any cross-goroutine coordination.
+const (
+	// CrossSeqBase marks a sequence number as cross-shard.
+	CrossSeqBase uint64 = 1 << 63
+	// CrossSeqShardShift positions the sending shard's index.
+	CrossSeqShardShift = 48
+	// MaxShards bounds the shard count (shard index field width and the
+	// O(S²) lookahead matrix both assume it).
+	MaxShards = 1 << (62 - CrossSeqShardShift)
+)
+
+// CrossSeq builds the sequence number for the i-th cross event minted by
+// shard src. local must stay below 1<<CrossSeqShardShift.
+func CrossSeq(src int, local uint64) uint64 {
+	return CrossSeqBase | uint64(src)<<CrossSeqShardShift | local
+}
+
+// NextLowerBound returns the exact fire time of the engine's earliest
+// pending event, or MaxTime when nothing is pending. Exactness (not just a
+// lower bound) matters for shard liveness: frontiers are exchanged as
+// next-event bounds, and the deadlock-freedom argument — "the shard
+// holding the globally minimal next event always finds target > that
+// event and advances" — needs the published bound to *be* the next event
+// time. A slot-start approximation (wheelMin) can under-report by up to
+// one slot width (128 ns), which exceeds the smallest lookahead (the
+// 1 ns propagation-delay floor) and can stall two shards against each
+// other forever.
+//
+// Due-list head and heap top are exact by construction. For in-slot wheel
+// events the earliest occupied slot per level is chain-scanned: within a
+// level, every event in a later slot fires at or after that slot's start,
+// which is strictly after every event in the earliest slot, so the
+// earliest slot's chain minimum is the level minimum and the cross-level
+// minimum of the two chains is globally exact. Slots hold a handful of
+// events, so the scan is effectively O(1). May refresh the scan cache;
+// only called between Run windows, where that is safe.
+func (e *Engine) NextLowerBound() Time {
+	lb := maxTime
+	if e.dueHead >= 0 {
+		lb = e.nodes[e.dueHead].at
+	}
+	if len(e.order) > 0 && e.order[0].at < lb {
+		lb = e.order[0].at
+	}
+	if e.wheelCount > 0 {
+		if !e.scanValid {
+			e.rescan()
+		}
+		if e.nb0 < maxTime {
+			for id := e.tw.head0[e.ns0&l0Mask]; id >= 0; id = e.nodes[id].next {
+				if e.nodes[id].at < lb {
+					lb = e.nodes[id].at
+				}
+			}
+		}
+		if e.nb1 < maxTime && e.nb1 < lb {
+			for id := e.tw.head1[e.ns1&l1Mask]; id >= 0; id = e.nodes[id].next {
+				if e.nodes[id].at < lb {
+					lb = e.nodes[id].at
+				}
+			}
+		}
+	}
+	return lb
+}
+
+// ScheduleCrossCall schedules c.Call(tag) at absolute time at under an
+// explicitly supplied sequence number instead of the engine's own counter.
+// The cross-shard conduit uses it to inject mirrored events whose global
+// order is fixed by the sender, not by arrival order.
+//
+// seq must lie in the cross space (CrossSeqBase set): the timing wheel's
+// flush path packs sequence numbers into 57 bits, so cross events bypass
+// the wheel and go straight to the heap — correct (the heap honours any
+// (time, seq) order) and cheap (cross events are rare relative to local
+// traffic).
+func (e *Engine) ScheduleCrossCall(at Time, c Caller, tag int32, seq uint64) Event {
+	if at < e.now {
+		e.panicPast(at)
+	}
+	if seq < CrossSeqBase {
+		panic(fmt.Sprintf("sim: ScheduleCrossCall seq %#x below CrossSeqBase", seq))
+	}
+	var id int32
+	if n := len(e.free); n > 0 {
+		id = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		id = e.grow()
+	}
+	n := &e.nodes[id]
+	n.at = at
+	n.seq = seq
+	n.target = c
+	n.tag = tag
+	e.heapPush(id, at)
+	if e.tstats != nil {
+		e.tstats.place(placeOverflow, at-e.now)
+	}
+	return Event{eng: e, id: id, gen: n.gen}
+}
+
+// ShardSync is the shared frontier table of one sharded run. Each shard
+// publishes its frontier with Publish and computes its safe execution bound
+// with Target; both are lock-free (one atomic store / S atomic loads).
+type ShardSync struct {
+	la [][]Time // walk closure: la[k][j] = min walk lookahead k→j (k==j: min cycle); MaxTime = decoupled
+	fr []padTime
+}
+
+// padTime pads each frontier to its own cache line so Publish stores from
+// different shards never false-share.
+type padTime struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// NewShardSync builds the frontier table for the given direct lookahead
+// matrix (la[k][j] = minimum delay for shard k to influence shard j;
+// MaxTime where no pair of radios is in range). The matrix is closed over
+// walks of length ≥ 1 (Floyd–Warshall with the diagonal seeded to MaxTime
+// — shard counts are small): off-diagonal entries become shortest paths,
+// bounding relayed influence transitively, and diagonal entries become
+// minimum cycles, bounding echoes of a shard's own sends. Frontiers start
+// at 0.
+func NewShardSync(direct [][]Time) *ShardSync {
+	s := len(direct)
+	if s > MaxShards {
+		panic(fmt.Sprintf("sim: %d shards exceeds MaxShards %d", s, MaxShards))
+	}
+	la := make([][]Time, s)
+	for i := range la {
+		la[i] = make([]Time, s)
+		copy(la[i], direct[i])
+		la[i][i] = maxTime // no self-edges: the diagonal closes to min cycle
+	}
+	for k := 0; k < s; k++ {
+		for i := 0; i < s; i++ {
+			if la[i][k] == maxTime {
+				continue
+			}
+			for j := 0; j < s; j++ {
+				if la[k][j] == maxTime {
+					continue
+				}
+				if d := la[i][k] + la[k][j]; d < la[i][j] {
+					la[i][j] = d
+				}
+			}
+		}
+	}
+	return &ShardSync{la: la, fr: make([]padTime, s)}
+}
+
+// Lookahead returns the closed (minimum-walk) lookahead from shard k to
+// shard j — for k == j the minimum round trip through any other shard;
+// MaxTime when no such influence is possible.
+func (ss *ShardSync) Lookahead(k, j int) Time { return ss.la[k][j] }
+
+// Publish records shard k's frontier: a promise that shard k will not mint
+// any new influence before t. Callers must derive t from measurements only
+// — min(NextLowerBound after draining inbound rings, earliest undrained
+// outbound send time) — never from other shards' frontiers, and must be
+// monotonically non-decreasing per shard.
+func (ss *ShardSync) Publish(k int, t Time) { ss.fr[k].v.Store(int64(t)) }
+
+// Frontier returns shard k's last published frontier.
+func (ss *ShardSync) Frontier(k int) Time { return Time(ss.fr[k].v.Load()) }
+
+// Target returns the conservative execution bound for shard j: it may run
+// every event strictly before the returned time. The k == j term is the
+// echo bound — shard j's own frontier plus the minimum round trip, since
+// a neighbour may respond to one of j's future sends with zero turnaround.
+// MaxTime means j is unconstrained (no shard — itself included — can route
+// influence to it, or all have terminated).
+func (ss *ShardSync) Target(j int) Time {
+	t := maxTime
+	for k := range ss.fr {
+		la := ss.la[k][j]
+		if la == maxTime {
+			continue
+		}
+		f := Time(ss.fr[k].v.Load())
+		if f == maxTime {
+			continue // k terminated: constrains nobody
+		}
+		if b := f + la; b < t {
+			t = b
+		}
+	}
+	return t
+}

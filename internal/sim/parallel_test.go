@@ -1,0 +1,120 @@
+package sim
+
+import "testing"
+
+func TestShardSyncClosure(t *testing.T) {
+	inf := Time(MaxTime)
+	direct := [][]Time{
+		{inf, 5, inf},
+		{7, inf, 10},
+		{inf, 3, inf},
+	}
+	ss := NewShardSync(direct)
+	want := [][]Time{
+		{12, 5, 15},
+		{7, 12, 10},
+		{10, 3, 13},
+	}
+	for k := range want {
+		for j := range want[k] {
+			if got := ss.Lookahead(k, j); got != want[k][j] {
+				t.Errorf("Lookahead(%d,%d) = %v, want %v", k, j, got, want[k][j])
+			}
+		}
+	}
+}
+
+func TestShardSyncClosureDecoupled(t *testing.T) {
+	inf := Time(MaxTime)
+	ss := NewShardSync([][]Time{{inf, inf}, {inf, inf}})
+	for k := 0; k < 2; k++ {
+		for j := 0; j < 2; j++ {
+			if got := ss.Lookahead(k, j); got != inf {
+				t.Errorf("Lookahead(%d,%d) = %v, want MaxTime", k, j, got)
+			}
+		}
+	}
+	if got := ss.Target(0); got != MaxTime {
+		t.Errorf("decoupled Target = %v, want MaxTime", got)
+	}
+}
+
+// TestShardSyncTarget pins the target formula, in particular the echo
+// term: shard 0's own frontier plus the minimum round trip bounds it even
+// when the other frontiers are far ahead.
+func TestShardSyncTarget(t *testing.T) {
+	inf := Time(MaxTime)
+	ss := NewShardSync([][]Time{
+		{inf, 5, inf},
+		{7, inf, 10},
+		{inf, 3, inf},
+	})
+	ss.Publish(0, 100) // echo term: 100 + (5+7) = 112
+	ss.Publish(1, 1000)
+	ss.Publish(2, 1000)
+	if got := ss.Target(0); got != 112 {
+		t.Errorf("Target(0) = %v, want 112 (echo bound)", got)
+	}
+	ss.Publish(0, 5000)
+	if got := ss.Target(0); got != 1007 {
+		t.Errorf("Target(0) = %v, want 1007 (frontier 1 + lookahead 7)", got)
+	}
+	ss.Publish(1, MaxTime) // terminated shard constrains nobody
+	if got := ss.Target(0); got != 1010 {
+		t.Errorf("Target(0) = %v, want 1010 (shard 2 via relay closure)", got)
+	}
+	if got := ss.Frontier(1); got != MaxTime {
+		t.Errorf("Frontier(1) = %v", got)
+	}
+}
+
+type orderRec struct {
+	log *[]int
+	id  int
+}
+
+func (o orderRec) Call(int32) { *o.log = append(*o.log, o.id) }
+
+// TestScheduleCrossCallOrder: cross events interleave with local events by
+// (time, seq) — local events first (their sequence numbers stay below
+// CrossSeqBase), then cross events in sender-minted sequence order,
+// independent of injection order.
+func TestScheduleCrossCallOrder(t *testing.T) {
+	eng := NewEngine(1)
+	var log []int
+	at := Time(1000)
+	eng.ScheduleCrossCall(at, orderRec{&log, 3}, 0, CrossSeq(1, 0))
+	eng.ScheduleCrossCall(at, orderRec{&log, 2}, 0, CrossSeq(0, 7))
+	eng.ScheduleCall(at, orderRec{&log, 1}, 0)
+	eng.Run(at)
+	if len(log) != 3 || log[0] != 1 || log[1] != 2 || log[2] != 3 {
+		t.Fatalf("execution order = %v, want [1 2 3]", log)
+	}
+}
+
+// TestNextLowerBoundExact schedules one event in each scheduler tier (due
+// list, wheel level 0, wheel level 1, overflow heap) and checks the
+// reported bound is the exact minimum event time each round.
+func TestNextLowerBoundExact(t *testing.T) {
+	eng := NewEngine(1)
+	if got := eng.NextLowerBound(); got != MaxTime {
+		t.Fatalf("empty engine bound = %v, want MaxTime", got)
+	}
+	var log []int
+	times := []Time{3, 333, 70_000, 5_000_000_000}
+	for i, at := range times {
+		eng.ScheduleCall(at, orderRec{&log, i}, 0)
+	}
+	for _, at := range times {
+		if got := eng.NextLowerBound(); got != at {
+			t.Fatalf("bound = %v, want %v", got, at)
+		}
+		eng.Run(at)
+	}
+	if got := eng.NextLowerBound(); got != MaxTime {
+		t.Fatalf("drained engine bound = %v, want MaxTime", got)
+	}
+	if len(log) != len(times) {
+		t.Fatalf("ran %d events, want %d", len(log), len(times))
+	}
+}

@@ -1,0 +1,139 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+
+	"rmac/internal/geom"
+)
+
+// Large-topology generators for the sharded engine's 10k–100k-node runs.
+// All of them are deterministic functions of (parameters, rng stream):
+// the same seed yields bit-identical placements (see
+// TestGeneratorDeterminism), which the sharded determinism contract
+// builds on.
+
+// AutoSpacing picks a Poisson-disc minimum distance for n nodes on the
+// field: the largest radius that still comfortably fits n points. Maximal
+// Poisson-disc samples approach a packing density of ~0.54·area/r², so
+// 0.75·sqrt(area/n) leaves enough slack for Bridson's dart throwing to
+// reach n without saturating.
+func AutoSpacing(n int, field geom.Rect) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return 0.75 * math.Sqrt(field.W*field.H/float64(n))
+}
+
+// PoissonDiscPlacement generates n points with pairwise distance ≥ minDist
+// via Bridson's algorithm (k=30 candidates per active point). If the
+// domain saturates before n points fit, the remainder is filled uniformly
+// at random (documented density overshoot beats failing the run); pass
+// minDist ≤ AutoSpacing(n, field) to stay in the guaranteed regime.
+func PoissonDiscPlacement(n int, field geom.Rect, minDist float64, rng *rand.Rand) Placement {
+	if minDist <= 0 {
+		minDist = AutoSpacing(n, field)
+	}
+	pts := make([]geom.Point, 0, n)
+	// Background grid with cell = r/√2: one sample per cell suffices for
+	// the neighbourhood rejection test.
+	cell := minDist / math.Sqrt2
+	gw := int(math.Ceil(field.W/cell)) + 1
+	gh := int(math.Ceil(field.H/cell)) + 1
+	grid := make([]int32, gw*gh)
+	for i := range grid {
+		grid[i] = -1
+	}
+	cellOf := func(p geom.Point) (int, int) {
+		return int(p.X / cell), int(p.Y / cell)
+	}
+	fits := func(p geom.Point) bool {
+		cx, cy := cellOf(p)
+		r2 := minDist * minDist
+		for y := cy - 2; y <= cy+2; y++ {
+			if y < 0 || y >= gh {
+				continue
+			}
+			for x := cx - 2; x <= cx+2; x++ {
+				if x < 0 || x >= gw {
+					continue
+				}
+				if j := grid[y*gw+x]; j >= 0 && pts[j].Dist2(p) < r2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	place := func(p geom.Point) {
+		cx, cy := cellOf(p)
+		grid[cy*gw+cx] = int32(len(pts))
+		pts = append(pts, p)
+	}
+	active := make([]int, 0, n)
+	place(field.RandomPoint(rng))
+	active = append(active, 0)
+	const k = 30
+	for len(pts) < n && len(active) > 0 {
+		ai := rng.Intn(len(active))
+		base := pts[active[ai]]
+		found := false
+		for c := 0; c < k && len(pts) < n; c++ {
+			ang := rng.Float64() * 2 * math.Pi
+			rad := minDist * (1 + rng.Float64())
+			p := geom.Point{X: base.X + rad*math.Cos(ang), Y: base.Y + rad*math.Sin(ang)}
+			if !field.Contains(p) || !fits(p) {
+				continue
+			}
+			place(p)
+			active = append(active, len(pts)-1)
+			found = true
+		}
+		if !found {
+			active[ai] = active[len(active)-1]
+			active = active[:len(active)-1]
+		}
+	}
+	// Saturated below n: top up uniformly (no min-distance guarantee for
+	// the overflow points, deterministic all the same).
+	for len(pts) < n {
+		pts = append(pts, field.RandomPoint(rng))
+	}
+	return Placement{Field: field, Points: pts}
+}
+
+// MetroPlacement models a metropolitan deployment: `districts` dense
+// uniform clusters side by side along X, separated by `gap` metres of
+// empty ground. With gap wider than the interference range, no radio pair
+// spans two districts — the districts are fully RF-decoupled, which is the
+// ideal input for the sharded engine (infinite lookahead between shards;
+// see DESIGN.md §14). Node ids are contiguous per district, ascending
+// left to right, so the strip partitioner recovers the districts exactly.
+func MetroPlacement(n, districts int, field geom.Rect, gap float64, rng *rand.Rand) Placement {
+	if districts < 1 {
+		districts = 1
+	}
+	dw := (field.W - gap*float64(districts-1)) / float64(districts)
+	if dw <= 0 {
+		panic("topo: MetroPlacement gap leaves no district width")
+	}
+	pts := make([]geom.Point, 0, n)
+	for d := 0; d < districts; d++ {
+		x0 := float64(d) * (dw + gap)
+		cnt := n/districts + btoi(d < n%districts)
+		for i := 0; i < cnt; i++ {
+			pts = append(pts, geom.Point{
+				X: x0 + rng.Float64()*dw,
+				Y: rng.Float64() * field.H,
+			})
+		}
+	}
+	return Placement{Field: field, Points: pts}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

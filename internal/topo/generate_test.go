@@ -1,0 +1,163 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+
+	"rmac/internal/geom"
+)
+
+// TestGeneratorDeterminism pins the placement-determinism contract the
+// sharded engine builds on: the same (parameters, seed) pair yields
+// bit-identical coordinates from every generator.
+func TestGeneratorDeterminism(t *testing.T) {
+	field := geom.Rect{W: 600, H: 400}
+	gens := map[string]func(seed int64) Placement{
+		"poisson": func(seed int64) Placement {
+			return PoissonDiscPlacement(500, field, 0, rand.New(rand.NewSource(seed)))
+		},
+		"metro": func(seed int64) Placement {
+			return MetroPlacement(500, 4, field, 120, rand.New(rand.NewSource(seed)))
+		},
+	}
+	for name, gen := range gens {
+		a, b := gen(42), gen(42)
+		if len(a.Points) != len(b.Points) {
+			t.Fatalf("%s: count diverged: %d vs %d", name, len(a.Points), len(b.Points))
+		}
+		for i := range a.Points {
+			if a.Points[i] != b.Points[i] {
+				t.Fatalf("%s: point %d diverged: %v vs %v", name, i, a.Points[i], b.Points[i])
+			}
+		}
+		c := gen(43)
+		same := true
+		for i := range a.Points {
+			if a.Points[i] != c.Points[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds produced identical placements", name)
+		}
+	}
+}
+
+func TestPoissonDiscSpacing(t *testing.T) {
+	field := geom.Rect{W: 600, H: 400}
+	n := 400
+	minDist := AutoSpacing(n, field)
+	p := PoissonDiscPlacement(n, field, minDist, rand.New(rand.NewSource(1)))
+	if len(p.Points) != n {
+		t.Fatalf("got %d points, want %d", len(p.Points), n)
+	}
+	// In the guaranteed regime (minDist = AutoSpacing) Bridson reaches n
+	// without the uniform top-up, so the pairwise bound must hold exactly.
+	for i := 0; i < n; i++ {
+		if !field.Contains(p.Points[i]) {
+			t.Fatalf("point %d outside field: %v", i, p.Points[i])
+		}
+		for j := i + 1; j < n; j++ {
+			if d := p.Points[i].Dist(p.Points[j]); d < minDist {
+				t.Fatalf("points %d,%d only %.2fm apart, want ≥ %.2f", i, j, d, minDist)
+			}
+		}
+	}
+}
+
+func TestMetroPlacementShape(t *testing.T) {
+	field := geom.Rect{W: 600, H: 300}
+	const n, districts, gap = 203, 3, 150.0
+	p := MetroPlacement(n, districts, field, gap, rand.New(rand.NewSource(5)))
+	if len(p.Points) != n {
+		t.Fatalf("got %d points, want %d", len(p.Points), n)
+	}
+	dw := (field.W - gap*(districts-1)) / districts
+	counts := make([]int, districts)
+	last := -1
+	for i, pt := range p.Points {
+		d := int(pt.X / (dw + gap))
+		if d < 0 || d >= districts {
+			t.Fatalf("point %d at %v outside all districts", i, pt)
+		}
+		if off := pt.X - float64(d)*(dw+gap); off > dw {
+			t.Fatalf("point %d at %v lands in the gap after district %d", i, pt, d)
+		}
+		if d < last {
+			t.Fatalf("point %d in district %d after district %d: ids must ascend left to right", i, d, last)
+		}
+		last = d
+		counts[d]++
+	}
+	for d, c := range counts {
+		if c < n/districts || c > n/districts+1 {
+			t.Fatalf("district %d holds %d nodes, want balanced %d±1", d, c, n/districts)
+		}
+	}
+}
+
+// TestPartitionStripsMetro: on a metro placement the quantile cuts must
+// snap into the inter-district voids, recovering the districts exactly and
+// keeping node ids contiguous per shard.
+func TestPartitionStripsMetro(t *testing.T) {
+	field := geom.Rect{W: 600, H: 300}
+	const n, districts, gap = 240, 3, 150.0
+	p := MetroPlacement(n, districts, field, gap, rand.New(rand.NewSource(9)))
+	part := PartitionStrips(p, districts)
+	if len(part.Cuts) != districts-1 {
+		t.Fatalf("cuts: %v", part.Cuts)
+	}
+	dw := (field.W - gap*(districts-1)) / districts
+	for s, cut := range part.Cuts {
+		lo := float64(s)*(dw+gap) + dw // end of district s
+		hi := lo + gap                 // start of district s+1
+		if cut <= lo || cut >= hi {
+			t.Fatalf("cut %d at %.1f missed the void (%.1f, %.1f)", s, cut, lo, hi)
+		}
+	}
+	next := 0
+	for s, ids := range part.Nodes {
+		if len(ids) != n/districts {
+			t.Fatalf("shard %d holds %d nodes, want %d", s, len(ids), n/districts)
+		}
+		for _, id := range ids {
+			if id != next {
+				t.Fatalf("shard %d ids not contiguous: got %d, want %d", s, id, next)
+			}
+			if part.Shard[id] != s {
+				t.Fatalf("node %d: Shard[]=%d but listed under %d", id, part.Shard[id], s)
+			}
+			next++
+		}
+	}
+}
+
+func TestPartitionStripsBalance(t *testing.T) {
+	field := geom.Rect{W: 1000, H: 400}
+	p := PoissonDiscPlacement(2000, field, 0, rand.New(rand.NewSource(3)))
+	for _, shards := range []int{1, 2, 5, 8} {
+		part := PartitionStrips(p, shards)
+		// Each cut may drift up to slack from its quantile, and both cuts
+		// bounding a strip can drift toward each other: 2·slack tolerance.
+		slack := 2000 / (4 * shards)
+		for s, ids := range part.Nodes {
+			want := 2000 / shards
+			if len(ids) < want-2*slack-1 || len(ids) > want+2*slack+1 {
+				t.Fatalf("shards=%d: shard %d holds %d nodes, want %d±%d",
+					shards, s, len(ids), want, 2*slack)
+			}
+		}
+		// Strips are contiguous in X: every node left of a cut belongs to a
+		// lower shard than every node right of it.
+		for i, pt := range p.Points {
+			s := part.Shard[i]
+			for c := 0; c < s; c++ {
+				if pt.X < part.Cuts[c] {
+					t.Fatalf("shards=%d: node %d at X=%.1f below cut %d (%.1f) but in shard %d",
+						shards, i, pt.X, c, part.Cuts[c], s)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package topo
+
+import (
+	"sort"
+)
+
+// Partition assigns every node of a placement to one of `Shards` vertical
+// strips for the sharded engine. Cuts are the X coordinates separating
+// consecutive strips.
+type Partition struct {
+	Shards int
+	Cuts   []float64 // len Shards-1, ascending
+	Shard  []int     // node id → shard index
+	Nodes  [][]int   // shard index → ascending node ids
+}
+
+// PartitionStrips splits the placement into `shards` contiguous vertical
+// strips of (nearly) equal population, nudging each cut to the widest
+// X-gap within ±1/(4·shards) of the population quantile. Wider gaps mean
+// fewer border radios and larger lookahead — on a metro-style placement
+// the cuts snap into the inter-district voids and the shards decouple
+// entirely. Deterministic: depends only on the positions.
+func PartitionStrips(p Placement, shards int) Partition {
+	n := len(p.Points)
+	part := Partition{
+		Shards: shards,
+		Cuts:   make([]float64, 0, shards-1),
+		Shard:  make([]int, n),
+		Nodes:  make([][]int, shards),
+	}
+	if shards <= 1 {
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		if shards == 1 {
+			part.Nodes[0] = ids
+		}
+		return part
+	}
+	xs := make([]float64, n)
+	for i, pt := range p.Points {
+		xs[i] = pt.X
+	}
+	sort.Float64s(xs)
+	slack := n / (4 * shards)
+	for s := 1; s < shards; s++ {
+		ideal := s * n / shards
+		lo, hi := ideal-slack, ideal+slack
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		best, bestGap := ideal, -1.0
+		for i := lo; i <= hi; i++ {
+			if g := xs[i] - xs[i-1]; g > bestGap {
+				best, bestGap = i, g
+			}
+		}
+		cut := (xs[best-1] + xs[best]) / 2
+		if len(part.Cuts) > 0 && cut <= part.Cuts[len(part.Cuts)-1] {
+			cut = part.Cuts[len(part.Cuts)-1] // degenerate (empty strip); keep cuts sorted
+		}
+		part.Cuts = append(part.Cuts, cut)
+	}
+	for i, pt := range p.Points {
+		s := sort.SearchFloat64s(part.Cuts, pt.X)
+		// SearchFloat64s puts x == cut into the right strip; any
+		// consistent tie-break works.
+		part.Shard[i] = s
+		part.Nodes[s] = append(part.Nodes[s], i)
+	}
+	return part
+}

@@ -49,6 +49,10 @@ type (
 	Rect = geom.Rect
 	// Time is simulated time in nanoseconds.
 	Time = sim.Time
+	// TopoKind selects the placement generator for large-scale runs.
+	TopoKind = experiment.TopoKind
+	// ShardRunStats is the per-shard scheduler report of a sharded run.
+	ShardRunStats = experiment.ShardRunStats
 )
 
 // Protocols under test.
@@ -68,6 +72,14 @@ const (
 	Stationary = experiment.Stationary
 	Speed1     = experiment.Speed1
 	Speed2     = experiment.Speed2
+)
+
+// Placement generators (Config.Topo).
+const (
+	TopoConnected = experiment.TopoConnected
+	TopoUniform   = experiment.TopoUniform
+	TopoPoisson   = experiment.TopoPoisson
+	TopoMetro     = experiment.TopoMetro
 )
 
 // DefaultConfig returns the paper's evaluation parameters (75 nodes,

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # bench.sh — run the kernel/PHY hot-path benchmark suite and record the
 # results in BENCH_kernel.json, the fault-injection overhead suite in
-# BENCH_fault.json, and the per-protocol whole-run suite in BENCH_run.json,
-# so every PR leaves a perf trajectory.
+# BENCH_fault.json, the per-protocol whole-run suite in BENCH_run.json,
+# and the sharded-engine scaling suite in BENCH_shard.json, so every PR
+# leaves a perf trajectory.
 #
 # Usage:
 #   scripts/bench.sh            # run suites, rewrite BENCH_*.json
@@ -140,9 +141,27 @@ fi
 
 # Whole-run throughput per MAC protocol: the end-to-end engineering metric
 # of the pooled frame lifecycle. allocs_op is the bill for a complete run
-# (network construction included); events_s is the headline number.
-bench_suite 'BenchmarkWholeRun' BENCH_run.json .
+# (network construction included); events_s is the headline number. The
+# pattern is anchored so the sharded suite below stays out of this file.
+bench_suite '^BenchmarkWholeRun$' BENCH_run.json .
 [[ "$CHECK" == 1 ]] && check_suite BENCH_run.json 0.50 0.05
+
+# Sharded-engine scaling: the 1k/10k-node metro workload across shard
+# counts (DESIGN.md §14). Each iteration is a whole multi-second run, so a
+# single iteration is already an average over millions of events —
+# benchtime stays 1x. The speedup ns_op(shards1)/ns_op(shardsN) is bounded
+# by the recording host's core count (the -N suffix in the raw output);
+# record the JSON from a machine with ≥ 8 cores to see the scaling, and
+# quote that core count next to any speedup claim. Quick mode runs only
+# the 1k row as a liveness check; check mode skips the suite — wall-clock
+# scaling ratios on shared runners are noise, and the allocation gates
+# live in the test suite (TestShardedSteadyStateAllocs).
+if [[ "$CHECK" == 0 ]]; then
+    SHARD_PATTERN='^BenchmarkWholeRunSharded$'
+    [[ "$QUICK" == 1 ]] && SHARD_PATTERN='^BenchmarkWholeRunSharded$/^n1000$'
+    BENCHTIME=1x # whole runs: one iteration is the measurement
+    bench_suite "$SHARD_PATTERN" BENCH_shard.json .
+fi
 
 if [[ "$CHECK" == 1 ]]; then
     if [[ "$CHECK_FAILED" == 1 ]]; then
