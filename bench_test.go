@@ -331,6 +331,39 @@ func BenchmarkWholeRunSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkWholeRunShardedMobile is BenchmarkWholeRunSharded with every
+// node on a Speed1 random-waypoint trajectory (DESIGN.md §15): the run
+// pays for epoch-boundary barriers, lookahead-matrix rebuilds, ghost-set
+// diffs and live-position cross-shard physics on top of the stationary
+// workload. ns_op(stationary)/ns_op(mobile) at equal shard counts is the
+// mobility-epoch overhead; scripts/bench.sh records this suite alongside
+// the stationary rows in BENCH_shard.json.
+func BenchmarkWholeRunShardedMobile(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("n1000/shards%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			var simulated sim.Time
+			for i := 0; i < b.N; i++ {
+				cfg := benchShardedConfig(1000, shards)
+				cfg.Scenario = Speed1
+				cfg.Seed = int64(i + 1)
+				res := Run(cfg)
+				if res.Failed {
+					b.Fatal(res.FailReason)
+				}
+				if res.Aborted {
+					b.Fatal(res.AbortReason)
+				}
+				events += res.Events
+				simulated += cfg.Horizon()
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(simulated.Seconds()/b.Elapsed().Seconds(), "simsec/s")
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw event throughput of the
 // kernel+PHY+MAC stack — the engineering metric for the simulator itself.
 func BenchmarkSimulatorThroughput(b *testing.B) {

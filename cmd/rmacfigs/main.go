@@ -22,6 +22,7 @@ import (
 
 	"rmac/internal/cli"
 	"rmac/internal/experiment"
+	"rmac/internal/sim"
 )
 
 func main() { os.Exit(run()) }
@@ -43,7 +44,8 @@ func run() int {
 	protoFlag := flag.String("protocols", "", "comma-separated protocols to sweep (rmac,bmmm,bmw,lbp,mx); default: the paper's figure set")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	resilience := flag.Bool("resilience", false, "run the resilience sweep (delivery vs burst loss and node churn) instead of the paper figures")
-	flag.IntVar(&base.Shards, "shards", 0, "spatial shards per run for the parallel engine (0/1 = single engine; stationary scenarios only)")
+	flag.IntVar(&base.Shards, "shards", 0, "spatial shards per run for the parallel engine (0/1 = single engine; mobile scenarios recompute lookahead per epoch)")
+	shardEpoch := flag.Float64("shard-epoch", 0, "mobility epoch length in seconds for sharded mobile runs (0 = 1s)")
 	topoName := flag.String("topo", "connected", "placement generator: connected, uniform, poisson, or metro")
 	flag.IntVar(&base.Sources, "sources", 0, "multicast source count per run (0/1 = node 0 only)")
 	flag.Uint64Var(&base.MaxEvents, "max-events", 0, "watchdog: abort any single run after this many events (0 disables)")
@@ -53,6 +55,7 @@ func run() int {
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	strict := flag.Bool("strict", true, "exit non-zero when any run fails or is aborted, or the auditor reports violations (-strict=false restores advisory behaviour)")
 	flag.Parse()
+	base.ShardEpoch = sim.Time(*shardEpoch * float64(sim.Second))
 
 	if *cpuProfile != "" {
 		pf, err := os.Create(*cpuProfile)

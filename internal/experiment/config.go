@@ -168,12 +168,21 @@ type Config struct {
 
 	// Shards, when > 1, runs the simulation on the sharded conservative
 	// parallel engine: the field is partitioned into vertical strips, one
-	// engine + goroutine per strip, synchronized by exact
-	// propagation-delay lookahead (DESIGN.md §14). Requires the
-	// Stationary scenario. 0 or 1 selects the classic single-engine path;
-	// results for a fixed (Seed, Shards) pair are bit-identical across
-	// reruns, and Shards ≤ 1 is bit-identical to the unsharded engine.
+	// engine + goroutine per strip, synchronized by propagation-delay
+	// lookahead — exact pairwise delays when stationary (DESIGN.md §14),
+	// conservative envelope bounds recomputed per mobility epoch when
+	// nodes move (DESIGN.md §15). 0 or 1 selects the classic single-engine
+	// path; results for a fixed (Seed, Shards) pair are bit-identical
+	// across reruns, and Shards ≤ 1 is bit-identical to the unsharded
+	// engine.
 	Shards int
+
+	// ShardEpoch is the mobility epoch length of a mobile sharded run: the
+	// interval at which lookahead and border-band membership are
+	// recomputed from conservative position envelopes. Shorter epochs give
+	// tighter lookahead (less conservatism) but more rollover barriers.
+	// 0 = 1 s. Ignored when Shards ≤ 1 or the scenario is stationary.
+	ShardEpoch sim.Time
 
 	// Sources is the number of multicast source nodes (0 or 1 = the
 	// paper's single source at node 0). Source d sits at node
@@ -297,8 +306,20 @@ func (c Config) Validate() error {
 		return fmt.Errorf("experiment: shards must be in [0,%d], have %d", sim.MaxShards, c.Shards)
 	}
 	if c.Shards > 1 {
+		if c.ShardEpoch < 0 {
+			return fmt.Errorf("experiment: shard epoch must be positive, have %v", c.ShardEpoch)
+		}
 		if c.Scenario != Stationary {
-			return errors.New("experiment: sharded runs require the stationary scenario (lookahead needs static positions)")
+			// The per-epoch displacement envelope must fit inside a strip:
+			// a node able to traverse a whole strip within one epoch would
+			// overlap the border bands of non-adjacent shards and collapse
+			// every pairwise lookahead toward the 1 ns floor. The mean
+			// strip width is the a-priori bound (the data-dependent minimum
+			// is checked against the actual cuts at build time).
+			env := 2 * c.Scenario.MaxSpeed() * c.shardEpoch().Seconds()
+			if strip := c.Field.W / float64(c.Shards); env >= strip {
+				return fmt.Errorf("experiment: mobility envelope %.1fm (2 × %.0fm/s × %v epoch) must stay below the %.1fm mean strip width; shorten ShardEpoch or use fewer shards", env, c.Scenario.MaxSpeed(), c.shardEpoch(), strip)
+			}
 		}
 		if c.TraceCap > 0 {
 			return errors.New("experiment: TraceCap is not supported with Shards > 1")
@@ -359,6 +380,14 @@ func (c Config) sourceNodes() []int {
 		roots[d] = d * c.Nodes / k
 	}
 	return roots
+}
+
+// shardEpoch resolves the mobility epoch length: explicit, else 1 s.
+func (c Config) shardEpoch() sim.Time {
+	if c.ShardEpoch > 0 {
+		return c.ShardEpoch
+	}
+	return sim.Second
 }
 
 // Horizon returns the simulated end time of the run.

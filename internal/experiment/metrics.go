@@ -66,6 +66,8 @@ type RunMetrics struct {
 	ShardMessages  *metrics.CounterVec // by direction (out/in over the conduit)
 	ShardStalls    *metrics.Counter
 	ShardStallWait *metrics.Histogram
+	ShardEpochs    *metrics.Counter
+	ShardGhosts    *metrics.CounterVec // by op (add/del of border-band ghost radios)
 
 	// Audit, labeled by invariant class.
 	Violations *metrics.CounterVec
@@ -154,6 +156,11 @@ func NewRunMetrics(r *metrics.Registry) *RunMetrics {
 		ShardStallWait: r.Histogram("rmac_kernel_shard_stall_wait_seconds",
 			"Wall-clock time per frontier-barrier wait (sharded-engine runs).",
 			shardStallMinExp, 34, 1e-9),
+		ShardEpochs: r.Counter("rmac_kernel_shard_epoch_rollovers_total",
+			"Mobility epoch boundaries crossed by sharded-engine runs, summed over shards."),
+		ShardGhosts: r.CounterVec("rmac_kernel_shard_epoch_ghosts_total",
+			"Border-band ghost radio installs and removals at epoch rebuilds.",
+			[]string{"op"}, [][]string{{"add"}, {"del"}}),
 
 		Violations: r.CounterVec("rmac_proto_audit_violations_total",
 			"Protocol-invariant auditor violations by invariant class.",
@@ -175,6 +182,9 @@ func (m *RunMetrics) AddRun(res *RunResult) {
 			m.ShardStallWait.AddBucketSamples(b-shardStallMinExp, n)
 		}
 		m.ShardStallWait.AddToSum(uint64(ss.StallWall.Nanoseconds()))
+		m.ShardEpochs.Add(ss.Epochs)
+		m.ShardGhosts.At(0).Add(ss.GhostAdds)
+		m.ShardGhosts.At(1).Add(ss.GhostDels)
 	}
 }
 

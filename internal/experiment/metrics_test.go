@@ -100,10 +100,12 @@ func TestMetricsRegistryFromRun(t *testing.T) {
 	}
 }
 
-// TestShardMetricsFold runs a small sharded simulation and checks the
-// rmac_kernel_shard_* families reflect its per-shard scheduler stats.
+// TestShardMetricsFold runs a small mobile sharded simulation and checks
+// the rmac_kernel_shard_* families — including the epoch rollover and
+// ghost churn counters — reflect its per-shard scheduler stats.
 func TestShardMetricsFold(t *testing.T) {
 	cfg := shardConfig(2)
+	cfg.Scenario = Speed1
 	res := Run(cfg)
 	if res.Failed {
 		t.Fatal(res.FailReason)
@@ -112,7 +114,7 @@ func TestShardMetricsFold(t *testing.T) {
 	rm := NewRunMetrics(r)
 	rm.AddRun(&res)
 
-	var windows, out, in, stalls, hist uint64
+	var windows, out, in, stalls, hist, epochs, adds, dels uint64
 	for _, ss := range res.Shards {
 		windows += ss.Windows
 		out += ss.MsgsOut
@@ -121,6 +123,21 @@ func TestShardMetricsFold(t *testing.T) {
 		for _, n := range ss.StallHist {
 			hist += n
 		}
+		epochs += ss.Epochs
+		adds += ss.GhostAdds
+		dels += ss.GhostDels
+	}
+	if epochs == 0 {
+		t.Error("mobile sharded run crossed no epoch boundaries")
+	}
+	if got := rm.ShardEpochs.Value(); got != epochs {
+		t.Errorf("shard_epoch_rollovers_total = %d, want %d", got, epochs)
+	}
+	if got := rm.ShardGhosts.At(0).Value(); got != adds {
+		t.Errorf("shard_epoch_ghosts_total{add} = %d, want %d", got, adds)
+	}
+	if got := rm.ShardGhosts.At(1).Value(); got != dels {
+		t.Errorf("shard_epoch_ghosts_total{del} = %d, want %d", got, dels)
 	}
 	if got := rm.ShardWindows.Value(); got != windows {
 		t.Errorf("shard_windows_total = %d, want %d", got, windows)

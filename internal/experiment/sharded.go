@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"math/rand"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"rmac/internal/audit"
 	"rmac/internal/fault"
 	"rmac/internal/frame"
+	"rmac/internal/geom"
 	"rmac/internal/mac"
 	"rmac/internal/mac/bmmm"
 	"rmac/internal/mac/bmw"
@@ -37,6 +39,15 @@ import (
 // sim.ShardSync with the cross-shard conduit of phy.ConnectShards carrying
 // border traffic. See DESIGN.md §14 for the protocol, its liveness
 // argument, and the determinism contract.
+//
+// Mobile scenarios run the same protocol under *mobility epochs* (DESIGN.md
+// §15): the horizon is divided into fixed-length epochs, per-node
+// displacement within one epoch is bounded by MaxSpeed·epoch, and at every
+// epoch boundary all shards park at a barrier while a rollover leader
+// (shard 0) recomputes the lookahead matrix and border-band membership from
+// the boundary positions. The leader reads positions from its own shadow
+// replicas of every node's waypoint model — trajectories are pure functions
+// of (Seed, node id), so no cross-goroutine state is touched.
 
 // ShardSeedMix decorrelates per-shard engine RNG streams from each other
 // and from the unsharded stream while keeping them functions of
@@ -59,7 +70,13 @@ type ShardRunStats struct {
 	Windows uint64 // Run windows executed
 	MsgsOut uint64 // cross-shard messages published
 	MsgsIn  uint64 // cross-shard messages drained
-	Stalls  uint64 // frontier waits
+	// Mobility epoch counters (zero when stationary): boundary rollovers
+	// this shard synchronized on, and ghost record firings it received.
+	// All three are deterministic for a fixed (Seed, Shards).
+	Epochs    uint64
+	GhostAdds uint64
+	GhostDels uint64
+	Stalls    uint64 // frontier waits
 	// StallWall is total wall time spent waiting on foreign frontiers;
 	// StallHist buckets individual waits by power-of-two nanoseconds
 	// (bucket i counts waits in [2^(i-1), 2^i)).
@@ -90,6 +107,17 @@ type shardedRun struct {
 	stacks []*shardStack
 	net    *phy.ShardNet
 	sync   *sim.ShardSync
+
+	// Mobility epoch state. shadow/posB are leader-owned: only shard 0
+	// touches them, inside the boundary barrier. gen is the epoch
+	// generation — the leader's release-increment after Rebuild is what
+	// publishes the new tables to the followers spinning on it.
+	mobile   bool
+	epoch    sim.Time
+	envelope float64
+	shadow   []*mobility.RandomWaypoint
+	posB     []geom.Point
+	gen      atomic.Uint64
 
 	stop   atomic.Bool
 	cancel context.CancelFunc
@@ -125,7 +153,18 @@ func buildSharded(cfg Config) *shardedRun {
 			})
 		}
 		for _, i := range st.ids {
-			radio := medium.AddRadio(i, mobility.Stationary{P: placement.Points[i]})
+			var mob mobility.Model
+			if cfg.Scenario == Stationary {
+				mob = mobility.Stationary{P: placement.Points[i]}
+			} else {
+				// Same per-node RNG derivation as the unsharded build: the
+				// trajectory of node i is a pure function of (Seed, i),
+				// identical across shard counts and to the leader's shadow
+				// replica below.
+				nodeRNG := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
+				mob = mobility.NewRandomWaypoint(cfg.Field, 0, cfg.Scenario.MaxSpeed(), cfg.Scenario.Pause(), placement.Points[i], nodeRNG)
+			}
+			radio := medium.AddRadio(i, mob)
 			var m mac.MAC
 			switch cfg.Protocol {
 			case RMAC:
@@ -166,9 +205,40 @@ func buildSharded(cfg Config) *shardedRun {
 		mediums[s] = medium
 		sr.stacks = append(sr.stacks, st)
 	}
-	sr.net = phy.ConnectShards(mediums, placement.Points, part.Shard, cfg.Horizon())
+	if cfg.Scenario == Stationary {
+		sr.net = phy.ConnectShards(mediums, placement.Points, part.Shard, cfg.Horizon())
+	} else {
+		sr.mobile = true
+		sr.epoch = cfg.shardEpoch()
+		sr.envelope = 2 * cfg.Scenario.MaxSpeed() * sr.epoch.Seconds()
+		if w := part.MinStripWidth(cfg.Field.W); sr.envelope >= w {
+			// Sound but hopeless: border bands spanning whole strips pin
+			// every pairwise lookahead near the 1 ns floor. Validate already
+			// rejects this against the mean strip width; this guard catches
+			// placements whose population-quantile cuts came out narrower.
+			panic(fmt.Sprintf("experiment: mobility envelope %.1fm exceeds the narrowest %.1fm strip; shorten ShardEpoch or use fewer shards", sr.envelope, w))
+		}
+		sr.shadow = make([]*mobility.RandomWaypoint, cfg.Nodes)
+		sr.posB = make([]geom.Point, cfg.Nodes)
+		for i := 0; i < cfg.Nodes; i++ {
+			rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i)))
+			sr.shadow[i] = mobility.NewRandomWaypoint(cfg.Field, 0, cfg.Scenario.MaxSpeed(), cfg.Scenario.Pause(), placement.Points[i], rng)
+		}
+		sr.net = phy.ConnectShardsMobile(mediums, placement.Points, part.Shard, cfg.Horizon(), sr.envelope)
+	}
 	sr.sync = sim.NewShardSync(sr.net.Direct())
 	return sr
+}
+
+// rebuildEpoch recomputes the cross-shard fabric for the epoch starting at
+// boundary B. Leader-only, inside the barrier: every shard has published a
+// frontier ≥ B and is parked draining, so the fabric is quiescent.
+func (sr *shardedRun) rebuildEpoch(B sim.Time) {
+	for i, mdl := range sr.shadow {
+		sr.posB[i] = mdl.PositionAt(B)
+	}
+	sr.net.Rebuild(sr.posB, B, 0)
+	sr.sync.SetLookahead(sr.net.Direct())
 }
 
 // fail records a shard goroutine's panic (first one wins).
@@ -221,17 +291,32 @@ func (sr *shardedRun) runShard(j int, endTime sim.Time) {
 	}()
 	eng := st.eng
 	done := sim.Time(-1) // end of the last executed window
+	// Mobility epochs: B is the next epoch boundary — a hard cap on every
+	// window, because the current lookahead tables are only valid for
+	// events strictly before it. gen is the epoch generation this shard has
+	// observed. Stationary runs never roll over (B = MaxTime) and take the
+	// exact pre-epoch path.
+	B := sim.MaxTime
+	if sr.mobile {
+		B = sr.epoch
+	}
+	var gen uint64
 	for !sr.stop.Load() {
 		target := sr.sync.Target(j)
 		sr.net.Drain(j)
 		sr.publish(j, eng)
-		if target > endTime {
+		bound := target
+		if bound > B {
+			bound = B
+		}
+		if bound > endTime {
 			// No foreign influence can arrive on or before the horizon
 			// anymore: an undrained message would cap its sender's frontier
 			// at the send time, pulling our target back under the horizon,
 			// and future sends land above their sender's frontier plus
 			// lookahead — above target — where the sender-side filter drops
-			// them. This is the final window.
+			// them. This is the final window. (Mobile: requires B > endTime
+			// too, so the final window never outruns the epoch tables.)
 			if endTime > done {
 				eng.Run(endTime)
 				st.stats.Windows++
@@ -239,7 +324,55 @@ func (sr *shardedRun) runShard(j int, endTime sim.Time) {
 			sr.checkAborted(eng)
 			return
 		}
-		limit := target - 1 // events at exactly `target` are not yet safe
+		if target > B {
+			// Epoch rollover. target > B proves every event strictly before
+			// B safe under the *current* tables: finish the epoch's window,
+			// then synchronize. The barrier condition is MinFrontier ≥ B —
+			// every shard has executed all pre-boundary events and every
+			// conduit ring is empty (an undrained message's send time t0 < B
+			// would cap its sender's frontier below B; and any message a
+			// parked shard drains after the leader's frontier snapshot was
+			// provably sent at t0 ≥ B, because its sender's frontier had
+			// already been observed at or past B). Everyone keeps draining
+			// and re-publishing while parked, so outbound caps release and
+			// the leader's ghost records always find ring space.
+			if B-1 > done {
+				eng.Run(B - 1)
+				done = B - 1
+				st.stats.Windows++
+				sr.checkAborted(eng)
+				if sr.stop.Load() {
+					return
+				}
+			}
+			sr.publish(j, eng)
+			st.stats.Epochs++
+			if j == 0 {
+				for !sr.stop.Load() && sr.sync.MinFrontier() < B {
+					sr.net.Drain(j)
+					sr.publish(j, eng)
+					runtime.Gosched()
+				}
+				if sr.stop.Load() {
+					return
+				}
+				sr.rebuildEpoch(B)
+				sr.gen.Add(1) // release-publishes the new tables
+			} else {
+				for !sr.stop.Load() && sr.gen.Load() == gen {
+					sr.net.Drain(j)
+					sr.publish(j, eng)
+					runtime.Gosched()
+				}
+				if sr.stop.Load() {
+					return
+				}
+			}
+			gen++
+			B += sr.epoch
+			continue
+		}
+		limit := bound - 1 // events at exactly `target` are not yet safe
 		if limit > done {
 			eng.Run(limit)
 			done = limit
@@ -343,6 +476,7 @@ func (sr *shardedRun) collect() RunResult {
 		st.stats.Events = st.eng.Processed
 		cs := sr.net.Stats(st.shard)
 		st.stats.MsgsOut, st.stats.MsgsIn = cs.MsgsOut, cs.MsgsIn
+		st.stats.GhostAdds, st.stats.GhostDels = cs.GhostAdds, cs.GhostDels
 		for k, id := range st.ids {
 			macByID[id] = st.macs[k]
 			rtByID[id] = st.routers[k]

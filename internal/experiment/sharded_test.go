@@ -159,45 +159,161 @@ func TestShardOneMatchesUnsharded(t *testing.T) {
 	}
 }
 
+// TestShardedMobileDeterministic extends the §14 determinism contract to
+// mobile sharded runs (DESIGN.md §15): epoch rollovers, catalog rebuilds
+// and ghost records must not introduce any schedule-dependent state — for
+// a fixed (Seed, Shards) pair the whole result fingerprint is
+// bit-identical across reruns, and the per-shard epoch counters agree.
+func TestShardedMobileDeterministic(t *testing.T) {
+	for _, shards := range []int{2, 4} {
+		cfg := shardConfig(shards)
+		cfg.Scenario = Speed1
+		a := Run(cfg)
+		if a.Failed {
+			t.Fatalf("shards=%d failed: %s\n%s", shards, a.FailReason, a.Stack)
+		}
+		if a.Aborted {
+			t.Fatalf("shards=%d aborted: %s", shards, a.AbortReason)
+		}
+		b := Run(cfg)
+		if fa, fb := a.Fingerprint(), b.Fingerprint(); fa != fb {
+			t.Fatalf("shards=%d mobile rerun diverged:\n%s\n%s", shards, fa, fb)
+		}
+		for s := range a.Shards {
+			if a.Shards[s].Epochs != b.Shards[s].Epochs ||
+				a.Shards[s].GhostAdds != b.Shards[s].GhostAdds ||
+				a.Shards[s].GhostDels != b.Shards[s].GhostDels {
+				t.Errorf("shards=%d shard %d epoch stats diverged: %+v vs %+v",
+					shards, s, a.Shards[s], b.Shards[s])
+			}
+		}
+		cfg.Seed = 7
+		c := Run(cfg)
+		if c.Events == a.Events {
+			t.Errorf("shards=%d: different seeds produced identical event counts", shards)
+		}
+	}
+}
+
+// TestShardedMobileDelivers checks the epoch protocol produces a working
+// mobile network: traffic flows, audits stay clean, every shard crosses
+// the same number of epoch boundaries, conduit accounting balances, and
+// ghost churn is self-consistent (installs minus removals is the live
+// ghost count, so removals can never exceed installs). Aggregate results
+// are NOT compared against the unsharded engine: each shard engine owns
+// an independent RNG stream, so backoff and beacon jitter draws diverge
+// and the runs explore different contention schedules (same for
+// stationary sharding). The bit-exact physics contract lives at the phy
+// layer — TestShardBoundaryMobilePhysics replays identical trajectories
+// and scripts through both fabrics.
+func TestShardedMobileDelivers(t *testing.T) {
+	cfg := shardConfig(2)
+	cfg.Scenario = Speed1
+	res := Run(cfg)
+	if res.Failed {
+		t.Fatalf("failed: %s\n%s", res.FailReason, res.Stack)
+	}
+	if res.Metrics.Generated != uint64(cfg.Packets) {
+		t.Fatalf("generated = %d, want %d", res.Metrics.Generated, cfg.Packets)
+	}
+	if res.Delivery <= 0 {
+		t.Fatalf("delivery = %v, want > 0", res.Delivery)
+	}
+	if res.ViolationCount != 0 {
+		t.Fatalf("%d audit violations: %+v", res.ViolationCount, res.Violations)
+	}
+	wantEpochs := uint64(res.Shards[0].Epochs)
+	if wantEpochs == 0 {
+		t.Fatalf("no epoch rollovers over a %v horizon: %+v", cfg.Horizon(), res.Shards[0])
+	}
+	var adds uint64
+	for _, ss := range res.Shards {
+		if ss.Epochs != wantEpochs {
+			t.Errorf("shard %d crossed %d epochs, shard 0 crossed %d", ss.Shard, ss.Epochs, wantEpochs)
+		}
+		if ss.GhostDels > ss.GhostAdds {
+			t.Errorf("shard %d removed %d ghosts but only installed %d", ss.Shard, ss.GhostDels, ss.GhostAdds)
+		}
+		adds += ss.GhostAdds
+	}
+	if adds == 0 {
+		t.Error("no ghost installs on a coupled strip pair")
+	}
+	if res.Shards[0].MsgsIn != res.Shards[1].MsgsOut ||
+		res.Shards[1].MsgsIn != res.Shards[0].MsgsOut {
+		t.Fatalf("cross-shard messages lost: %+v", res.Shards)
+	}
+}
+
+// TestShardOneMatchesUnshardedMobile pins Shards=1 on a mobile scenario to
+// the plain single-engine path, bit for bit — enabling sharding without
+// actually splitting the field must not perturb topology derivation or
+// trajectories.
+func TestShardOneMatchesUnshardedMobile(t *testing.T) {
+	cfg := shardConfig(0)
+	cfg.Scenario = Speed1
+	base := Run(cfg)
+	cfg.Shards = 1
+	one := Run(cfg)
+	if fb, fo := base.Fingerprint(), one.Fingerprint(); fb != fo {
+		t.Fatalf("mobile Shards=1 diverged from unsharded:\n%s\n%s", fb, fo)
+	}
+}
+
 // TestShardedSteadyStateAllocs is the per-shard analogue of
 // TestSteadyStateAllocs: each shard stack, driven through its own engine,
-// must stay allocation-free in steady state. A metro placement keeps the
-// shards decoupled so the engines can be stepped directly without the
-// frontier protocol.
+// must stay allocation-free in steady state — with stationary radios and
+// with every radio on a waypoint trajectory (live-position fan-out,
+// memoised PositionOf). A metro placement keeps the shards decoupled
+// (asserted below) so the engines can be stepped directly without the
+// frontier protocol; the decoupled catalogs stay empty, so skipping the
+// epoch rebuilds is sound for the mobile subtest too.
 func TestShardedSteadyStateAllocs(t *testing.T) {
-	cfg := shardConfig(2)
-	cfg.Topo = TopoMetro
-	cfg.Sources = 2
-	cfg.Rate = 40
-	cfg.Packets = 1 << 20
-	if err := cfg.Validate(); err != nil {
-		t.Fatal(err)
-	}
-	sr := buildSharded(cfg)
-	warm := cfg.Warmup + 2*sim.Second
-	for _, st := range sr.stacks {
-		st.eng.Run(warm)
-	}
-	var before, after runtime.MemStats
-	var events uint64
-	for _, st := range sr.stacks {
-		events -= st.eng.Processed
-	}
-	runtime.ReadMemStats(&before)
-	for _, st := range sr.stacks {
-		st.eng.Run(warm + 3*sim.Second)
-	}
-	runtime.ReadMemStats(&after)
-	for _, st := range sr.stacks {
-		events += st.eng.Processed
-	}
-	if events == 0 {
-		t.Fatal("no events in measurement window")
-	}
-	allocs := after.Mallocs - before.Mallocs
-	perEvent := float64(allocs) / float64(events)
-	t.Logf("%d allocs over %d events (%.5f allocs/event)", allocs, events, perEvent)
-	if perEvent > 0.005 {
-		t.Errorf("sharded steady state allocates %.5f allocs/event, want ≤ 0.005", perEvent)
+	for _, sc := range []Scenario{Stationary, Speed1} {
+		t.Run(sc.String(), func(t *testing.T) {
+			cfg := shardConfig(2)
+			cfg.Topo = TopoMetro
+			cfg.Sources = 2
+			cfg.Rate = 40
+			cfg.Packets = 1 << 20
+			cfg.Scenario = sc
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			sr := buildSharded(cfg)
+			for _, row := range sr.net.Direct() {
+				for _, la := range row {
+					if la != sim.MaxTime {
+						t.Fatal("metro shards coupled; direct stepping would drop cross traffic")
+					}
+				}
+			}
+			warm := cfg.Warmup + 2*sim.Second
+			for _, st := range sr.stacks {
+				st.eng.Run(warm)
+			}
+			var before, after runtime.MemStats
+			var events uint64
+			for _, st := range sr.stacks {
+				events -= st.eng.Processed
+			}
+			runtime.ReadMemStats(&before)
+			for _, st := range sr.stacks {
+				st.eng.Run(warm + 3*sim.Second)
+			}
+			runtime.ReadMemStats(&after)
+			for _, st := range sr.stacks {
+				events += st.eng.Processed
+			}
+			if events == 0 {
+				t.Fatal("no events in measurement window")
+			}
+			allocs := after.Mallocs - before.Mallocs
+			perEvent := float64(allocs) / float64(events)
+			t.Logf("%d allocs over %d events (%.5f allocs/event)", allocs, events, perEvent)
+			if perEvent > 0.005 {
+				t.Errorf("sharded steady state allocates %.5f allocs/event, want ≤ 0.005", perEvent)
+			}
+		})
 	}
 }

@@ -4,12 +4,17 @@
 //
 // Models are queried lazily: PositionAt(t) computes the node position at any
 // simulated time without per-tick events, which keeps the event queue free
-// of mobility traffic. Queries must be made with nondecreasing t per node
-// (the simulator's clock only moves forward); RandomWaypoint extends its
-// precomputed trajectory on demand.
+// of mobility traffic. RandomWaypoint extends its precomputed trajectory on
+// demand and discards history older than a retention horizon (Retain) behind
+// the most advanced query it has seen; queries may jump backward by up to
+// that horizon — the slack the sharded engine's cross-shard conduit needs
+// when it replays a foreign transmission's start-time geometry — but a query
+// older than the horizon fails loudly instead of silently clamping to the
+// oldest surviving trajectory leg.
 package mobility
 
 import (
+	"fmt"
 	"math/rand"
 
 	"rmac/internal/geom"
@@ -18,9 +23,30 @@ import (
 
 // Model yields the position of a single node over time.
 type Model interface {
-	// PositionAt returns the node's position at simulated time t.
-	// t must be nondecreasing across calls.
+	// PositionAt returns the node's position at simulated time t. t may
+	// trail the most advanced query by at most the model's retention
+	// horizon (see RandomWaypoint.Retain); implementations fail loudly on
+	// older queries rather than return a stale clamp.
 	PositionAt(t sim.Time) geom.Point
+}
+
+// SpeedBounded is implemented by models whose displacement over any
+// interval dt is bounded by SpeedBound()·dt. The sharded engine uses the
+// bound to build conservative per-epoch position envelopes (position ±
+// SpeedBound·epoch) for its lookahead and ghost-set recomputation.
+type SpeedBounded interface {
+	// SpeedBound returns an upper bound on the node speed in m/s.
+	SpeedBound() float64
+}
+
+// SpeedBoundOf returns the model's speed bound, or ok=false when the model
+// does not expose one (an unbounded model cannot run on the sharded
+// engine's epoch envelopes).
+func SpeedBoundOf(m Model) (float64, bool) {
+	if b, ok := m.(SpeedBounded); ok {
+		return b.SpeedBound(), true
+	}
+	return 0, false
 }
 
 // Stationary is a fixed-position model.
@@ -30,6 +56,9 @@ type Stationary struct {
 
 // PositionAt always returns the fixed position.
 func (s Stationary) PositionAt(sim.Time) geom.Point { return s.P }
+
+// SpeedBound implements SpeedBounded: a stationary node never moves.
+func (s Stationary) SpeedBound() float64 { return 0 }
 
 // leg is one segment of a waypoint trajectory: hold at 'from' until start,
 // then move linearly, arriving at 'to' at 'arrive', then pause until 'until'.
@@ -52,9 +81,27 @@ type RandomWaypoint struct {
 	MaxSpeed float64 // m/s
 	Pause    sim.Time
 
+	// Retain is the retention horizon: positions in
+	// [maxSeen-Retain, maxSeen] stay exactly reconstructible, where
+	// maxSeen is the most advanced query so far. Trajectory legs that
+	// fell entirely behind the horizon are discarded to bound memory on
+	// long runs; a query older than the horizon panics (PositionAt) or
+	// reports ok=false (PositionAtOK). Zero selects DefaultRetain. Must
+	// cover every backward query the caller can make — for sharded runs
+	// that is the cross-shard delay bound (the maximum propagation delay
+	// a conduit replays a foreign transmission's geometry by, well under
+	// a millisecond), so the default of one simulated second is generous.
+	Retain sim.Time
+
 	rng  *rand.Rand
 	legs []leg
+
+	maxSeen sim.Time // most advanced query
+	floor   sim.Time // oldest exactly-answerable time after trimming
 }
+
+// DefaultRetain is the retention horizon used when Retain is zero.
+const DefaultRetain = 1 * sim.Second
 
 // NewRandomWaypoint creates a waypoint model starting at start. Each node
 // must get its own rng stream for determinism under lazy extension.
@@ -89,17 +136,61 @@ func (m *RandomWaypoint) extend(t sim.Time) {
 		}
 		l.until = l.arrive + m.Pause
 		m.legs = append(m.legs, l)
-		// Drop fully-past legs to bound memory on long runs; keep the most
-		// recent few so slightly out-of-order queries within one event time
-		// still resolve.
-		if len(m.legs) > 64 {
-			m.legs = append(m.legs[:0], m.legs[len(m.legs)-8:]...)
-		}
+		m.trim()
 	}
 }
 
-// PositionAt returns the node position at time t.
+// retain resolves the retention horizon.
+func (m *RandomWaypoint) retain() sim.Time {
+	if m.Retain > 0 {
+		return m.Retain
+	}
+	return DefaultRetain
+}
+
+// trim drops legs that ended before the retention horizon. Legs are
+// contiguous (legs[i].start == legs[i-1].until), so the first kept leg
+// still covers the horizon itself; floor records the oldest time the
+// remaining legs answer exactly. The copy-down keeps the slice's backing
+// array, so a steady-state trajectory reuses the same storage forever.
+func (m *RandomWaypoint) trim() {
+	if len(m.legs) <= 64 {
+		return // amortize: only compact once enough history accumulated
+	}
+	cutoff := m.maxSeen - m.retain()
+	i := 0
+	for i < len(m.legs)-1 && m.legs[i].until < cutoff {
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	m.floor = m.legs[i].start
+	n := copy(m.legs, m.legs[i:])
+	m.legs = m.legs[:n]
+}
+
+// PositionAt returns the node position at time t. It panics when t
+// predates the retention horizon — the silent alternative (clamping to
+// the oldest surviving leg) returns a position that is simply wrong.
 func (m *RandomWaypoint) PositionAt(t sim.Time) geom.Point {
+	p, ok := m.PositionAtOK(t)
+	if !ok {
+		panic(fmt.Sprintf("mobility: query at %d ns predates retention horizon (oldest retained: %d ns, newest seen: %d ns)",
+			int64(t), int64(m.floor), int64(m.maxSeen)))
+	}
+	return p
+}
+
+// PositionAtOK is PositionAt with an explicit failure path: ok is false
+// when t predates the retention horizon and no exact answer exists.
+func (m *RandomWaypoint) PositionAtOK(t sim.Time) (geom.Point, bool) {
+	if t < m.floor {
+		return geom.Point{}, false
+	}
+	if t > m.maxSeen {
+		m.maxSeen = t
+	}
 	m.extend(t)
 	// Find the leg containing t (legs are ordered; search from the back
 	// since queries are near the trajectory end).
@@ -108,14 +199,17 @@ func (m *RandomWaypoint) PositionAt(t sim.Time) geom.Point {
 		if t >= l.start || i == 0 {
 			switch {
 			case t >= l.arrive:
-				return l.to // pausing at destination
+				return l.to, true // pausing at destination
 			case t <= l.start:
-				return l.from
+				return l.from, true
 			default:
 				frac := float64(t-l.start) / float64(l.arrive-l.start)
-				return l.from.Lerp(l.to, frac)
+				return l.from.Lerp(l.to, frac), true
 			}
 		}
 	}
-	return m.legs[0].from
+	return m.legs[0].from, true
 }
+
+// SpeedBound implements SpeedBounded.
+func (m *RandomWaypoint) SpeedBound() float64 { return m.MaxSpeed }

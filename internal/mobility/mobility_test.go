@@ -155,6 +155,96 @@ func TestNewRandomWaypointRejectsBadSpeed(t *testing.T) {
 	NewRandomWaypoint(geom.Rect{W: 1, H: 1}, 0, 0, 0, geom.Point{}, rand.New(rand.NewSource(1)))
 }
 
+func TestWaypointStaleQueryFailsLoudly(t *testing.T) {
+	// Regression: a query older than the retention horizon used to clamp
+	// silently to the oldest *retained* leg's start position — a wrong
+	// answer. It must fail loudly instead.
+	field := geom.Rect{W: 500, H: 300}
+	m := NewRandomWaypoint(field, 4, 8, sim.Millisecond, geom.Point{X: 7, Y: 9}, rand.New(rand.NewSource(11)))
+	m.Retain = sim.Second
+	m.PositionAt(3600 * sim.Second) // force trimming far past t=0
+	if _, ok := m.PositionAtOK(0); ok {
+		t.Fatal("PositionAtOK(0) = ok after history at t=0 was trimmed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PositionAt older than the retention horizon must panic")
+		}
+	}()
+	m.PositionAt(0)
+}
+
+func TestWaypointRetainedWindowExact(t *testing.T) {
+	// Positions within [maxSeen-Retain, maxSeen] must stay exactly
+	// reconstructible after trimming: compare against an untrimmed twin
+	// (same seed, huge Retain) that never discards history.
+	field := geom.Rect{W: 500, H: 300}
+	mk := func() *RandomWaypoint {
+		return NewRandomWaypoint(field, 4, 8, 10*sim.Millisecond, geom.Point{X: 3, Y: 4}, rand.New(rand.NewSource(12)))
+	}
+	trimmed, full := mk(), mk()
+	trimmed.Retain = sim.Second
+	full.Retain = 100000 * sim.Second
+	end := 1800 * sim.Second
+	trimmed.PositionAt(end)
+	for back := sim.Time(0); back <= sim.Second; back += 50 * sim.Millisecond {
+		ts := end - back
+		got, ok := trimmed.PositionAtOK(ts)
+		if !ok {
+			t.Fatalf("query at %v inside the retention window failed", ts)
+		}
+		if want := full.PositionAt(ts); got != want {
+			t.Fatalf("trimmed model diverges at %v: %v, want %v", ts, got, want)
+		}
+	}
+}
+
+func TestWaypointSpeedBoundAccessor(t *testing.T) {
+	m := NewRandomWaypoint(geom.Rect{W: 10, H: 10}, 0, 4, 0, geom.Point{}, rand.New(rand.NewSource(13)))
+	if b, ok := SpeedBoundOf(m); !ok || b != 4 {
+		t.Fatalf("SpeedBoundOf(waypoint) = %v, %v; want 4, true", b, ok)
+	}
+	if b, ok := SpeedBoundOf(Stationary{}); !ok || b != 0 {
+		t.Fatalf("SpeedBoundOf(stationary) = %v, %v; want 0, true", b, ok)
+	}
+}
+
+// Property: the field-containment and continuity invariants survive
+// trimming — drive the model far enough that many trims have happened,
+// then sweep the whole retained window, including backward queries.
+func TestPropertyWaypointInvariantsAfterTrim(t *testing.T) {
+	f := func(seed int64, maxSpeedRaw uint8) bool {
+		field := geom.Rect{W: 300, H: 200}
+		maxSpeed := float64(maxSpeedRaw%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		m := NewRandomWaypoint(field, 0, maxSpeed, sim.Millisecond, field.RandomPoint(rng), rng)
+		m.Retain = 2 * sim.Second
+		end := 900 * sim.Second
+		prev := m.PositionAt(end - 2*sim.Second)
+		step := 100 * sim.Millisecond
+		for ts := end - 2*sim.Second + step; ts <= end; ts += step {
+			cur, ok := m.PositionAtOK(ts)
+			if !ok || !field.Contains(cur) {
+				return false
+			}
+			if prev.Dist(cur) > maxSpeed*step.Seconds()+1e-6 {
+				return false
+			}
+			prev = cur
+		}
+		// Backward re-queries over the window must reproduce the sweep.
+		for ts := end; ts >= end-sim.Second; ts -= 333 * step {
+			if _, ok := m.PositionAtOK(ts); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestWaypointArrivalExact(t *testing.T) {
 	// Node at a known speed reaches a destination at from+dist/speed.
 	field := geom.Rect{W: 500, H: 300}

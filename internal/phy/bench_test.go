@@ -1,6 +1,7 @@
 package phy
 
 import (
+	"math/rand"
 	"testing"
 
 	"rmac/internal/frame"
@@ -63,6 +64,41 @@ func benchMediumFanout(b *testing.B, n int) {
 
 func BenchmarkMediumFanout30(b *testing.B)  { benchMediumFanout(b, 30) }
 func BenchmarkMediumFanout200(b *testing.B) { benchMediumFanout(b, 200) }
+
+// benchMediumMobile mirrors benchMedium with random-waypoint radios pacing
+// a small field, so every in-range query walks a trajectory. The gate for
+// the PositionOf memo: one trajectory walk per (radio, instant) instead of
+// one per in-range pair.
+func benchMediumMobile(b *testing.B, n int) (*sim.Engine, *Medium) {
+	b.Helper()
+	eng := sim.NewEngine(1)
+	m := NewMedium(eng, DefaultConfig())
+	field := geom.Rect{W: 60, H: 60}
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(int64(i) + 1))
+		m.AddRadio(i, mobility.NewRandomWaypoint(field, 0, 4, sim.Second, field.RandomPoint(rng), rng))
+	}
+	return eng, m
+}
+
+// BenchmarkMediumFanoutMobile measures the broadcast cycle of
+// benchMediumFanout under mobility: every radio's position comes from a
+// waypoint trajectory instead of a cached point.
+func BenchmarkMediumFanoutMobile200(b *testing.B) {
+	eng, m := benchMediumMobile(b, 200)
+	src := m.Radios()[0]
+	f := benchFrame()
+	for i := 0; i < 8; i++ {
+		m.StartTx(src, f)
+		eng.RunAll()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.StartTx(src, f)
+		eng.RunAll()
+	}
+}
 
 // BenchmarkToneStorm measures busy-tone fan-out: each iteration one node
 // raises and drops RBT, propagating both transitions to every in-range

@@ -1,6 +1,7 @@
 package phy
 
 import (
+	"math/rand"
 	"testing"
 
 	"rmac/internal/geom"
@@ -175,4 +176,131 @@ func TestShardBoundaryAbortBeforeDelivery(t *testing.T) {
 			t.Fatalf("aborted transmission decoded cleanly: %+v", f)
 		}
 	}
+}
+
+// mobileTestModel builds the waypoint model for test node id: the same
+// (id-keyed) seed on both sides of a comparison yields the same trajectory,
+// since a waypoint path is a pure function of its RNG stream. 50 m/s with
+// no pause makes nodes cover metres within a millisecond-scale script, so
+// live-position physics actually diverges from any t=0 snapshot.
+func mobileTestModel(field geom.Rect, id int, start geom.Point) *mobility.RandomWaypoint {
+	rng := rand.New(rand.NewSource(int64(id) + 1))
+	return mobility.NewRandomWaypoint(field, 0, 50, 0, start, rng)
+}
+
+// mobileBoundaryCase runs the boundaryScript with moving radios on one
+// reference medium and on `shards` conduit-joined shard mediums, and
+// compares every pure receiver's frame, tone and carrier records. Shards
+// are stepped sequentially in index order: only shard 0 transmits, so
+// traffic flows strictly downstream.
+func mobileBoundaryCase(t *testing.T, field geom.Rect, pos []geom.Point, shardOf []int, shards int, listeners []int) {
+	t.Helper()
+	cfg := DefaultConfig()
+	horizon := 30 * sim.Millisecond
+
+	// Reference: everything on one medium, same trajectories.
+	eng := sim.NewEngine(1)
+	m := NewMedium(eng, cfg)
+	rads := make([]*recRadio, len(pos))
+	for i, p := range pos {
+		r := m.AddRadio(i, mobileTestModel(field, i, p))
+		rads[i] = &recRadio{Radio: r, rec: &recorder{}, eng: eng}
+		r.SetHandler(rads[i])
+	}
+	boundaryScript(eng, rads[0].Radio, rads[1].Radio)
+	eng.Run(horizon)
+
+	// Sharded: same ids, same trajectories, split across shard mediums.
+	engs := make([]*sim.Engine, shards)
+	mediums := make([]*Medium, shards)
+	for s := range mediums {
+		engs[s] = sim.NewEngine(int64(s) + 1)
+		mediums[s] = NewMedium(engs[s], cfg)
+	}
+	srads := make([]*recRadio, len(pos))
+	for i, p := range pos {
+		r := mediums[shardOf[i]].AddRadio(i, mobileTestModel(field, i, p))
+		srads[i] = &recRadio{Radio: r, rec: &recorder{}, eng: engs[shardOf[i]]}
+		r.SetHandler(srads[i])
+	}
+	envelope := 2 * 50 * horizon.Seconds() // 2 × MaxSpeed × epoch; one epoch spans the script
+	net := ConnectShardsMobile(mediums, pos, shardOf, horizon, envelope)
+	boundaryScript(engs[0], srads[0].Radio, srads[1].Radio)
+	for s := 0; s < shards; s++ {
+		if s > 0 {
+			net.Drain(s)
+		}
+		engs[s].Run(horizon)
+	}
+
+	for _, li := range listeners {
+		want, got := rads[li].rec, srads[li].rec
+		if len(got.frames) != len(want.frames) {
+			t.Fatalf("listener %d frame count: sharded %d, unsharded %d", li, len(got.frames), len(want.frames))
+		}
+		for i := range want.frames {
+			w, g := want.frames[i], got.frames[i]
+			if g.ok != w.ok || g.rxStart != w.rxStart || g.at != w.at {
+				t.Errorf("listener %d frame %d: sharded (ok=%v %v..%v), unsharded (ok=%v %v..%v)",
+					li, i, g.ok, g.rxStart, g.at, w.ok, w.rxStart, w.at)
+			}
+		}
+		if len(got.tones) != len(want.tones) {
+			t.Fatalf("listener %d tone edges: sharded %d, unsharded %d", li, len(got.tones), len(want.tones))
+		}
+		for i := range want.tones {
+			if got.tones[i] != want.tones[i] {
+				t.Errorf("listener %d tone edge %d: sharded %+v, unsharded %+v", li, i, got.tones[i], want.tones[i])
+			}
+		}
+		if len(got.carrier) != len(want.carrier) {
+			t.Fatalf("listener %d carrier transitions: sharded %d, unsharded %d", li, len(got.carrier), len(want.carrier))
+		}
+		for i := range want.carrier {
+			if got.carrier[i] != want.carrier[i] {
+				t.Errorf("listener %d carrier %d: sharded %v, unsharded %v", li, i, got.carrier[i], want.carrier[i])
+			}
+		}
+	}
+	// The script must actually exercise the channel: a clean delivery, a
+	// corrupt frame and both tone edges at the first listener.
+	ref := rads[listeners[0]].rec
+	var oks, bad int
+	for _, f := range ref.frames {
+		if f.ok {
+			oks++
+		} else {
+			bad++
+		}
+	}
+	if oks == 0 || bad == 0 || len(ref.tones) == 0 {
+		t.Fatalf("degenerate reference run: %d ok, %d corrupt, %d tone edges", oks, bad, len(ref.tones))
+	}
+}
+
+// TestShardBoundaryMobilePhysics is the mobile golden cross-check of
+// DESIGN.md §15: with every radio on a random-waypoint trajectory, a
+// scripted transmit/collide/abort/tone sequence must produce bit-identical
+// outcomes at across-boundary receivers whether the radios share one medium
+// or live on conduit-joined shard mediums with envelope catalogs. Receiver
+// sets, propagation delays and decode flags are all computed at fire time
+// from live positions, so any drift between the mobile conduit physics and
+// Medium.StartTx shows up as a mismatch here.
+func TestShardBoundaryMobilePhysics(t *testing.T) {
+	field := geom.Rect{W: 200, H: 100}
+	pos := []geom.Point{{X: 60, Y: 50}, {X: 90, Y: 50}, {X: 130, Y: 50}} // a, c | b
+	mobileBoundaryCase(t, field, pos, []int{0, 0, 1}, 2, []int{2})
+}
+
+// TestShardBoundaryMobileFourShards spreads the listeners over three
+// foreign shards — the farthest one right at the interference-range edge,
+// where metre-scale movement flips in-range decisions, so the live
+// per-candidate filter must agree with the reference fan-out exactly.
+func TestShardBoundaryMobileFourShards(t *testing.T) {
+	field := geom.Rect{W: 200, H: 100}
+	pos := []geom.Point{
+		{X: 45, Y: 50}, {X: 40, Y: 50}, // a, c on shard 0
+		{X: 95, Y: 50}, {X: 130, Y: 50}, {X: 155, Y: 50}, // listeners on shards 1–3
+	}
+	mobileBoundaryCase(t, field, pos, []int{0, 0, 1, 2, 3}, 4, []int{2, 3, 4})
 }

@@ -117,10 +117,11 @@ func (m *Medium) Engine() *sim.Engine { return m.eng }
 // from every in-range query.
 func (m *Medium) AddRadio(id int, mob mobility.Model) *Radio {
 	r := &Radio{
-		m:   m,
-		eng: m.eng,
-		id:  id,
-		mob: mob,
+		m:        m,
+		eng:      m.eng,
+		id:       id,
+		mob:      mob,
+		memoTime: -1,
 	}
 	if s, ok := mob.(mobility.Stationary); ok {
 		r.static = true
@@ -136,12 +137,37 @@ func (m *Medium) AddRadio(id int, mob mobility.Model) *Radio {
 // Radios returns all registered radios.
 func (m *Medium) Radios() []*Radio { return m.radios }
 
-// PositionOf returns node r's current position.
+// PositionOf returns node r's current position. Mobile positions are
+// memoized per (radio, instant): a fan-out queries every in-range radio at
+// the same timestamp, so repeat queries hit the memo instead of re-walking
+// the trajectory.
 func (m *Medium) PositionOf(r *Radio) geom.Point {
 	if r.static {
 		return r.pos
 	}
-	return r.mob.PositionAt(m.eng.Now())
+	now := m.eng.Now()
+	if r.memoTime == now {
+		return r.memoPos
+	}
+	p := r.mob.PositionAt(now)
+	r.memoTime, r.memoPos = now, p
+	return p
+}
+
+// positionAt returns node r's position at time t, which may trail the
+// engine clock by up to the mobility retention horizon. The cross-shard
+// conduit uses it to replay a foreign transmission's start-time geometry
+// at holder-fire time (the fire runs minProp after the start). Read-only
+// with respect to the memo: a backward query must not poison the
+// current-instant cache.
+func (m *Medium) positionAt(r *Radio, t sim.Time) geom.Point {
+	if r.static {
+		return r.pos
+	}
+	if r.memoTime == t {
+		return r.memoPos
+	}
+	return r.mob.PositionAt(t)
 }
 
 // propDelay converts a distance to a propagation delay; a floor of 1 ns

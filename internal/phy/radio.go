@@ -56,6 +56,14 @@ type Radio struct {
 	static bool
 	pos    geom.Point
 
+	// Mobile radios memoize their last position query: one PHY fan-out
+	// asks for every receiver's position at the same instant, and a
+	// trajectory walk per query would re-scan the waypoint legs N times
+	// per transmission. memoTime is -1 until the first query (time 0 is a
+	// valid query instant).
+	memoTime sim.Time
+	memoPos  geom.Point
+
 	// down marks a crashed radio (fault injection): it emits no signal or
 	// tone energy and decodes nothing, but keeps sensing — see
 	// Medium.SetDown for the exact crash semantics.

@@ -151,9 +151,15 @@ func (e *Engine) ScheduleCrossCall(at Time, c Caller, tag int32, seq uint64) Eve
 
 // ShardSync is the shared frontier table of one sharded run. Each shard
 // publishes its frontier with Publish and computes its safe execution bound
-// with Target; both are lock-free (one atomic store / S atomic loads).
+// with Target; both are lock-free (one atomic store / S+1 atomic loads).
+// The lookahead matrix is held behind an atomic pointer: mobile runs
+// replace it at every epoch boundary (SetLookahead), and a shard parked in
+// its stall loop keeps polling Target throughout — the swap guarantees it
+// reads a complete matrix, old or new, never a half-written one.
 type ShardSync struct {
-	la [][]Time // walk closure: la[k][j] = min walk lookahead k→j (k==j: min cycle); MaxTime = decoupled
+	// walk closure: (*la)[k][j] = min walk lookahead k→j (k==j: min
+	// cycle); MaxTime = decoupled. Immutable once stored.
+	la atomic.Pointer[[][]Time]
 	fr []padTime
 }
 
@@ -177,12 +183,35 @@ func NewShardSync(direct [][]Time) *ShardSync {
 	if s > MaxShards {
 		panic(fmt.Sprintf("sim: %d shards exceeds MaxShards %d", s, MaxShards))
 	}
-	la := make([][]Time, s)
+	ss := &ShardSync{fr: make([]padTime, s)}
+	ss.SetLookahead(direct)
+	return ss
+}
+
+// SetLookahead replaces the lookahead table with the walk closure of a new
+// direct matrix. Mobile sharded runs call it at every epoch boundary, when
+// node movement has changed the minimum cross-shard distances. The closure
+// is computed into a fresh matrix and swapped in atomically: shards parked
+// in stall loops keep polling Target during the swap and must never see a
+// half-written table. Memory safety comes from the swap; *determinism*
+// still needs the epoch barrier — without it, which epoch's matrix a
+// Target call reads would depend on goroutine scheduling (see DESIGN.md
+// §15 for the happens-before chain).
+func (ss *ShardSync) SetLookahead(direct [][]Time) {
+	la := make([][]Time, len(direct))
 	for i := range la {
-		la[i] = make([]Time, s)
+		la[i] = make([]Time, len(direct))
 		copy(la[i], direct[i])
 		la[i][i] = maxTime // no self-edges: the diagonal closes to min cycle
 	}
+	closeWalks(la)
+	ss.la.Store(&la)
+}
+
+// closeWalks closes a direct lookahead matrix over walks of length ≥ 1 in
+// place (Floyd–Warshall; shard counts are small).
+func closeWalks(la [][]Time) {
+	s := len(la)
 	for k := 0; k < s; k++ {
 		for i := 0; i < s; i++ {
 			if la[i][k] == maxTime {
@@ -198,13 +227,27 @@ func NewShardSync(direct [][]Time) *ShardSync {
 			}
 		}
 	}
-	return &ShardSync{la: la, fr: make([]padTime, s)}
+}
+
+// MinFrontier returns the minimum published frontier across all shards.
+// The epoch-rollover leader spins on it to detect the boundary barrier:
+// every frontier at or past the boundary means every shard has executed
+// all its pre-boundary events and every conduit ring has been drained (an
+// undrained message caps its sender's frontier at the send time).
+func (ss *ShardSync) MinFrontier() Time {
+	t := maxTime
+	for k := range ss.fr {
+		if f := Time(ss.fr[k].v.Load()); f < t {
+			t = f
+		}
+	}
+	return t
 }
 
 // Lookahead returns the closed (minimum-walk) lookahead from shard k to
 // shard j — for k == j the minimum round trip through any other shard;
 // MaxTime when no such influence is possible.
-func (ss *ShardSync) Lookahead(k, j int) Time { return ss.la[k][j] }
+func (ss *ShardSync) Lookahead(k, j int) Time { return (*ss.la.Load())[k][j] }
 
 // Publish records shard k's frontier: a promise that shard k will not mint
 // any new influence before t. Callers must derive t from measurements only
@@ -224,8 +267,9 @@ func (ss *ShardSync) Frontier(k int) Time { return Time(ss.fr[k].v.Load()) }
 // influence to it, or all have terminated).
 func (ss *ShardSync) Target(j int) Time {
 	t := maxTime
+	m := *ss.la.Load()
 	for k := range ss.fr {
-		la := ss.la[k][j]
+		la := m[k][j]
 		if la == maxTime {
 			continue
 		}

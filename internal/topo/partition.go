@@ -20,6 +20,28 @@ type Partition struct {
 // fewer border radios and larger lookahead — on a metro-style placement
 // the cuts snap into the inter-district voids and the shards decouple
 // entirely. Deterministic: depends only on the positions.
+// MinStripWidth returns the narrowest strip's width for the given field
+// width — the geometric budget a mobile sharded run has for its per-epoch
+// displacement envelope. The epoch protocol needs the envelope (2 ×
+// MaxSpeed × epoch) to stay below it: a node that could traverse a whole
+// strip within one epoch would make the border bands of non-adjacent
+// shards overlap and collapse every pairwise lookahead toward the floor.
+func (p Partition) MinStripWidth(fieldW float64) float64 {
+	if len(p.Cuts) == 0 {
+		return fieldW
+	}
+	w := p.Cuts[0]
+	if r := fieldW - p.Cuts[len(p.Cuts)-1]; r < w {
+		w = r
+	}
+	for i := 1; i < len(p.Cuts); i++ {
+		if d := p.Cuts[i] - p.Cuts[i-1]; d < w {
+			w = d
+		}
+	}
+	return w
+}
+
 func PartitionStrips(p Placement, shards int) Partition {
 	n := len(p.Points)
 	part := Partition{

@@ -152,13 +152,16 @@ bench_suite '^BenchmarkWholeRun$' BENCH_run.json .
 # benchtime stays 1x. The speedup ns_op(shards1)/ns_op(shardsN) is bounded
 # by the recording host's core count (the -N suffix in the raw output);
 # record the JSON from a machine with ≥ 8 cores to see the scaling, and
-# quote that core count next to any speedup claim. Quick mode runs only
-# the 1k row as a liveness check; check mode skips the suite — wall-clock
+# quote that core count next to any speedup claim. The Mobile variant
+# re-runs the 1k row with every node on a Speed1 waypoint trajectory, so
+# BENCH_shard.json also records the mobility-epoch overhead at equal
+# shard counts. Quick mode runs only the 1k rows as a liveness check;
+# check mode skips the suite — wall-clock
 # scaling ratios on shared runners are noise, and the allocation gates
 # live in the test suite (TestShardedSteadyStateAllocs).
 if [[ "$CHECK" == 0 ]]; then
-    SHARD_PATTERN='^BenchmarkWholeRunSharded$'
-    [[ "$QUICK" == 1 ]] && SHARD_PATTERN='^BenchmarkWholeRunSharded$/^n1000$'
+    SHARD_PATTERN='^BenchmarkWholeRunSharded(Mobile)?$'
+    [[ "$QUICK" == 1 ]] && SHARD_PATTERN='^BenchmarkWholeRunSharded(Mobile)?$/^n1000$'
     BENCHTIME=1x # whole runs: one iteration is the measurement
     bench_suite "$SHARD_PATTERN" BENCH_shard.json .
 fi
